@@ -1,0 +1,124 @@
+//! Cluster-quality metrics for embedding analysis (Figure 8).
+
+use sgnn_dense::DMat;
+
+fn sq_dist(a: &[f32], b: &[f32]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| ((x - y) as f64).powi(2)).sum()
+}
+
+/// Mean silhouette score of `points` under `labels` (Euclidean), in
+/// `[-1, 1]`; higher means tighter, better-separated clusters.
+///
+/// Exact O(n²); intended for the ≤ 3k-point embedding analyses.
+pub fn silhouette_score(points: &DMat, labels: &[u32]) -> f64 {
+    let n = points.rows();
+    assert_eq!(labels.len(), n, "one label per point");
+    let classes = labels.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let counts = {
+        let mut c = vec![0usize; classes];
+        for &y in labels {
+            c[y as usize] += 1;
+        }
+        c
+    };
+    let mut total = 0.0f64;
+    let mut counted = 0usize;
+    for i in 0..n {
+        let yi = labels[i] as usize;
+        if counts[yi] < 2 {
+            continue;
+        }
+        // Mean distance to each class.
+        let mut sums = vec![0.0f64; classes];
+        for j in 0..n {
+            if i != j {
+                sums[labels[j] as usize] += sq_dist(points.row(i), points.row(j)).sqrt();
+            }
+        }
+        let a = sums[yi] / (counts[yi] - 1) as f64;
+        let b = (0..classes)
+            .filter(|&c| c != yi && counts[c] > 0)
+            .map(|c| sums[c] / counts[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        if b.is_finite() {
+            total += (b - a) / a.max(b);
+            counted += 1;
+        }
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    }
+}
+
+/// Ratio of mean intra-class to mean inter-class distance (lower = tighter
+/// clusters); a cheap alternative to silhouette on larger sets.
+pub fn intra_inter_ratio(points: &DMat, labels: &[u32]) -> f64 {
+    let n = points.rows();
+    let (mut intra, mut inter) = (0.0f64, 0.0f64);
+    let (mut ni, mut nj) = (0usize, 0usize);
+    // Subsample pairs deterministically for large n.
+    let stride = (n * n / 2_000_000).max(1);
+    let mut k = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            k += 1;
+            if !k.is_multiple_of(stride) {
+                continue;
+            }
+            let d = sq_dist(points.row(i), points.row(j)).sqrt();
+            if labels[i] == labels[j] {
+                intra += d;
+                ni += 1;
+            } else {
+                inter += d;
+                nj += 1;
+            }
+        }
+    }
+    if ni == 0 || nj == 0 {
+        return 1.0;
+    }
+    (intra / ni as f64) / (inter / nj as f64).max(1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(sep: f32) -> (DMat, Vec<u32>) {
+        let mut rng = sgnn_dense::rng::seeded(0);
+        let n = 40;
+        let pts = DMat::from_fn(n, 2, |r, _| {
+            let c = if r < n / 2 { -sep } else { sep };
+            c + sgnn_dense::rng::randn(&mut rng) * 0.5
+        });
+        let labels = (0..n as u32).map(|i| u32::from(i >= 20)).collect();
+        (pts, labels)
+    }
+
+    #[test]
+    fn separated_blobs_score_high() {
+        let (pts, labels) = blobs(10.0);
+        let s = silhouette_score(&pts, &labels);
+        assert!(s > 0.8, "silhouette {s}");
+        assert!(intra_inter_ratio(&pts, &labels) < 0.3);
+    }
+
+    #[test]
+    fn overlapping_blobs_score_low() {
+        let (pts, labels) = blobs(0.1);
+        let s = silhouette_score(&pts, &labels);
+        assert!(s < 0.3, "silhouette {s}");
+        assert!(intra_inter_ratio(&pts, &labels) > 0.7);
+    }
+
+    #[test]
+    fn shuffled_labels_score_near_zero() {
+        let (pts, _) = blobs(10.0);
+        let labels: Vec<u32> = (0..40u32).map(|i| i % 2).collect();
+        let s = silhouette_score(&pts, &labels);
+        assert!(s.abs() < 0.2, "silhouette {s}");
+    }
+}

@@ -1,0 +1,87 @@
+//! Degree-bucketed effectiveness (Figures 9–10 of the paper).
+//!
+//! Nodes are split around the median degree; the *gap* is
+//! `metric(high) − metric(low)`. Under homophily high-degree nodes tend to
+//! win (more clean neighborhood signal); under heterophily the sign flips —
+//! the paper's RQ8.
+
+use sgnn_data::{Dataset, Metric};
+use sgnn_dense::DMat;
+use sgnn_sparse::stats::degree_buckets;
+
+use sgnn_train::metrics::{accuracy, binary_scores, roc_auc};
+
+/// Degree-bucketed effectiveness of one prediction matrix.
+#[derive(Clone, Copy, Debug)]
+pub struct DegreeGapReport {
+    pub low_metric: f64,
+    pub high_metric: f64,
+    /// `high − low`.
+    pub gap: f64,
+    pub low_count: usize,
+    pub high_count: usize,
+}
+
+/// Computes the degree gap over the dataset's test split.
+pub fn degree_gap(logits: &DMat, data: &Dataset) -> DegreeGapReport {
+    let (low_all, high_all) = degree_buckets(&data.graph);
+    let in_test: std::collections::HashSet<u32> = data.splits.test.iter().copied().collect();
+    let low: Vec<u32> = low_all.into_iter().filter(|i| in_test.contains(i)).collect();
+    let high: Vec<u32> = high_all.into_iter().filter(|i| in_test.contains(i)).collect();
+    let eval = |idx: &[u32]| -> f64 {
+        if idx.is_empty() {
+            return 0.0;
+        }
+        match data.metric {
+            Metric::Accuracy => accuracy(logits, &data.labels, idx),
+            Metric::RocAuc => roc_auc(&binary_scores(logits), &data.labels, idx),
+        }
+    };
+    let low_metric = eval(&low);
+    let high_metric = eval(&high);
+    DegreeGapReport {
+        low_metric,
+        high_metric,
+        gap: high_metric - low_metric,
+        low_count: low.len(),
+        high_count: high.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgnn_data::{dataset_spec, GenScale};
+
+    #[test]
+    fn perfect_predictions_have_zero_gap() {
+        let data = dataset_spec("cora").unwrap().generate(GenScale::Tiny, 0);
+        // Build perfect one-hot logits.
+        let mut logits = DMat::zeros(data.nodes(), data.num_classes);
+        for (i, &y) in data.labels.iter().enumerate() {
+            logits.set(i, y as usize, 10.0);
+        }
+        let r = degree_gap(&logits, &data);
+        assert_eq!(r.gap, 0.0);
+        assert_eq!(r.low_metric, 1.0);
+        assert!(r.low_count + r.high_count == data.splits.test.len());
+    }
+
+    #[test]
+    fn biased_predictions_show_positive_gap() {
+        let data = dataset_spec("cora").unwrap().generate(GenScale::Tiny, 1);
+        let (_, high) = degree_buckets(&data.graph);
+        let high_set: std::collections::HashSet<u32> = high.into_iter().collect();
+        // Correct only on high-degree nodes.
+        let mut logits = DMat::zeros(data.nodes(), data.num_classes);
+        for (i, &y) in data.labels.iter().enumerate() {
+            if high_set.contains(&(i as u32)) {
+                logits.set(i, y as usize, 10.0);
+            } else {
+                logits.set(i, ((y + 1) % data.num_classes as u32) as usize, 10.0);
+            }
+        }
+        let r = degree_gap(&logits, &data);
+        assert!(r.gap > 0.9, "gap {}", r.gap);
+    }
+}

@@ -1,0 +1,209 @@
+//! Exact t-SNE (van der Maaten & Hinton) for small embedding sets.
+//!
+//! O(n²) affinities with binary-search perplexity calibration, gradient
+//! descent with momentum and early exaggeration — sufficient for the ≤3k
+//! node graphs Figure 8 visualizes.
+
+use sgnn_dense::{rng as drng, DMat};
+
+/// t-SNE hyperparameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TsneConfig {
+    pub perplexity: f64,
+    pub iterations: usize,
+    pub learning_rate: f64,
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        Self { perplexity: 30.0, iterations: 300, learning_rate: 100.0, seed: 0 }
+    }
+}
+
+/// Embeds the rows of `x` into 2-D.
+pub fn tsne(x: &DMat, cfg: &TsneConfig) -> DMat {
+    let n = x.rows();
+    assert!(n >= 4, "t-SNE needs at least a few points");
+    let p = joint_affinities(x, cfg.perplexity.min((n as f64 - 1.0) / 3.0));
+
+    let mut rng = drng::seeded(cfg.seed);
+    let mut y: Vec<[f64; 2]> = (0..n)
+        .map(|_| [drng::randn(&mut rng) as f64 * 1e-2, drng::randn(&mut rng) as f64 * 1e-2])
+        .collect();
+    let mut vel = vec![[0.0f64; 2]; n];
+
+    let exaggeration_until = cfg.iterations / 4;
+    for iter in 0..cfg.iterations {
+        let ex = if iter < exaggeration_until { 4.0 } else { 1.0 };
+        // Student-t low-dimensional affinities.
+        let mut qnum = vec![0.0f64; n * n];
+        let mut qsum = 0.0f64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dx = y[i][0] - y[j][0];
+                let dy = y[i][1] - y[j][1];
+                let q = 1.0 / (1.0 + dx * dx + dy * dy);
+                qnum[i * n + j] = q;
+                qnum[j * n + i] = q;
+                qsum += 2.0 * q;
+            }
+        }
+        let momentum = if iter < exaggeration_until { 0.5 } else { 0.8 };
+        for i in 0..n {
+            let mut grad = [0.0f64; 2];
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let q = qnum[i * n + j];
+                let coeff = 4.0 * (ex * p[i * n + j] - q / qsum) * q;
+                grad[0] += coeff * (y[i][0] - y[j][0]);
+                grad[1] += coeff * (y[i][1] - y[j][1]);
+            }
+            for d in 0..2 {
+                vel[i][d] = momentum * vel[i][d] - cfg.learning_rate * grad[d];
+            }
+        }
+        for (yi, vi) in y.iter_mut().zip(&vel) {
+            yi[0] += vi[0];
+            yi[1] += vi[1];
+        }
+    }
+
+    let mut out = DMat::zeros(n, 2);
+    for (i, yi) in y.iter().enumerate() {
+        out.set(i, 0, yi[0] as f32);
+        out.set(i, 1, yi[1] as f32);
+    }
+    out
+}
+
+/// Symmetrized joint affinities `P` with per-point bandwidths calibrated to
+/// the requested perplexity.
+fn joint_affinities(x: &DMat, perplexity: f64) -> Vec<f64> {
+    let n = x.rows();
+    // Pairwise squared distances.
+    let mut d2 = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d: f64 = x
+                .row(i)
+                .iter()
+                .zip(x.row(j))
+                .map(|(&a, &b)| ((a - b) as f64).powi(2))
+                .sum();
+            d2[i * n + j] = d;
+            d2[j * n + i] = d;
+        }
+    }
+    let target_entropy = perplexity.ln();
+    let mut p = vec![0.0f64; n * n];
+    for i in 0..n {
+        // Binary search the precision β so row entropy hits the target.
+        let (mut lo, mut hi) = (1e-12f64, 1e12f64);
+        let mut beta = 1.0f64;
+        for _ in 0..50 {
+            let mut sum = 0.0;
+            let mut esum = 0.0;
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let e = (-beta * d2[i * n + j]).exp();
+                sum += e;
+                esum += e * d2[i * n + j];
+            }
+            if sum <= 0.0 {
+                beta = lo;
+                break;
+            }
+            let entropy = sum.ln() + beta * esum / sum;
+            if (entropy - target_entropy).abs() < 1e-5 {
+                break;
+            }
+            if entropy > target_entropy {
+                lo = beta;
+                beta = if hi >= 1e12 { beta * 2.0 } else { (beta + hi) / 2.0 };
+            } else {
+                hi = beta;
+                beta = (beta + lo) / 2.0;
+            }
+        }
+        let mut sum = 0.0;
+        for j in 0..n {
+            if j != i {
+                let e = (-beta * d2[i * n + j]).exp();
+                p[i * n + j] = e;
+                sum += e;
+            }
+        }
+        if sum > 0.0 {
+            for j in 0..n {
+                p[i * n + j] /= sum;
+            }
+        }
+    }
+    // Symmetrize and normalize.
+    let mut joint = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            joint[i * n + j] = ((p[i * n + j] + p[j * n + i]) / (2.0 * n as f64)).max(1e-12);
+        }
+    }
+    joint
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated Gaussian blobs must stay separated in 2-D.
+    #[test]
+    fn separates_two_blobs() {
+        let mut rng = drng::seeded(1);
+        let n = 60;
+        let x = DMat::from_fn(n, 5, |r, _| {
+            let center = if r < n / 2 { -8.0 } else { 8.0 };
+            center + drng::randn(&mut rng)
+        });
+        let y = tsne(&x, &TsneConfig { iterations: 250, ..Default::default() });
+        // Mean intra-blob distance must be well below inter-blob distance.
+        let dist = |a: usize, b: usize| {
+            let dx = (y.get(a, 0) - y.get(b, 0)) as f64;
+            let dy = (y.get(a, 1) - y.get(b, 1)) as f64;
+            (dx * dx + dy * dy).sqrt()
+        };
+        let mut intra = 0.0;
+        let mut inter = 0.0;
+        let mut ni = 0;
+        let mut nj = 0;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if (a < n / 2) == (b < n / 2) {
+                    intra += dist(a, b);
+                    ni += 1;
+                } else {
+                    inter += dist(a, b);
+                    nj += 1;
+                }
+            }
+        }
+        assert!(
+            inter / nj as f64 > 2.0 * intra / ni as f64,
+            "inter {} vs intra {}",
+            inter / nj as f64,
+            intra / ni as f64
+        );
+    }
+
+    #[test]
+    fn output_shape_and_determinism() {
+        let x = DMat::from_fn(10, 3, |r, c| ((r * 3 + c) % 7) as f32);
+        let cfg = TsneConfig { iterations: 50, ..Default::default() };
+        let a = tsne(&x, &cfg);
+        let b = tsne(&x, &cfg);
+        assert_eq!(a.shape(), (10, 2));
+        assert_eq!(a, b);
+    }
+}

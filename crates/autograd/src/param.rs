@@ -1,0 +1,155 @@
+//! Named trainable parameters with gradient buffers and groups.
+//!
+//! Parameters are partitioned into [`ParamGroup`]s so optimizers can apply
+//! different learning rates / weight decay to network weights (`φ0`, `φ1`)
+//! and to filter parameters (`θ`, `γ`), mirroring the individual tuning
+//! scheme of Table 4 in the paper.
+
+use sgnn_dense::DMat;
+
+/// Handle to a parameter inside a [`ParamStore`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+/// Hyperparameter group a parameter belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ParamGroup {
+    /// Network transformation weights (`φ0`, `φ1` MLPs).
+    Network,
+    /// Spectral filter parameters (`θ` coefficients, `γ` channel weights).
+    Filter,
+}
+
+pub(crate) struct Param {
+    pub name: String,
+    pub value: DMat,
+    pub grad: DMat,
+    pub group: ParamGroup,
+}
+
+/// Container of all trainable state of a model.
+#[derive(Default)]
+pub struct ParamStore {
+    params: Vec<Param>,
+}
+
+impl ParamStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter and returns its handle.
+    pub fn add(&mut self, name: impl Into<String>, value: DMat, group: ParamGroup) -> ParamId {
+        let (r, c) = value.shape();
+        self.params.push(Param { name: name.into(), grad: DMat::zeros(r, c), value, group });
+        ParamId(self.params.len() - 1)
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// All parameter handles.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.params.len()).map(ParamId)
+    }
+
+    /// Current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &DMat {
+        &self.params[id.0].value
+    }
+
+    /// Mutable value (used by SPSA perturbation and manual re-initialization).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut DMat {
+        &mut self.params[id.0].value
+    }
+
+    /// Accumulated gradient of a parameter.
+    pub fn grad(&self, id: ParamId) -> &DMat {
+        &self.params[id.0].grad
+    }
+
+    /// Group of a parameter.
+    pub fn group(&self, id: ParamId) -> ParamGroup {
+        self.params[id.0].group
+    }
+
+    /// Declared name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.params[id.0].name
+    }
+
+    /// Adds `g` into the gradient buffer of `id`.
+    pub fn accumulate_grad(&mut self, id: ParamId, g: &DMat) {
+        self.params[id.0].grad.add_assign_mat(g);
+    }
+
+    /// Clears all gradient buffers (start of a step).
+    pub fn zero_grads(&mut self) {
+        for p in &mut self.params {
+            p.grad.fill(0.0);
+        }
+    }
+
+    /// Applies `f(value, grad, group)` to every parameter — the optimizer hook.
+    pub fn update_each(&mut self, mut f: impl FnMut(usize, &mut DMat, &DMat, ParamGroup)) {
+        for (i, p) in self.params.iter_mut().enumerate() {
+            f(i, &mut p.value, &p.grad, p.group);
+        }
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.params.iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Heap bytes of parameter values + gradient buffers (device-memory model).
+    pub fn nbytes(&self) -> usize {
+        self.params.iter().map(|p| p.value.nbytes() + p.grad.nbytes()).sum()
+    }
+
+    /// Global L2 norm of all gradients — used for divergence diagnostics.
+    pub fn grad_norm(&self) -> f64 {
+        self.params
+            .iter()
+            .map(|p| p.grad.data().iter().map(|&g| (g as f64) * (g as f64)).sum::<f64>())
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_access() {
+        let mut ps = ParamStore::new();
+        let w = ps.add("w", DMat::filled(2, 3, 1.5), ParamGroup::Network);
+        let t = ps.add("theta", DMat::zeros(4, 1), ParamGroup::Filter);
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps.value(w).shape(), (2, 3));
+        assert_eq!(ps.group(t), ParamGroup::Filter);
+        assert_eq!(ps.num_scalars(), 10);
+        assert_eq!(ps.name(w), "w");
+    }
+
+    #[test]
+    fn grad_accumulation_and_reset() {
+        let mut ps = ParamStore::new();
+        let w = ps.add("w", DMat::zeros(2, 2), ParamGroup::Network);
+        ps.accumulate_grad(w, &DMat::filled(2, 2, 1.0));
+        ps.accumulate_grad(w, &DMat::filled(2, 2, 0.5));
+        assert_eq!(ps.grad(w).get(0, 0), 1.5);
+        assert!((ps.grad_norm() - (4.0f64 * 1.5 * 1.5).sqrt()).abs() < 1e-12);
+        ps.zero_grads();
+        assert_eq!(ps.grad(w).get(0, 0), 0.0);
+    }
+}

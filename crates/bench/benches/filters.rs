@@ -1,0 +1,70 @@
+//! Filter-level propagation cost across the taxonomy.
+//!
+//! The paper's claim (C1/RQ1): the taxonomy type predicts efficiency —
+//! fixed filters do `K` hops with `O(nF)` memory, variable filters pay the
+//! term storage, Bernstein pays `O(K²)` hops, banks multiply by `Q`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sgnn_core::{make_filter, PropCtx};
+use sgnn_data::{CsbmParams, Metric};
+use sgnn_dense::rng as drng;
+use sgnn_sparse::PropMatrix;
+use std::hint::black_box;
+
+fn bench_filters(c: &mut Criterion) {
+    let params = CsbmParams {
+        nodes: 5_000,
+        edges: 25_000,
+        homophily: 0.6,
+        classes: 4,
+        feature_dim: 8,
+        signal: 1.0,
+        degree_exponent: 2.5,
+    };
+    let data = sgnn_data::csbm::generate("bench", &params, Metric::Accuracy, 0);
+    let pm = PropMatrix::new(&data.graph, 0.5);
+    let x = drng::randn_mat(data.nodes(), 64, 1.0, &mut drng::seeded(0));
+
+    let mut group = c.benchmark_group("filter_propagate_k10");
+    group.sample_size(10);
+    for name in ["Identity", "PPR", "Monomial", "Chebyshev", "ChebInterp", "Bernstein", "OptBasis", "FAGNN", "FiGURe"] {
+        let filter = make_filter(name, 10).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter(|| {
+                let ctx = PropCtx::forward(&pm);
+                black_box(filter.propagate(&ctx, &x))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hops(c: &mut Criterion) {
+    let params = CsbmParams {
+        nodes: 5_000,
+        edges: 25_000,
+        homophily: 0.6,
+        classes: 4,
+        feature_dim: 8,
+        signal: 1.0,
+        degree_exponent: 2.5,
+    };
+    let data = sgnn_data::csbm::generate("bench", &params, Metric::Accuracy, 0);
+    let pm = PropMatrix::new(&data.graph, 0.5);
+    let x = drng::randn_mat(data.nodes(), 64, 1.0, &mut drng::seeded(0));
+    let mut group = c.benchmark_group("ppr_hops");
+    group.sample_size(10);
+    for &k in &[2usize, 10, 20] {
+        let filter = make_filter("PPR", k).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let ctx = PropCtx::forward(&pm);
+                black_box(filter.propagate(&ctx, &x))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_filters, bench_hops);
+criterion_main!(benches);

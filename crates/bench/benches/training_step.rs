@@ -1,0 +1,95 @@
+//! End-to-end training-step cost: one full-batch step (graph on the device)
+//! vs one mini-batch step (gathered term rows only) — the core trade of the
+//! paper's RQ2.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sgnn_autograd::{Adam, Optimizer, ParamStore, Tape};
+use sgnn_core::make_filter;
+use sgnn_data::{CsbmParams, Metric};
+use sgnn_dense::rng as drng;
+use sgnn_models::decoupled::{gather_terms, DecoupledConfig, DecoupledModel};
+use sgnn_sparse::PropMatrix;
+use std::hint::black_box;
+
+fn bench_steps(c: &mut Criterion) {
+    let params = CsbmParams {
+        nodes: 8_000,
+        edges: 40_000,
+        homophily: 0.7,
+        classes: 5,
+        feature_dim: 64,
+        signal: 1.0,
+        degree_exponent: 2.5,
+    };
+    let data = sgnn_data::csbm::generate("bench", &params, Metric::Accuracy, 0);
+    let pm = Arc::new(PropMatrix::new(&data.graph, 0.5));
+    let mut group = c.benchmark_group("training_step");
+    group.sample_size(10);
+
+    for fname in ["PPR", "Chebyshev"] {
+        // Full-batch step.
+        {
+            let mut rng = drng::seeded(0);
+            let mut store = ParamStore::new();
+            let model = DecoupledModel::new(
+                make_filter(fname, 10).unwrap(),
+                data.features.cols(),
+                data.num_classes,
+                DecoupledConfig::full_batch(64),
+                &mut store,
+                &mut rng,
+            );
+            let mut opt = Adam::new(0.01, 0.0);
+            let targets = Arc::new(data.targets_of(&data.splits.train));
+            let idx = Arc::new(data.splits.train.clone());
+            group.bench_with_input(BenchmarkId::new("full_batch", fname), &fname, |b, _| {
+                b.iter(|| {
+                    store.zero_grads();
+                    let mut tape = Tape::new(true, 0);
+                    let x = tape.constant(data.features.clone());
+                    let logits = model.forward_fb(&mut tape, &pm, x, &store);
+                    let tl = tape.gather_rows(logits, Arc::clone(&idx));
+                    let loss = tape.softmax_cross_entropy(tl, Arc::clone(&targets));
+                    tape.backward(loss, &mut store);
+                    opt.step(&mut store);
+                    black_box(tape.len())
+                })
+            });
+        }
+        // Mini-batch step (batch 4096 rows of precomputed terms).
+        {
+            let mut rng = drng::seeded(0);
+            let mut store = ParamStore::new();
+            let model = DecoupledModel::new(
+                make_filter(fname, 10).unwrap(),
+                data.features.cols(),
+                data.num_classes,
+                DecoupledConfig::mini_batch(64),
+                &mut store,
+                &mut rng,
+            );
+            let terms = model.precompute_mb(&pm, &data.features);
+            let batch: Vec<u32> = data.splits.train.iter().copied().take(4096).collect();
+            let y: Vec<u32> = batch.iter().map(|&i| data.labels[i as usize]).collect();
+            let mut opt = Adam::new(0.01, 0.0);
+            group.bench_with_input(BenchmarkId::new("mini_batch", fname), &fname, |b, _| {
+                b.iter(|| {
+                    store.zero_grads();
+                    let batch_terms = gather_terms(&terms, &batch);
+                    let mut tape = Tape::new(true, 0);
+                    let logits = model.forward_mb(&mut tape, &batch_terms, &store);
+                    let loss = tape.softmax_cross_entropy(logits, Arc::new(y.clone()));
+                    tape.backward(loss, &mut store);
+                    opt.step(&mut store);
+                    black_box(tape.len())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_steps);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! `experiments` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! experiments <target> [flags]
+//!
+//! targets: table1 table3 table5 table6 table7 table9 table10 table11
+//!          fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10   all
+//! flags:
+//!   --scale tiny|bench|full     graph scale (default bench)
+//!   --seeds N                   random seeds per cell (default 3)
+//!   --epochs N                  training epochs (default 60)
+//!   --hops K                    filter order (default 10)
+//!   --hidden F                  hidden width (default 64)
+//!   --filters a,b,c             restrict filters
+//!   --datasets a,b,c            restrict datasets
+//!   --device-budget-mb N        modeled device memory budget (default 2048)
+//!   --json                      dump raw rows under results/
+//! ```
+
+use sgnn_bench::harness::Opts;
+use sgnn_bench::*;
+use sgnn_data::GenScale;
+use sgnn_train::memory::TrackingAlloc;
+
+#[global_allocator]
+static ALLOC: TrackingAlloc = TrackingAlloc;
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let take = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i).cloned().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag {
+            "--scale" => {
+                opts.scale = match take(&mut i)?.as_str() {
+                    "tiny" => GenScale::Tiny,
+                    "bench" => GenScale::Bench,
+                    "full" => GenScale::Full,
+                    other => return Err(format!("unknown scale {other}")),
+                }
+            }
+            "--seeds" => opts.seeds = take(&mut i)?.parse().map_err(|e| format!("--seeds: {e}"))?,
+            "--epochs" => opts.epochs = take(&mut i)?.parse().map_err(|e| format!("--epochs: {e}"))?,
+            "--hops" => opts.hops = take(&mut i)?.parse().map_err(|e| format!("--hops: {e}"))?,
+            "--hidden" => opts.hidden = take(&mut i)?.parse().map_err(|e| format!("--hidden: {e}"))?,
+            "--filters" => opts.filters = take(&mut i)?.split(',').map(str::to_string).collect(),
+            "--datasets" => opts.datasets = take(&mut i)?.split(',').map(str::to_string).collect(),
+            "--device-budget-mb" => {
+                let mb: usize = take(&mut i)?.parse().map_err(|e| format!("--device-budget-mb: {e}"))?;
+                opts.device_budget = mb << 20;
+            }
+            "--json" => opts.json = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+fn dispatch(target: &str, opts: &Opts) -> Option<String> {
+    let out = match target {
+        "table1" => exp_table1::run(opts),
+        "table3" => exp_table3::run(opts),
+        "table5" => exp_table5::run_scheme(opts, "FB"),
+        "table6" => exp_table6::run(opts),
+        "table7" => exp_table7::run(opts),
+        "table9" => exp_table9::run_scheme(opts, "FB"),
+        "table10" => exp_table5::run_scheme(opts, "MB"),
+        "table11" => exp_table9::run_scheme(opts, "MB"),
+        "fig2" => exp_fig2::run(opts),
+        "fig3" => exp_fig3::run(opts),
+        "fig4" => exp_fig4::run(opts),
+        "fig5" => exp_fig5::run(opts),
+        "fig6" => exp_fig6::run(opts),
+        "fig7" => exp_fig7::run(opts),
+        "fig8" => exp_fig8::run(opts),
+        "fig9" => exp_fig9::run(opts),
+        "fig10" => exp_fig10::run(opts),
+        "ablation" => exp_ablation::run(opts),
+        _ => return None,
+    };
+    Some(out)
+}
+
+const ALL_TARGETS: &[&str] = &[
+    "table1", "table3", "table5", "table6", "table7", "table9", "table10", "table11", "fig2",
+    "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(target) = args.first().cloned() else {
+        eprintln!("usage: experiments <target> [flags]; targets: {} all", ALL_TARGETS.join(" "));
+        std::process::exit(2);
+    };
+    let opts = match parse_opts(&args[1..]) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let started = std::time::Instant::now();
+    if target == "all" {
+        for t in ALL_TARGETS {
+            println!("{}", dispatch(t, &opts).expect("known target"));
+        }
+    } else {
+        match dispatch(&target, &opts) {
+            Some(out) => println!("{out}"),
+            None => {
+                eprintln!("unknown target {target}; targets: {} all", ALL_TARGETS.join(" "));
+                std::process::exit(2);
+            }
+        }
+    }
+    eprintln!(
+        "[done in {:.1}s, peak RAM {}]",
+        started.elapsed().as_secs_f64(),
+        sgnn_train::memory::fmt_bytes(sgnn_train::memory::ram_peak())
+    );
+}

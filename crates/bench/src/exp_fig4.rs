@@ -1,0 +1,85 @@
+//! Figure 4: statistical significance of filter effectiveness — per-seed
+//! spread (min / mean / max) with shared seeds across filters.
+
+use std::fmt::Write as _;
+
+use serde::Serialize;
+use sgnn_train::train_full_batch;
+
+use crate::harness::{filter_sets, save_json, Opts};
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    filter: String,
+    per_seed: Vec<f64>,
+    mean: f64,
+    std: f64,
+    min: f64,
+    max: f64,
+}
+
+/// Runs the seed-variance study (cora-like random splits vs arxiv-like
+/// larger graph, as in the paper).
+pub fn run(opts: &Opts) -> String {
+    let datasets = opts.dataset_names(&["cora", "ogbn-arxiv"]);
+    let filters = opts.filter_names(&filter_sets::representatives());
+    let seeds = opts.seeds.max(5);
+    let mut out = String::new();
+    let _ = writeln!(out, "== Figure 4: accuracy spread over {seeds} shared seeds ==");
+    let mut rows = Vec::new();
+    for dname in &datasets {
+        let _ = writeln!(out, "-- {dname} --");
+        // One dataset generation per seed, shared by every filter: variance
+        // includes the split/topology difference, as the paper emphasizes.
+        let data_per_seed: Vec<_> =
+            (0..seeds).map(|s| opts.load_dataset(dname, s as u64)).collect();
+        for fname in &filters {
+            let per_seed: Vec<f64> = data_per_seed
+                .iter()
+                .enumerate()
+                .map(|(s, data)| {
+                    train_full_batch(opts.build_filter(fname), data, &opts.train_config(s as u64))
+                        .test_metric
+                })
+                .collect();
+            let mean = sgnn_dense::stats::mean(&per_seed);
+            let std = sgnn_dense::stats::stddev(&per_seed);
+            let min = per_seed.iter().copied().fold(f64::MAX, f64::min);
+            let max = per_seed.iter().copied().fold(f64::MIN, f64::max);
+            let _ = writeln!(
+                out,
+                "  {:<12} mean={:.4} std={:.4} min={:.4} max={:.4}",
+                fname, mean, std, min, max
+            );
+            rows.push(Row {
+                dataset: dname.clone(),
+                filter: fname.clone(),
+                per_seed,
+                mean,
+                std,
+                min,
+                max,
+            });
+        }
+    }
+    save_json(opts, "fig4", &rows);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variance_study_reports_spread() {
+        let mut opts = Opts::tiny();
+        opts.datasets = vec!["cora".into()];
+        opts.filters = vec!["PPR".into()];
+        opts.seeds = 2;
+        opts.epochs = 10;
+        let out = run(&opts);
+        assert!(out.contains("std="));
+        assert!(out.contains("min="));
+    }
+}

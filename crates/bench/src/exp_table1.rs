@@ -1,0 +1,69 @@
+//! Table 1: the filter taxonomy, with *measured* propagation-hop counts on a
+//! sample graph appended to the asymptotic complexities.
+
+use std::fmt::Write as _;
+
+use sgnn_core::{taxonomy::taxonomy, PropCtx};
+use sgnn_dense::rng as drng;
+use sgnn_sparse::PropMatrix;
+
+use crate::harness::Opts;
+
+/// Renders the taxonomy table.
+pub fn run(opts: &Opts) -> String {
+    let data = opts.load_dataset("cora", 0);
+    let pm = PropMatrix::new(&data.graph, 0.5);
+    let x = drng::randn_mat(pm.n(), 8, 1.0, &mut drng::seeded(0));
+
+    let mut out = String::new();
+    let _ = writeln!(out, "== Table 1: taxonomy of spectral filters (K = {}) ==", opts.hops);
+    let _ = writeln!(
+        out,
+        "{:<12} {:<9} {:<34} {:<14} {:<10} {:>6} {:>6}",
+        "filter", "type", "g(L)", "time", "memory", "hops", "terms"
+    );
+    for row in taxonomy() {
+        let filter = opts.build_filter(row.filter);
+        let ctx = PropCtx::forward(&pm);
+        let terms = filter.propagate(&ctx, &x);
+        let total_terms: usize = terms.iter().map(Vec::len).sum();
+        let _ = writeln!(
+            out,
+            "{:<12} {:<9} {:<34} {:<14} {:<10} {:>6} {:>6}",
+            row.filter,
+            row.kind.to_string(),
+            truncate(row.function, 34),
+            row.time,
+            row.memory,
+            ctx.hops_used(),
+            total_terms,
+        );
+    }
+    out
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.chars().count() <= n {
+        s.to_string()
+    } else {
+        let cut: String = s.chars().take(n - 1).collect();
+        format!("{cut}…")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_lists_all_filters_with_hop_counts() {
+        let out = run(&Opts::tiny());
+        for name in sgnn_core::all_filter_names() {
+            assert!(out.contains(name), "missing {name}");
+        }
+        // Bernstein executes O(K²) hops — visibly more than K.
+        let bern_line = out.lines().find(|l| l.starts_with("Bernstein")).unwrap();
+        let hops: usize = bern_line.split_whitespace().rev().nth(1).unwrap().parse().unwrap();
+        assert!(hops > 4, "Bernstein hops {hops}");
+    }
+}

@@ -1,0 +1,112 @@
+//! Tables 5 and 10: filter effectiveness under full-batch and mini-batch
+//! training across the dataset suite.
+
+use sgnn_train::{train_full_batch, train_mini_batch};
+
+use crate::harness::{
+    aggregate, estimate_fb_device_bytes, filter_sets, oom_row, render_table, save_json,
+    AggregateRow, Opts,
+};
+
+/// Default dataset lineup for the effectiveness tables (every size class and
+/// both homophily regimes; pokec represents the large tier at bench scale).
+pub fn default_datasets() -> Vec<&'static str> {
+    vec![
+        "cora",
+        "citeseer",
+        "pubmed",
+        "minesweeper",
+        "tolokers",
+        "chameleon",
+        "squirrel",
+        "actor",
+        "roman-empire",
+        "amazon-ratings",
+        "ogbn-arxiv",
+        "penn94",
+        "genius",
+        "pokec",
+    ]
+}
+
+/// Runs the effectiveness sweep for one scheme (`"FB"` or `"MB"`).
+pub fn run_scheme(opts: &Opts, scheme: &str) -> String {
+    let datasets = opts.dataset_names(&default_datasets());
+    let filters = match scheme {
+        "MB" => opts.filter_names(&filter_sets::mb_compatible()),
+        _ => opts.filter_names(&filter_sets::all()),
+    };
+    let mut rows: Vec<AggregateRow> = Vec::new();
+    for dname in &datasets {
+        let mut per_filter: Vec<Vec<sgnn_train::TrainReport>> =
+            vec![Vec::new(); filters.len()];
+        let mut oom: Vec<bool> = vec![false; filters.len()];
+        for seed in 0..opts.seeds {
+            let data = opts.load_dataset(dname, seed as u64);
+            for (fi, fname) in filters.iter().enumerate() {
+                if oom[fi] {
+                    continue;
+                }
+                let filter = opts.build_filter(fname);
+                if scheme == "FB" {
+                    let est = estimate_fb_device_bytes(
+                        filter.as_ref(),
+                        data.nodes(),
+                        data.edges(),
+                        data.features.cols(),
+                        opts.hidden,
+                        data.num_classes,
+                    );
+                    if est > opts.device_budget {
+                        oom[fi] = true;
+                        continue;
+                    }
+                    per_filter[fi].push(train_full_batch(filter, &data, &opts.train_config(seed as u64)));
+                } else {
+                    per_filter[fi].push(train_mini_batch(filter, &data, &opts.train_config(seed as u64)));
+                }
+            }
+        }
+        for (fi, fname) in filters.iter().enumerate() {
+            if oom[fi] || per_filter[fi].is_empty() {
+                rows.push(oom_row(fname, dname, scheme));
+            } else {
+                rows.push(aggregate(&per_filter[fi]));
+            }
+        }
+    }
+    let name = if scheme == "FB" { "table5" } else { "table10" };
+    save_json(opts, name, &rows);
+    let title = if scheme == "FB" {
+        "Table 5: full-batch effectiveness"
+    } else {
+        "Table 10: mini-batch effectiveness"
+    };
+    render_table(title, &rows, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fb_and_mb_sweeps_produce_rows_for_each_pair() {
+        let mut opts = Opts::tiny();
+        opts.datasets = vec!["cora".into()];
+        opts.filters = vec!["PPR".into(), "Chebyshev".into()];
+        let fb = run_scheme(&opts, "FB");
+        assert!(fb.contains("PPR") && fb.contains("Chebyshev"));
+        let mb = run_scheme(&opts, "MB");
+        assert!(mb.contains("PPR") && mb.contains("MB"));
+    }
+
+    #[test]
+    fn tiny_device_budget_triggers_oom_rows() {
+        let mut opts = Opts::tiny();
+        opts.datasets = vec!["cora".into()];
+        opts.filters = vec!["OptBasis".into()];
+        opts.device_budget = 1; // everything OOMs
+        let fb = run_scheme(&opts, "FB");
+        assert!(fb.contains("(OOM)"), "{fb}");
+    }
+}

@@ -1,0 +1,79 @@
+//! Tables 9 and 11: time and memory efficiency of full-batch and mini-batch
+//! training on medium/large datasets.
+
+use sgnn_train::{train_full_batch, train_mini_batch};
+
+use crate::harness::{
+    aggregate, estimate_fb_device_bytes, filter_sets, oom_row, render_table, save_json,
+    AggregateRow, Opts,
+};
+
+/// Medium and large datasets used by the efficiency tables.
+pub fn default_datasets() -> Vec<&'static str> {
+    vec!["flickr", "penn94", "ogbn-arxiv", "genius", "pokec", "snap-patents"]
+}
+
+/// Runs the efficiency sweep for one scheme (`"FB"` → Table 9, `"MB"` →
+/// Table 11).
+pub fn run_scheme(opts: &Opts, scheme: &str) -> String {
+    let datasets = opts.dataset_names(&default_datasets());
+    let filters = match scheme {
+        "MB" => opts.filter_names(&filter_sets::mb_compatible()),
+        _ => opts.filter_names(&filter_sets::all()),
+    };
+    let mut rows: Vec<AggregateRow> = Vec::new();
+    for dname in &datasets {
+        let data = opts.load_dataset(dname, 0);
+        for fname in &filters {
+            let filter = opts.build_filter(fname);
+            if scheme == "FB" {
+                let est = estimate_fb_device_bytes(
+                    filter.as_ref(),
+                    data.nodes(),
+                    data.edges(),
+                    data.features.cols(),
+                    opts.hidden,
+                    data.num_classes,
+                );
+                if est > opts.device_budget {
+                    rows.push(oom_row(fname, dname, "FB"));
+                    continue;
+                }
+                let mut cfg = opts.train_config(0);
+                cfg.patience = 0; // efficiency runs use the full epoch budget
+                cfg.epochs = opts.epochs.min(20);
+                rows.push(aggregate(&[train_full_batch(filter, &data, &cfg)]));
+            } else {
+                let mut cfg = opts.train_config(0);
+                cfg.patience = 0;
+                cfg.epochs = opts.epochs.min(20);
+                rows.push(aggregate(&[train_mini_batch(filter, &data, &cfg)]));
+            }
+        }
+    }
+    let name = if scheme == "FB" { "table9" } else { "table11" };
+    save_json(opts, name, &rows);
+    let title = if scheme == "FB" {
+        "Table 9: full-batch efficiency"
+    } else {
+        "Table 11: mini-batch efficiency (precompute separated)"
+    };
+    render_table(title, &rows, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_rows_carry_timings() {
+        let mut opts = Opts::tiny();
+        opts.datasets = vec!["cora".into()];
+        opts.filters = vec!["PPR".into()];
+        opts.epochs = 5;
+        let fb = run_scheme(&opts, "FB");
+        assert!(fb.contains("PPR"));
+        let mb = run_scheme(&opts, "MB");
+        assert!(mb.contains("pre(s)"));
+    }
+}

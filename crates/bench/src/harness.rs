@@ -1,0 +1,291 @@
+//! Shared experiment plumbing: options, dataset/filter selection, multi-seed
+//! aggregation, table rendering, and JSON persistence.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use serde::Serialize;
+use sgnn_core::{make_filter, SpectralFilter};
+use sgnn_data::{dataset_spec, Dataset, GenScale};
+use sgnn_dense::stats::{mean, stddev};
+use sgnn_train::{TrainConfig, TrainReport};
+
+/// Command-line options shared by all experiments.
+#[derive(Clone, Debug)]
+pub struct Opts {
+    pub scale: GenScale,
+    pub seeds: usize,
+    pub epochs: usize,
+    pub hops: usize,
+    pub hidden: usize,
+    /// Restrict to these filters (empty = experiment default).
+    pub filters: Vec<String>,
+    /// Restrict to these datasets (empty = experiment default).
+    pub datasets: Vec<String>,
+    /// Modeled device budget in bytes for OOM detection (the paper's A30
+    /// has 24 GiB; the default scales that to the bench-scale graphs).
+    pub device_budget: usize,
+    /// Write raw JSON rows under `results/`.
+    pub json: bool,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Self {
+            scale: GenScale::Bench,
+            seeds: 3,
+            epochs: 60,
+            hops: 10,
+            hidden: 64,
+            filters: Vec::new(),
+            datasets: Vec::new(),
+            device_budget: 2 << 30,
+            json: false,
+        }
+    }
+}
+
+impl Opts {
+    /// Quick variant for integration tests: tiny graphs, one seed.
+    pub fn tiny() -> Self {
+        Self { scale: GenScale::Tiny, seeds: 1, epochs: 25, hops: 4, hidden: 32, ..Self::default() }
+    }
+
+    /// The training configuration for seed `s`.
+    pub fn train_config(&self, seed: u64) -> TrainConfig {
+        TrainConfig {
+            hops: self.hops,
+            hidden: self.hidden,
+            epochs: self.epochs,
+            patience: (self.epochs / 3).max(10),
+            seed,
+            ..TrainConfig::default()
+        }
+    }
+
+    /// Resolves the filter list (explicit selection or the given default).
+    pub fn filter_names(&self, default: &[&str]) -> Vec<String> {
+        if self.filters.is_empty() {
+            default.iter().map(|s| s.to_string()).collect()
+        } else {
+            self.filters.clone()
+        }
+    }
+
+    /// Resolves the dataset list.
+    pub fn dataset_names(&self, default: &[&str]) -> Vec<String> {
+        if self.datasets.is_empty() {
+            default.iter().map(|s| s.to_string()).collect()
+        } else {
+            self.datasets.clone()
+        }
+    }
+
+    /// Generates one dataset at the selected scale.
+    pub fn load_dataset(&self, name: &str, seed: u64) -> Dataset {
+        dataset_spec(name)
+            .unwrap_or_else(|| panic!("unknown dataset {name}"))
+            .generate(self.scale, seed)
+    }
+
+    /// Builds a filter with the configured hop count.
+    pub fn build_filter(&self, name: &str) -> Arc<dyn SpectralFilter> {
+        make_filter(name, self.hops).unwrap_or_else(|| panic!("unknown filter {name}"))
+    }
+}
+
+/// Mean ± std of the test metric over seeds, with efficiency means.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct AggregateRow {
+    pub filter: String,
+    pub dataset: String,
+    pub scheme: String,
+    pub metric_mean: f64,
+    pub metric_std: f64,
+    pub precompute_s: f64,
+    pub train_epoch_s: f64,
+    pub infer_s: f64,
+    pub device_bytes: usize,
+    pub ram_bytes: usize,
+    pub oom: bool,
+}
+
+/// Aggregates per-seed reports into one row.
+pub fn aggregate(reports: &[TrainReport]) -> AggregateRow {
+    let metrics: Vec<f64> = reports.iter().map(|r| r.test_metric).collect();
+    let first = &reports[0];
+    AggregateRow {
+        filter: first.filter.clone(),
+        dataset: first.dataset.clone(),
+        scheme: first.scheme.clone(),
+        metric_mean: mean(&metrics),
+        metric_std: stddev(&metrics),
+        precompute_s: mean(&reports.iter().map(|r| r.precompute_s).collect::<Vec<_>>()),
+        train_epoch_s: mean(&reports.iter().map(|r| r.train_epoch_s).collect::<Vec<_>>()),
+        infer_s: mean(&reports.iter().map(|r| r.infer_s).collect::<Vec<_>>()),
+        device_bytes: reports.iter().map(|r| r.device_bytes).max().unwrap_or(0),
+        ram_bytes: reports.iter().map(|r| r.ram_bytes).max().unwrap_or(0),
+        oom: false,
+    }
+}
+
+/// A row marking a run that exceeded the modeled device budget.
+pub fn oom_row(filter: &str, dataset: &str, scheme: &str) -> AggregateRow {
+    AggregateRow {
+        filter: filter.into(),
+        dataset: dataset.into(),
+        scheme: scheme.into(),
+        oom: true,
+        ..Default::default()
+    }
+}
+
+/// Renders aggregate rows grouped per dataset into a fixed-width table.
+pub fn render_table(title: &str, rows: &[AggregateRow], show_efficiency: bool) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    if show_efficiency {
+        let _ = writeln!(
+            out,
+            "{:<12} {:<16} {:<3} {:>9} {:>8} {:>10} {:>10} {:>12} {:>12}",
+            "filter", "dataset", "sch", "metric", "±std", "pre(s)", "epoch(s)", "device", "ram"
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "{:<12} {:<16} {:<3} {:>9} {:>8}",
+            "filter", "dataset", "sch", "metric", "±std"
+        );
+    }
+    for r in rows {
+        if r.oom {
+            let _ = writeln!(out, "{:<12} {:<16} {:<3}     (OOM)", r.filter, r.dataset, r.scheme);
+            continue;
+        }
+        if show_efficiency {
+            let _ = writeln!(
+                out,
+                "{:<12} {:<16} {:<3} {:>9.4} {:>8.4} {:>10.4} {:>10.4} {:>12} {:>12}",
+                r.filter,
+                r.dataset,
+                r.scheme,
+                r.metric_mean,
+                r.metric_std,
+                r.precompute_s,
+                r.train_epoch_s,
+                sgnn_train::memory::fmt_bytes(r.device_bytes),
+                sgnn_train::memory::fmt_bytes(r.ram_bytes),
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "{:<12} {:<16} {:<3} {:>9.4} {:>8.4}",
+                r.filter, r.dataset, r.scheme, r.metric_mean, r.metric_std
+            );
+        }
+    }
+    out
+}
+
+/// Persists rows as JSON under `results/<name>.json` when enabled.
+pub fn save_json<T: Serialize>(opts: &Opts, name: &str, rows: &T) {
+    if !opts.json {
+        return;
+    }
+    let dir = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create results/: {e}");
+        return;
+    }
+    match serde_json::to_string_pretty(rows) {
+        Ok(s) => {
+            if let Err(e) = std::fs::write(dir.join(format!("{name}.json")), s) {
+                eprintln!("warning: cannot write {name}.json: {e}");
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize {name}: {e}"),
+    }
+}
+
+/// Predicts the device-memory-model bytes of one full-batch training step
+/// *before* running it, so the harness can mark OOM rows (as the paper's
+/// Tables 5/9 do) instead of exhausting the machine.
+///
+/// Accounts for the graph operator, input attributes, the filter's saved
+/// basis terms, MLP activations/gradients, and parameters — the same items
+/// [`sgnn_train::memory::DeviceMeter`] measures.
+pub fn estimate_fb_device_bytes(
+    filter: &dyn sgnn_core::SpectralFilter,
+    n: usize,
+    m_directed: usize,
+    f_in: usize,
+    hidden: usize,
+    classes: usize,
+) -> usize {
+    let spec = filter.spec(hidden);
+    let terms = spec.total_terms().max(1);
+    let f32b = 4usize;
+    let graph = (m_directed + n) * 12; // CSR indptr + indices + values
+    let input = n * f_in * f32b;
+    // φ0 output + grad, saved filter terms, filter output + grad, logits.
+    let activations = n * hidden * f32b * (2 + terms + 2) + n * classes * f32b * 2;
+    let params = (f_in * hidden + hidden * classes + terms) * f32b * 4; // value+grad+Adam m,v
+    (graph + input + activations + params) * 13 / 10
+}
+
+/// Canonical filter subsets used by the experiments.
+pub mod filter_sets {
+    /// All 27 filters.
+    pub fn all() -> Vec<&'static str> {
+        sgnn_core::all_filter_names()
+    }
+
+    /// Mini-batch-compatible subset (Table 10's rows).
+    pub fn mb_compatible() -> Vec<&'static str> {
+        all()
+            .into_iter()
+            .filter(|n| sgnn_core::make_filter(n, 2).unwrap().mb_compatible())
+            .collect()
+    }
+
+    /// Representative pick across the three types (used by figure sweeps).
+    pub fn representatives() -> Vec<&'static str> {
+        vec!["Identity", "Linear", "Impulse", "PPR", "Monomial", "VarMonomial", "Chebyshev", "Jacobi", "FAGNN", "FiGURe"]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_computes_mean_and_std() {
+        let mk = |m: f64| TrainReport {
+            filter: "PPR".into(),
+            dataset: "cora".into(),
+            scheme: "FB".into(),
+            test_metric: m,
+            ..Default::default()
+        };
+        let row = aggregate(&[mk(0.8), mk(0.9)]);
+        assert!((row.metric_mean - 0.85).abs() < 1e-12);
+        assert!(row.metric_std > 0.0);
+        assert!(!row.oom);
+    }
+
+    #[test]
+    fn render_marks_oom() {
+        let rows = vec![oom_row("OptBasis", "pokec", "FB")];
+        let table = render_table("t", &rows, true);
+        assert!(table.contains("(OOM)"));
+    }
+
+    #[test]
+    fn filter_sets_are_consistent() {
+        assert_eq!(filter_sets::all().len(), 27);
+        assert_eq!(filter_sets::mb_compatible().len(), 21);
+        for f in filter_sets::representatives() {
+            assert!(filter_sets::all().contains(&f), "{f}");
+        }
+    }
+}

@@ -1,0 +1,637 @@
+//! Differentiable application of spectral filters.
+//!
+//! [`FilterModule`] owns a filter's trainable parameters and provides the two
+//! application paths of the benchmark:
+//!
+//! * **Full-batch** ([`FilterModule::apply_fb`]) — a single generic
+//!   [`CustomOp`] whose forward materializes the basis terms and combines
+//!   them with the current `θ`/`γ`, and whose backward (a) takes inner
+//!   products of the saved terms for `θ`/`γ` gradients and (b) re-runs the
+//!   propagation on the **transposed** operator to push the gradient through
+//!   the graph computation (valid because every basis term is linear in the
+//!   input signal). Filters whose basis itself contains trainable
+//!   parameters (GIN's `VarLinear`, `AdaGNN`, `Favard`) override
+//!   [`SpectralFilter::apply_symbolic`] and build their recurrence from
+//!   primitive tape ops instead, getting exact gradients.
+//! * **Mini-batch** ([`FilterModule::precompute`] +
+//!   [`FilterModule::combine_batch`]) — the paper's decoupled scheme: basis
+//!   terms are computed once on raw attributes ("CPU"), stored in RAM, and
+//!   each training step recombines gathered batch rows with the learnable
+//!   coefficients on the tape ("GPU").
+
+use std::sync::Arc;
+
+use sgnn_autograd::{CustomOp, NodeId, ParamId, ParamStore, Tape};
+use sgnn_autograd::param::ParamGroup;
+use sgnn_dense::{matmul, DMat};
+use sgnn_sparse::PropMatrix;
+
+use crate::filter::{ResponseParams, SpectralFilter};
+use crate::spec::{FilterSpec, Fusion, PropCtx, ThetaSpec};
+
+/// Concrete coefficient values for one application of a filter.
+#[derive(Clone, Debug)]
+pub enum ThetaValues {
+    /// One scalar per term.
+    Shared(Vec<f32>),
+    /// `(num_terms × F)` per-feature coefficients.
+    PerFeature(DMat),
+}
+
+/// All coefficient values: per-channel `θ` plus channel weights `γ`.
+#[derive(Clone, Debug)]
+pub struct CoeffValues {
+    pub theta: Vec<ThetaValues>,
+    pub gamma: Vec<f32>,
+}
+
+impl CoeffValues {
+    /// Values at initialization, straight from the spec.
+    pub fn initial(spec: &FilterSpec) -> Self {
+        let theta = spec
+            .channels
+            .iter()
+            .map(|c| match &c.theta {
+                ThetaSpec::PerFeature { init } => ThetaValues::PerFeature(init.clone()),
+                other => ThetaValues::Shared(other.initial_coefficients()),
+            })
+            .collect();
+        let gamma = match &spec.fusion {
+            Fusion::FixedSum(w) | Fusion::LearnableSum(w) => w.clone(),
+            Fusion::Concat => vec![1.0; spec.channels.len()],
+        };
+        Self { theta, gamma }
+    }
+
+    /// Per-channel effective coefficients averaged over features — the form
+    /// consumed by frequency-response evaluation.
+    pub fn to_response_params(&self) -> ResponseParams {
+        let theta = self
+            .theta
+            .iter()
+            .map(|t| match t {
+                ThetaValues::Shared(v) => v.clone(),
+                ThetaValues::PerFeature(m) => {
+                    let f = m.cols().max(1);
+                    (0..m.rows()).map(|k| m.row(k).iter().sum::<f32>() / f as f32).collect()
+                }
+            })
+            .collect();
+        ResponseParams { gamma: self.gamma.clone(), theta, extra: Vec::new() }
+    }
+}
+
+/// Combines one channel's terms with its coefficient values.
+pub fn combine_channel(terms: &[DMat], theta: &ThetaValues) -> DMat {
+    match theta {
+        ThetaValues::Shared(c) => {
+            assert_eq!(c.len(), terms.len(), "one coefficient per term");
+            let mut acc = terms[0].scaled(c[0]);
+            for (t, &cv) in terms.iter().zip(c).skip(1) {
+                acc.axpy(cv, t);
+            }
+            acc
+        }
+        ThetaValues::PerFeature(m) => {
+            assert_eq!(m.rows(), terms.len(), "one coefficient row per term");
+            let f = terms[0].cols();
+            assert_eq!(m.cols(), f, "per-feature width mismatch");
+            let mut acc = DMat::zeros(terms[0].rows(), f);
+            for (k, t) in terms.iter().enumerate() {
+                let row = m.row(k);
+                for r in 0..t.rows() {
+                    for ((a, &tv), &cv) in acc.row_mut(r).iter_mut().zip(t.row(r)).zip(row) {
+                        *a += tv * cv;
+                    }
+                }
+            }
+            acc
+        }
+    }
+}
+
+/// Eagerly combines all channels' terms into the filter output.
+pub fn combine_eager(spec: &FilterSpec, terms: &[Vec<DMat>], cv: &CoeffValues) -> DMat {
+    assert_eq!(terms.len(), spec.channels.len(), "one term group per channel");
+    let outs: Vec<DMat> =
+        terms.iter().zip(&cv.theta).map(|(t, th)| combine_channel(t, th)).collect();
+    match &spec.fusion {
+        Fusion::FixedSum(_) | Fusion::LearnableSum(_) => {
+            let mut acc = outs[0].scaled(cv.gamma[0]);
+            for (o, &g) in outs.iter().zip(&cv.gamma).skip(1) {
+                acc.axpy(g, o);
+            }
+            acc
+        }
+        Fusion::Concat => {
+            let refs: Vec<&DMat> = outs.iter().collect();
+            DMat::hcat(&refs)
+        }
+    }
+}
+
+/// Parameter handles created for one filter instance.
+#[derive(Clone, Debug)]
+pub struct ParamHandles {
+    /// Per-channel `θ` parameter (None for fixed channels). Shared/Transformed
+    /// schemes store a column vector; PerFeature stores the full matrix.
+    pub theta: Vec<Option<ParamId>>,
+    /// Channel weights `γ` when learnable.
+    pub gamma: Option<ParamId>,
+    /// Extra basis parameters, in spec order.
+    pub extra: Vec<ParamId>,
+}
+
+/// A filter bound to its trainable parameters.
+pub struct FilterModule {
+    filter: Arc<dyn SpectralFilter>,
+    spec: FilterSpec,
+    handles: ParamHandles,
+}
+
+impl FilterModule {
+    /// Creates the filter's parameters in `store` for input width
+    /// `in_features` and returns the bound module.
+    pub fn new(filter: Arc<dyn SpectralFilter>, in_features: usize, store: &mut ParamStore) -> Self {
+        let spec = filter.spec(in_features);
+        spec.validate();
+        let mut theta = Vec::with_capacity(spec.channels.len());
+        for ch in &spec.channels {
+            let id = match &ch.theta {
+                ThetaSpec::Fixed(_) => None,
+                ThetaSpec::Learnable { init } | ThetaSpec::Transformed { init, .. } => Some(store.add(
+                    format!("{}.{}.theta", filter.name(), ch.name),
+                    DMat::from_vec(init.len(), 1, init.clone()),
+                    ParamGroup::Filter,
+                )),
+                ThetaSpec::PerFeature { init } => Some(store.add(
+                    format!("{}.{}.theta", filter.name(), ch.name),
+                    init.clone(),
+                    ParamGroup::Filter,
+                )),
+            };
+            theta.push(id);
+        }
+        let gamma = match &spec.fusion {
+            Fusion::LearnableSum(init) => Some(store.add(
+                format!("{}.gamma", filter.name()),
+                DMat::from_vec(init.len(), 1, init.clone()),
+                ParamGroup::Filter,
+            )),
+            _ => None,
+        };
+        let extra = spec
+            .extra
+            .iter()
+            .map(|e| {
+                store.add(format!("{}.{}", filter.name(), e.name), e.init.clone(), ParamGroup::Filter)
+            })
+            .collect();
+        Self { filter, spec, handles: ParamHandles { theta, gamma, extra } }
+    }
+
+    /// The wrapped filter.
+    pub fn filter(&self) -> &Arc<dyn SpectralFilter> {
+        &self.filter
+    }
+
+    /// The bound spec.
+    pub fn spec(&self) -> &FilterSpec {
+        &self.spec
+    }
+
+    /// Parameter handles (for hyperparameter groups, SPSA, inspection).
+    pub fn handles(&self) -> &ParamHandles {
+        &self.handles
+    }
+
+    /// Reads the current coefficient values from the store.
+    pub fn coeff_values(&self, store: &ParamStore) -> CoeffValues {
+        let theta = self
+            .spec
+            .channels
+            .iter()
+            .zip(&self.handles.theta)
+            .map(|(ch, id)| match (&ch.theta, id) {
+                (ThetaSpec::Fixed(c), _) => ThetaValues::Shared(c.clone()),
+                (ThetaSpec::Learnable { .. }, Some(pid)) => {
+                    ThetaValues::Shared(store.value(*pid).data().to_vec())
+                }
+                (ThetaSpec::Transformed { transform, .. }, Some(pid)) => {
+                    ThetaValues::Shared(matmul::matmul(transform, store.value(*pid)).into_vec())
+                }
+                (ThetaSpec::PerFeature { .. }, Some(pid)) => {
+                    ThetaValues::PerFeature(store.value(*pid).clone())
+                }
+                _ => unreachable!("learnable channel without parameter"),
+            })
+            .collect();
+        let gamma = match (&self.spec.fusion, &self.handles.gamma) {
+            (Fusion::FixedSum(w), _) => w.clone(),
+            (Fusion::LearnableSum(_), Some(pid)) => store.value(*pid).data().to_vec(),
+            (Fusion::Concat, _) => vec![1.0; self.spec.channels.len()],
+            _ => unreachable!("learnable fusion without parameter"),
+        };
+        CoeffValues { theta, gamma }
+    }
+
+    /// Current frequency-response parameters (for spectral analysis of a
+    /// trained filter).
+    pub fn response_params(&self, store: &ParamStore) -> ResponseParams {
+        let mut rp = self.coeff_values(store).to_response_params();
+        rp.extra =
+            self.handles.extra.iter().map(|&id| store.value(id).data().to_vec()).collect();
+        rp
+    }
+
+    /// Output feature width for input width `f` (grows under concat fusion).
+    pub fn out_features(&self, f: usize) -> usize {
+        match self.spec.fusion {
+            Fusion::Concat => f * self.spec.channels.len(),
+            _ => f,
+        }
+    }
+
+    // ----- full-batch -------------------------------------------------------
+
+    /// Applies the filter differentiably on a full-batch tape.
+    pub fn apply_fb(
+        &self,
+        tape: &mut Tape,
+        pm: &Arc<PropMatrix>,
+        x: NodeId,
+        store: &ParamStore,
+    ) -> NodeId {
+        if let Some(node) = self.filter.apply_symbolic(tape, pm, x, &self.handles, store) {
+            return node;
+        }
+        debug_assert!(
+            self.spec.extra.is_empty(),
+            "filters with basis parameters must implement apply_symbolic"
+        );
+        // Declare inputs: x, then learnable θ per channel, then γ.
+        let mut inputs = vec![x];
+        let mut theta_slots = Vec::with_capacity(self.spec.channels.len());
+        for id in &self.handles.theta {
+            theta_slots.push(id.map(|pid| {
+                let node = tape.param(store, pid);
+                inputs.push(node);
+                inputs.len() - 1
+            }));
+        }
+        let gamma_slot = self.handles.gamma.map(|pid| {
+            let node = tape.param(store, pid);
+            inputs.push(node);
+            inputs.len() - 1
+        });
+        // Forward.
+        let ctx = PropCtx::forward(pm);
+        let terms = self.filter.propagate(&ctx, tape.value(x));
+        debug_assert_terms_match(&self.spec, &terms);
+        let cv = self.coeff_values(store);
+        let value = combine_eager(&self.spec, &terms, &cv);
+        let op = FbFilterOp {
+            filter: Arc::clone(&self.filter),
+            pm: Arc::clone(pm),
+            spec: self.spec.clone(),
+            terms,
+            theta_slots,
+            gamma_slot,
+        };
+        tape.custom(inputs, value, Box::new(op))
+    }
+
+    // ----- mini-batch -------------------------------------------------------
+
+    /// Mini-batch precomputation: materializes the basis terms on raw
+    /// attributes (the CPU stage of the decoupled scheme). The returned
+    /// matrices are what the scheme keeps resident in RAM.
+    pub fn precompute(&self, pm: &PropMatrix, x: &DMat) -> Vec<Vec<DMat>> {
+        let ctx = PropCtx::forward(pm);
+        let terms = self.filter.propagate(&ctx, x);
+        debug_assert_terms_match(&self.spec, &terms);
+        terms
+    }
+
+    /// Recombines gathered batch rows of the precomputed terms with the
+    /// current learnable coefficients, on the tape (the GPU stage).
+    pub fn combine_batch(
+        &self,
+        tape: &mut Tape,
+        batch_terms: &[Vec<DMat>],
+        store: &ParamStore,
+    ) -> NodeId {
+        assert_eq!(batch_terms.len(), self.spec.channels.len(), "terms/channels mismatch");
+        let mut channel_outs = Vec::with_capacity(batch_terms.len());
+        for ((ch, terms), theta_id) in
+            self.spec.channels.iter().zip(batch_terms).zip(&self.handles.theta)
+        {
+            let term_nodes: Vec<NodeId> =
+                terms.iter().map(|t| tape.constant(t.clone())).collect();
+            let out = match (&ch.theta, theta_id) {
+                (ThetaSpec::Fixed(c), _) => {
+                    let coeffs = tape.constant(DMat::from_vec(c.len(), 1, c.clone()));
+                    tape.lin_comb(&term_nodes, coeffs)
+                }
+                (ThetaSpec::Learnable { .. }, Some(pid)) => {
+                    let theta = tape.param(store, *pid);
+                    tape.lin_comb(&term_nodes, theta)
+                }
+                (ThetaSpec::Transformed { transform, .. }, Some(pid)) => {
+                    let theta = tape.param(store, *pid);
+                    let m = tape.constant(transform.clone());
+                    let coeffs = tape.matmul(m, theta);
+                    tape.lin_comb(&term_nodes, coeffs)
+                }
+                (ThetaSpec::PerFeature { .. }, Some(pid)) => {
+                    let theta = tape.param(store, *pid);
+                    let mut acc: Option<NodeId> = None;
+                    for (k, &tn) in term_nodes.iter().enumerate() {
+                        let row = tape.gather_rows(theta, Arc::new(vec![k as u32]));
+                        let scaled = tape.col_scale(tn, row);
+                        acc = Some(match acc {
+                            None => scaled,
+                            Some(a) => tape.add(a, scaled),
+                        });
+                    }
+                    acc.expect("per-feature channel with no terms")
+                }
+                _ => unreachable!("learnable channel without parameter"),
+            };
+            channel_outs.push(out);
+        }
+        match &self.spec.fusion {
+            Fusion::FixedSum(w) => {
+                let coeffs = tape.constant(DMat::from_vec(w.len(), 1, w.clone()));
+                tape.lin_comb(&channel_outs, coeffs)
+            }
+            Fusion::LearnableSum(_) => {
+                let gamma = tape.param(store, self.handles.gamma.expect("gamma param"));
+                tape.lin_comb(&channel_outs, gamma)
+            }
+            Fusion::Concat => tape.hcat(&channel_outs),
+        }
+    }
+
+    /// Bytes of the precomputed term matrices — the RAM footprint the
+    /// mini-batch scheme trades for device memory.
+    pub fn precompute_bytes(terms: &[Vec<DMat>]) -> usize {
+        terms.iter().flatten().map(DMat::nbytes).sum()
+    }
+}
+
+fn debug_assert_terms_match(spec: &FilterSpec, terms: &[Vec<DMat>]) {
+    debug_assert_eq!(terms.len(), spec.channels.len(), "channel count mismatch");
+    for (ch, t) in spec.channels.iter().zip(terms) {
+        debug_assert_eq!(
+            t.len(),
+            ch.theta.num_terms(),
+            "term count mismatch in channel {}",
+            ch.name
+        );
+    }
+}
+
+/// The generic full-batch filter op (see module docs).
+struct FbFilterOp {
+    filter: Arc<dyn SpectralFilter>,
+    pm: Arc<PropMatrix>,
+    spec: FilterSpec,
+    /// Basis terms saved for the backward pass.
+    terms: Vec<Vec<DMat>>,
+    /// Input-slot index of each channel's θ parameter.
+    theta_slots: Vec<Option<usize>>,
+    /// Input-slot index of γ.
+    gamma_slot: Option<usize>,
+}
+
+impl FbFilterOp {
+    fn coeff_values(&self, inputs: &[&DMat]) -> CoeffValues {
+        let theta = self
+            .spec
+            .channels
+            .iter()
+            .zip(&self.theta_slots)
+            .map(|(ch, slot)| match (&ch.theta, slot) {
+                (ThetaSpec::Fixed(c), _) => ThetaValues::Shared(c.clone()),
+                (ThetaSpec::Learnable { .. }, Some(s)) => {
+                    ThetaValues::Shared(inputs[*s].data().to_vec())
+                }
+                (ThetaSpec::Transformed { transform, .. }, Some(s)) => {
+                    ThetaValues::Shared(matmul::matmul(transform, inputs[*s]).into_vec())
+                }
+                (ThetaSpec::PerFeature { .. }, Some(s)) => ThetaValues::PerFeature(inputs[*s].clone()),
+                _ => unreachable!(),
+            })
+            .collect();
+        let gamma = match (&self.spec.fusion, self.gamma_slot) {
+            (Fusion::FixedSum(w), _) => w.clone(),
+            (Fusion::LearnableSum(_), Some(s)) => inputs[s].data().to_vec(),
+            (Fusion::Concat, _) => vec![1.0; self.spec.channels.len()],
+            _ => unreachable!(),
+        };
+        CoeffValues { theta, gamma }
+    }
+
+    /// The slice of `gout` feeding channel `q` (whole matrix for sum fusion,
+    /// a column block for concat).
+    fn channel_gout(&self, q: usize, gout: &DMat) -> DMat {
+        match self.spec.fusion {
+            Fusion::Concat => {
+                let fw = gout.cols() / self.spec.channels.len();
+                let mut g = DMat::zeros(gout.rows(), fw);
+                for r in 0..gout.rows() {
+                    g.row_mut(r).copy_from_slice(&gout.row(r)[q * fw..(q + 1) * fw]);
+                }
+                g
+            }
+            _ => gout.clone(),
+        }
+    }
+}
+
+impl CustomOp for FbFilterOp {
+    fn name(&self) -> &str {
+        self.filter.name()
+    }
+
+    fn saved_bytes(&self) -> usize {
+        self.terms.iter().flatten().map(DMat::nbytes).sum()
+    }
+
+    fn backward(&self, inputs: &[&DMat], gout: &DMat) -> Vec<Option<DMat>> {
+        let cv = self.coeff_values(inputs);
+        let mut grads: Vec<Option<DMat>> = vec![None; inputs.len()];
+
+        // γ gradient: dγ_q = ⟨channel output, gout⟩.
+        if let Some(s) = self.gamma_slot {
+            let mut gg = DMat::zeros(self.spec.channels.len(), 1);
+            for (q, (terms, th)) in self.terms.iter().zip(&cv.theta).enumerate() {
+                let out_q = combine_channel(terms, th);
+                gg.set(q, 0, out_q.dot(gout) as f32);
+            }
+            grads[s] = Some(gg);
+        }
+
+        // θ gradients.
+        for (q, ((ch, slot), terms)) in
+            self.spec.channels.iter().zip(&self.theta_slots).zip(&self.terms).enumerate()
+        {
+            let Some(s) = slot else { continue };
+            let gq = self.channel_gout(q, gout);
+            let gamma_q = cv.gamma[q];
+            let grad = match &ch.theta {
+                ThetaSpec::Learnable { .. } => {
+                    let mut g = DMat::zeros(terms.len(), 1);
+                    for (k, t) in terms.iter().enumerate() {
+                        g.set(k, 0, gamma_q * t.dot(&gq) as f32);
+                    }
+                    g
+                }
+                ThetaSpec::Transformed { transform, .. } => {
+                    // dc_k = γ ⟨T_k, g⟩; dp = Mᵀ dc.
+                    let mut dc = DMat::zeros(terms.len(), 1);
+                    for (k, t) in terms.iter().enumerate() {
+                        dc.set(k, 0, gamma_q * t.dot(&gq) as f32);
+                    }
+                    matmul::matmul_at_b(transform, &dc)
+                }
+                ThetaSpec::PerFeature { .. } => {
+                    let f = gq.cols();
+                    let mut g = DMat::zeros(terms.len(), f);
+                    for (k, t) in terms.iter().enumerate() {
+                        let row = g.row_mut(k);
+                        for r in 0..t.rows() {
+                            for ((acc, &tv), &gv) in row.iter_mut().zip(t.row(r)).zip(gq.row(r)) {
+                                *acc += gamma_q * tv * gv;
+                            }
+                        }
+                    }
+                    g
+                }
+                ThetaSpec::Fixed(_) => unreachable!(),
+            };
+            grads[*s] = Some(grad);
+        }
+
+        // x gradient: adjoint propagation of the (per-channel) output grad,
+        // recombined with the same coefficients.
+        let ctx = PropCtx::adjoint(&self.pm);
+        let dx = match self.spec.fusion {
+            Fusion::Concat => {
+                let mut acc: Option<DMat> = None;
+                for q in 0..self.spec.channels.len() {
+                    let gq = self.channel_gout(q, gout);
+                    let adj = self.filter.propagate(&ctx, &gq);
+                    let part = combine_channel(&adj[q], &cv.theta[q]);
+                    match &mut acc {
+                        None => acc = Some(part),
+                        Some(a) => a.add_assign_mat(&part),
+                    }
+                }
+                acc.expect("at least one channel")
+            }
+            _ => {
+                let adj = self.filter.propagate(&ctx, gout);
+                combine_eager(&self.spec, &adj, &cv)
+            }
+        };
+        grads[0] = Some(dx);
+        grads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed::{Linear, Ppr};
+    use crate::variable::Chebyshev;
+    use sgnn_dense::rng as drng;
+    use sgnn_sparse::Graph;
+
+    fn setup() -> (Arc<PropMatrix>, DMat) {
+        let g = Graph::from_edges(
+            8,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 0), (0, 4), (2, 6)],
+        );
+        let pm = Arc::new(PropMatrix::new(&g, 0.5));
+        let x = drng::randn_mat(8, 3, 1.0, &mut drng::seeded(3));
+        (pm, x)
+    }
+
+    #[test]
+    fn fb_and_mb_paths_agree_at_init() {
+        let (pm, x) = setup();
+        for filter in [
+            Arc::new(Ppr { hops: 4, alpha: 0.3 }) as Arc<dyn SpectralFilter>,
+            Arc::new(Chebyshev { hops: 4 }),
+        ] {
+            let mut store = ParamStore::new();
+            let module = FilterModule::new(Arc::clone(&filter), x.cols(), &mut store);
+            // FB path.
+            let mut tape = Tape::new(false, 0);
+            let xn = tape.constant(x.clone());
+            let fb = module.apply_fb(&mut tape, &pm, xn, &store);
+            // MB path with full "batch".
+            let terms = module.precompute(&pm, &x);
+            let mut tape2 = Tape::new(false, 0);
+            let mb = module.combine_batch(&mut tape2, &terms, &store);
+            let (a, b) = (tape.value(fb), tape2.value(mb));
+            assert_eq!(a.shape(), b.shape());
+            for (u, v) in a.data().iter().zip(b.data()) {
+                assert!((u - v).abs() < 1e-4, "{}: {u} vs {v}", filter.name());
+            }
+        }
+    }
+
+    #[test]
+    fn fb_gradients_match_finite_differences() {
+        let (pm, x) = setup();
+        let filter: Arc<dyn SpectralFilter> = Arc::new(Chebyshev { hops: 3 });
+        let mut store = ParamStore::new();
+        let w = store.add("w", drng::glorot(3, 3, &mut drng::seeded(9)), ParamGroup::Network);
+        let module = FilterModule::new(Arc::clone(&filter), 3, &mut store);
+        let theta = module.handles().theta[0].unwrap();
+        let target = drng::randn_mat(8, 3, 1.0, &mut drng::seeded(4));
+
+        let build = |store: &ParamStore| {
+            let mut tape = Tape::new(false, 0);
+            let xn = tape.constant(x.clone());
+            let wn = tape.param(store, w);
+            let h = tape.matmul(xn, wn);
+            let f = module.apply_fb(&mut tape, &pm, h, store);
+            let loss = tape.mse(f, target.clone());
+            (tape, loss)
+        };
+        store.zero_grads();
+        let (mut tape, loss) = build(&store);
+        tape.backward(loss, &mut store);
+        let report = sgnn_autograd::gradcheck::check_grads(
+            &mut store,
+            &[w, theta],
+            |s| {
+                let (t, l) = build(s);
+                t.value(l).get(0, 0) as f64
+            },
+            1e-3,
+        );
+        assert!(report.max_rel_err < 5e-3, "max rel err {}", report.max_rel_err);
+    }
+
+    #[test]
+    fn fixed_filter_backward_reaches_input_weights() {
+        let (pm, x) = setup();
+        let filter: Arc<dyn SpectralFilter> = Arc::new(Linear);
+        let mut store = ParamStore::new();
+        let w = store.add("w", drng::glorot(3, 2, &mut drng::seeded(1)), ParamGroup::Network);
+        let module = FilterModule::new(Arc::clone(&filter), 2, &mut store);
+        let mut tape = Tape::new(false, 0);
+        let xn = tape.constant(x.clone());
+        let wn = tape.param(&store, w);
+        let h = tape.matmul(xn, wn);
+        let f = module.apply_fb(&mut tape, &pm, h, &store);
+        let loss = tape.sum(f);
+        tape.backward(loss, &mut store);
+        assert!(store.grad(w).norm() > 0.0, "gradient must pass through the fixed filter");
+    }
+}

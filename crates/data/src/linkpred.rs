@@ -1,0 +1,113 @@
+//! Link-prediction edge sampling (Section 6.1.2 / Figure 6 of the paper).
+//!
+//! For a graph with `m` ground-truth edges the model scores `κ·m` node pairs
+//! (positives plus `κ − 1` negatives per positive), which is what makes
+//! full-batch link prediction prohibitive and forces the mini-batch scheme.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use sgnn_dense::rng as drng;
+use sgnn_sparse::Graph;
+
+/// A labeled set of node pairs.
+#[derive(Clone, Debug, Default)]
+pub struct EdgeSamples {
+    pub pairs: Vec<(u32, u32)>,
+    /// 1.0 for true edges, 0.0 for sampled non-edges.
+    pub labels: Vec<f32>,
+}
+
+impl EdgeSamples {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+/// Link-prediction splits over a graph's edges.
+#[derive(Clone, Debug)]
+pub struct LinkSplits {
+    pub train: EdgeSamples,
+    pub valid: EdgeSamples,
+    pub test: EdgeSamples,
+}
+
+/// Samples positive edges (each undirected edge once) into 80/10/10 splits
+/// and draws `neg_ratio` uniform negatives per positive.
+pub fn link_splits(graph: &Graph, neg_ratio: usize, seed: u64) -> LinkSplits {
+    let mut rng = drng::seeded(seed);
+    let n = graph.nodes() as u32;
+    // Collect each undirected edge once (u < v).
+    let mut pos: Vec<(u32, u32)> = Vec::with_capacity(graph.directed_edges() / 2);
+    for u in 0..graph.nodes() {
+        for &v in graph.neighbors(u) {
+            if (u as u32) < v {
+                pos.push((u as u32, v));
+            }
+        }
+    }
+    drng::shuffle(&mut pos, &mut rng);
+    let nv = (pos.len() / 10).max(1);
+    let (test_pos, rest) = pos.split_at(nv.min(pos.len()));
+    let (valid_pos, train_pos) = rest.split_at(nv.min(rest.len()));
+
+    let build = |positives: &[(u32, u32)], rng: &mut SmallRng| {
+        let mut samples = EdgeSamples {
+            pairs: Vec::with_capacity(positives.len() * (1 + neg_ratio)),
+            labels: Vec::with_capacity(positives.len() * (1 + neg_ratio)),
+        };
+        for &(u, v) in positives {
+            samples.pairs.push((u, v));
+            samples.labels.push(1.0);
+            for _ in 0..neg_ratio {
+                // Uniform negative sampling; the tiny collision probability
+                // with a real edge is standard practice.
+                let a = rng.random_range(0..n);
+                let mut b = rng.random_range(0..n);
+                if a == b {
+                    b = (b + 1) % n;
+                }
+                samples.pairs.push((a, b));
+                samples.labels.push(0.0);
+            }
+        }
+        samples
+    };
+    LinkSplits {
+        train: build(train_pos, &mut rng),
+        valid: build(valid_pos, &mut rng),
+        test: build(test_pos, &mut rng),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_cover_all_positives_once() {
+        let g = Graph::from_edges(30, &(0..29).map(|i| (i as u32, i as u32 + 1)).collect::<Vec<_>>());
+        let s = link_splits(&g, 2, 1);
+        let pos_total = [&s.train, &s.valid, &s.test]
+            .iter()
+            .map(|e| e.labels.iter().filter(|&&l| l == 1.0).count())
+            .sum::<usize>();
+        assert_eq!(pos_total, 29);
+        // κ = 1 + neg_ratio samples per positive.
+        assert_eq!(s.train.len(), s.train.labels.iter().filter(|&&l| l == 1.0).count() * 3);
+    }
+
+    #[test]
+    fn negatives_outnumber_positives_by_ratio() {
+        let g = Graph::from_edges(50, &(0..49).map(|i| (i as u32, i as u32 + 1)).collect::<Vec<_>>());
+        let s = link_splits(&g, 5, 2);
+        let pos = s.test.labels.iter().filter(|&&l| l == 1.0).count();
+        let neg = s.test.labels.iter().filter(|&&l| l == 0.0).count();
+        assert_eq!(neg, 5 * pos);
+    }
+}

@@ -1,0 +1,204 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! The paper's framework explicitly avoids eigendecomposition at graph scale
+//! (Section 2.1), but the *analysis* side of the benchmark needs exact small
+//! spectra: validating Chebyshev-synthesized filter targets, plotting spectral
+//! energy, and testing frequency responses against `U g(Λ) Uᵀ x`. The cyclic
+//! Jacobi method is simple, numerically robust for symmetric matrices, and
+//! entirely adequate for the `n ≤ ~1000` matrices used in those analyses.
+
+use crate::mat::DMat;
+
+/// Result of a symmetric eigendecomposition `A = V · diag(λ) · Vᵀ`.
+pub struct SymEigen {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Column `j` of `vectors` is the eigenvector for `values[j]`.
+    pub vectors: DMat,
+}
+
+/// Decomposes a dense symmetric matrix with cyclic Jacobi rotations.
+///
+/// # Panics
+/// Panics if `a` is not square. Symmetry is assumed; only the upper triangle
+/// drives the rotations but both halves are updated, so mild asymmetry is
+/// averaged away.
+pub fn sym_eigen(a: &DMat) -> SymEigen {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "sym_eigen requires a square matrix");
+    // Work in f64: Jacobi's accumulated rotations are precision-sensitive.
+    let mut m: Vec<f64> = a.data().iter().map(|&x| x as f64).collect();
+    let mut v = vec![0.0f64; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+
+    let off = |m: &[f64]| -> f64 {
+        let mut s = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                s += m[i * n + j] * m[i * n + j];
+            }
+        }
+        s
+    };
+
+    let max_sweeps = 100;
+    let tol = 1e-22 * (1.0 + off(&m));
+    for _ in 0..max_sweeps {
+        if off(&m) <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[p * n + q];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m[p * n + p];
+                let aqq = m[q * n + q];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply the rotation G(p,q,θ) on both sides: m = Gᵀ m G.
+                for k in 0..n {
+                    let mkp = m[k * n + p];
+                    let mkq = m[k * n + q];
+                    m[k * n + p] = c * mkp - s * mkq;
+                    m[k * n + q] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[p * n + k];
+                    let mqk = m[q * n + k];
+                    m[p * n + k] = c * mpk - s * mqk;
+                    m[q * n + k] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[k * n + p];
+                    let vkq = v[k * n + q];
+                    v[k * n + p] = c * vkp - s * vkq;
+                    v[k * n + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Sort eigenpairs ascending.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| m[i * n + i].partial_cmp(&m[j * n + j]).unwrap());
+    let values: Vec<f64> = order.iter().map(|&i| m[i * n + i]).collect();
+    let mut vectors = DMat::zeros(n, n);
+    for (col, &src) in order.iter().enumerate() {
+        for row in 0..n {
+            vectors.set(row, col, v[row * n + src] as f32);
+        }
+    }
+    SymEigen { values, vectors }
+}
+
+impl SymEigen {
+    /// Applies the exact spectral filter `U g(Λ) Uᵀ · x` (Eq. (2) of the paper).
+    ///
+    /// `x` is an `n × F` signal matrix; `g` is the scalar frequency response.
+    pub fn apply_filter(&self, g: impl Fn(f64) -> f64, x: &DMat) -> DMat {
+        let n = self.values.len();
+        assert_eq!(x.rows(), n, "signal length must match spectrum size");
+        // y1 = Uᵀ x
+        let y1 = crate::matmul::matmul_at_b(&self.vectors, x);
+        // y2 = g(Λ) y1
+        let mut y2 = y1;
+        for (i, &lam) in self.values.iter().enumerate() {
+            let gl = g(lam) as f32;
+            y2.row_mut(i).iter_mut().for_each(|v| *v *= gl);
+        }
+        // x* = U y2
+        crate::matmul::matmul(&self.vectors, &y2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matmul::matmul;
+
+    fn reconstruct(e: &SymEigen) -> DMat {
+        let n = e.values.len();
+        let mut lam = DMat::zeros(n, n);
+        for i in 0..n {
+            lam.set(i, i, e.values[i] as f32);
+        }
+        matmul(&matmul(&e.vectors, &lam), &e.vectors.transpose())
+    }
+
+    #[test]
+    fn diagonal_matrix_recovers_entries() {
+        let mut a = DMat::zeros(3, 3);
+        a.set(0, 0, 3.0);
+        a.set(1, 1, -1.0);
+        a.set(2, 2, 2.0);
+        let e = sym_eigen(&a);
+        let got: Vec<f64> = e.values.clone();
+        assert!((got[0] + 1.0).abs() < 1e-8);
+        assert!((got[1] - 2.0).abs() < 1e-8);
+        assert!((got[2] - 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn reconstruction_matches_input() {
+        // A symmetric matrix with known structure.
+        let a = DMat::from_fn(6, 6, |r, c| {
+            let (r, c) = (r.min(c), r.max(c));
+            ((r * 6 + c) % 7) as f32 * 0.3 - 0.8
+        });
+        let e = sym_eigen(&a);
+        let r = reconstruct(&e);
+        for (x, y) in a.data().iter().zip(r.data()) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = DMat::from_fn(5, 5, |r, c| if r == c { 2.0 } else { -0.3 });
+        let e = sym_eigen(&a);
+        let gram = matmul(&e.vectors.transpose(), &e.vectors);
+        for i in 0..5 {
+            for j in 0..5 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((gram.get(i, j) - want).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn identity_filter_is_a_no_op() {
+        let a = DMat::from_fn(4, 4, |r, c| if r == c { 1.0 } else { 0.1 });
+        let e = sym_eigen(&a);
+        let x = DMat::from_fn(4, 2, |r, c| (r + c) as f32);
+        let y = e.apply_filter(|_| 1.0, &x);
+        for (u, v) in x.data().iter().zip(y.data()) {
+            assert!((u - v).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn linear_filter_matches_matrix_application() {
+        // g(λ) = λ  ⇒  filter == multiplication by A itself.
+        let a = DMat::from_fn(5, 5, |r, c| {
+            let (r, c) = (r.min(c), r.max(c));
+            if r == c {
+                1.5
+            } else {
+                0.2 * ((r + c) % 3) as f32
+            }
+        });
+        let e = sym_eigen(&a);
+        let x = DMat::from_fn(5, 3, |r, c| (r as f32 - c as f32) * 0.7);
+        let via_spec = e.apply_filter(|l| l, &x);
+        let direct = matmul(&a, &x);
+        for (u, v) in via_spec.data().iter().zip(direct.data()) {
+            assert!((u - v).abs() < 1e-4, "{u} vs {v}");
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Dense linear-algebra substrate for the spectral GNN benchmark.
+//!
+//! The benchmark has no GPU tensor library to lean on, so this crate provides
+//! the dense building blocks used by every layer of the stack:
+//!
+//! * [`DMat`] — a row-major `f32` matrix used for node representations,
+//!   weights, and gradients,
+//! * a cache-blocked, multi-threaded [`matmul`](matmul::matmul),
+//! * a cyclic-Jacobi [symmetric eigensolver](eigen::sym_eigen) for exact
+//!   small-graph spectra,
+//! * [Chebyshev approximation](cheb::ChebApprox) of scalar functions on an
+//!   interval, used to synthesize exact spectral-filter targets without an
+//!   eigendecomposition,
+//! * seeded [random helpers](rng) (Box–Muller normals, permutations).
+//!
+//! Values are `f32` (matching the single-precision training of the original
+//! study); reductions accumulate in `f64` to keep metrics stable.
+
+pub mod cheb;
+pub mod eigen;
+pub mod mat;
+pub mod matmul;
+pub mod parallel;
+pub mod rng;
+pub mod stats;
+
+pub use cheb::ChebApprox;
+pub use mat::DMat;

@@ -1,0 +1,415 @@
+//! Row-major dense `f32` matrix.
+//!
+//! [`DMat`] is the single dense container used throughout the benchmark for
+//! node-representation matrices (`n × F`), network weights (`F × F'`), and
+//! gradients. It is deliberately simple: a `Vec<f32>` plus a shape, with the
+//! hot kernels (matmul, SpMM) living in dedicated modules.
+
+use std::fmt;
+
+/// A dense row-major matrix of `f32` values.
+///
+/// ```
+/// use sgnn_dense::DMat;
+/// let mut m = DMat::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+/// m.axpy(0.5, &DMat::eye(2));           // m += 0.5·I
+/// assert_eq!(m.get(0, 0), 1.5);
+/// assert_eq!(m.row(1), &[3.0, 4.5]);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct DMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for DMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DMat({}x{})", self.rows, self.cols)?;
+        if self.rows * self.cols <= 36 {
+            for r in 0..self.rows {
+                write!(f, "\n  {:?}", self.row(r))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl DMat {
+    /// An `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// An `rows × cols` matrix with every entry set to `value`.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Builds a matrix from an existing row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length must match shape");
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` for every entry.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Heap bytes held by the value buffer; used by the memory instrumentation.
+    #[inline]
+    pub fn nbytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Entry accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Entry mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// The underlying row-major buffer.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The underlying row-major buffer, mutably.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning the buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Iterator over row slices.
+    pub fn row_iter(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Sets every entry to `v`.
+    pub fn fill(&mut self, v: f32) {
+        self.data.iter_mut().for_each(|x| *x = v);
+    }
+
+    /// Applies `f` to every entry in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        self.data.iter_mut().for_each(|x| *x = f(*x));
+    }
+
+    /// Returns a new matrix with `f` applied to every entry.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// `self += other`.
+    pub fn add_assign_mat(&mut self, other: &DMat) {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in add");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// `self -= other`.
+    pub fn sub_assign_mat(&mut self, other: &DMat) {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in sub");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a -= b;
+        }
+    }
+
+    /// `self += alpha * other` (fused multiply–add over the buffer).
+    pub fn axpy(&mut self, alpha: f32, other: &DMat) {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in axpy");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a = b.mul_add(alpha, *a);
+        }
+    }
+
+    /// Multiplies every entry by `s`.
+    pub fn scale(&mut self, s: f32) {
+        self.data.iter_mut().for_each(|x| *x *= s);
+    }
+
+    /// Returns `self * s` without mutating.
+    pub fn scaled(&self, s: f32) -> Self {
+        self.map(|x| x * s)
+    }
+
+    /// Element-wise product, in place.
+    pub fn hadamard_assign(&mut self, other: &DMat) {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in hadamard");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a *= b;
+        }
+    }
+
+    /// Frobenius inner product `⟨self, other⟩`, accumulated in `f64`.
+    pub fn dot(&self, other: &DMat) -> f64 {
+        assert_eq!(self.shape(), other.shape(), "shape mismatch in dot");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| a as f64 * b as f64)
+            .sum()
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt()
+    }
+
+    /// Largest absolute entry.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> DMat {
+        let mut out = DMat::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Gathers the listed rows into a new matrix (the mini-batch primitive).
+    pub fn gather_rows(&self, idx: &[u32]) -> DMat {
+        let mut out = DMat::zeros(idx.len(), self.cols);
+        for (o, &i) in idx.iter().enumerate() {
+            out.row_mut(o).copy_from_slice(self.row(i as usize));
+        }
+        out
+    }
+
+    /// Scatter-adds `src` rows back into `self` at the listed positions
+    /// (reverse of [`gather_rows`](Self::gather_rows)).
+    pub fn scatter_add_rows(&mut self, idx: &[u32], src: &DMat) {
+        assert_eq!(idx.len(), src.rows(), "index/source row mismatch");
+        assert_eq!(self.cols, src.cols(), "column mismatch in scatter");
+        for (o, &i) in idx.iter().enumerate() {
+            let dst = self.row_mut(i as usize);
+            for (d, s) in dst.iter_mut().zip(src.row(o)) {
+                *d += s;
+            }
+        }
+    }
+
+    /// Sums each column into a length-`cols` vector (f64 accumulation).
+    pub fn col_sums(&self) -> Vec<f64> {
+        let mut sums = vec![0.0f64; self.cols];
+        for row in self.row_iter() {
+            for (s, &v) in sums.iter_mut().zip(row) {
+                *s += v as f64;
+            }
+        }
+        sums
+    }
+
+    /// Horizontally concatenates matrices with equal row counts.
+    pub fn hcat(parts: &[&DMat]) -> DMat {
+        assert!(!parts.is_empty(), "hcat of zero matrices");
+        let rows = parts[0].rows;
+        assert!(parts.iter().all(|p| p.rows == rows), "row mismatch in hcat");
+        let cols: usize = parts.iter().map(|p| p.cols).sum();
+        let mut out = DMat::zeros(rows, cols);
+        for r in 0..rows {
+            let dst = out.row_mut(r);
+            let mut off = 0;
+            for p in parts {
+                dst[off..off + p.cols].copy_from_slice(p.row(r));
+                off += p.cols;
+            }
+        }
+        out
+    }
+
+    /// Vertically stacks matrices with equal column counts.
+    pub fn vcat(parts: &[&DMat]) -> DMat {
+        assert!(!parts.is_empty(), "vcat of zero matrices");
+        let cols = parts[0].cols;
+        assert!(parts.iter().all(|p| p.cols == cols), "column mismatch in vcat");
+        let rows: usize = parts.iter().map(|p| p.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for p in parts {
+            data.extend_from_slice(&p.data);
+        }
+        DMat { rows, cols, data }
+    }
+
+    /// Row-wise L2 normalization (rows with zero norm are left untouched).
+    pub fn l2_normalize_rows(&mut self) {
+        for r in 0..self.rows {
+            let row = self.row_mut(r);
+            let n = row.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt();
+            if n > 0.0 {
+                let inv = (1.0 / n) as f32;
+                row.iter_mut().for_each(|x| *x *= inv);
+            }
+        }
+    }
+
+    /// True when any entry is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = DMat::from_fn(2, 3, |r, c| (r * 3 + c) as f32);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.row(1), &[3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn eye_is_identity_under_matmul_semantics() {
+        let i = DMat::eye(3);
+        assert_eq!(i.get(0, 0), 1.0);
+        assert_eq!(i.get(0, 1), 0.0);
+        assert_eq!(i.data().iter().sum::<f32>(), 3.0);
+    }
+
+    #[test]
+    fn axpy_matches_manual() {
+        let mut a = DMat::filled(2, 2, 1.0);
+        let b = DMat::from_fn(2, 2, |r, c| (r + c) as f32);
+        a.axpy(2.0, &b);
+        assert_eq!(a.get(1, 1), 1.0 + 2.0 * 2.0);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = DMat::from_fn(3, 4, |r, c| (r * 7 + c) as f32);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().get(2, 1), m.get(1, 2));
+    }
+
+    #[test]
+    fn gather_then_scatter_accumulates() {
+        let m = DMat::from_fn(4, 2, |r, _| r as f32);
+        let g = m.gather_rows(&[3, 1]);
+        assert_eq!(g.row(0), &[3.0, 3.0]);
+        let mut acc = DMat::zeros(4, 2);
+        acc.scatter_add_rows(&[3, 1], &g);
+        acc.scatter_add_rows(&[3, 0], &g);
+        assert_eq!(acc.get(3, 0), 6.0);
+        assert_eq!(acc.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn hcat_vcat_shapes_and_values() {
+        let a = DMat::filled(2, 1, 1.0);
+        let b = DMat::filled(2, 2, 2.0);
+        let h = DMat::hcat(&[&a, &b]);
+        assert_eq!(h.shape(), (2, 3));
+        assert_eq!(h.row(0), &[1.0, 2.0, 2.0]);
+        let v = DMat::vcat(&[&a, &a]);
+        assert_eq!(v.shape(), (4, 1));
+    }
+
+    #[test]
+    fn dot_and_norm_agree() {
+        let m = DMat::from_fn(2, 2, |r, c| (r + c) as f32 + 1.0);
+        let d = m.dot(&m);
+        assert!((d.sqrt() - m.norm()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn l2_normalize_rows_handles_zero_rows() {
+        let mut m = DMat::from_vec(2, 2, vec![3.0, 4.0, 0.0, 0.0]);
+        m.l2_normalize_rows();
+        assert!((m.get(0, 0) - 0.6).abs() < 1e-6);
+        assert_eq!(m.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn add_shape_mismatch_panics() {
+        let mut a = DMat::zeros(2, 2);
+        a.add_assign_mat(&DMat::zeros(2, 3));
+    }
+}

@@ -1,0 +1,149 @@
+//! Dense matrix multiplication kernels.
+//!
+//! The transformation stage of every model reduces to `H · W` (activations ×
+//! weights) plus the two transposed products needed by backprop. Kernels are
+//! written k-outer/j-inner so the inner loop is a contiguous axpy the
+//! compiler auto-vectorizes, and output rows are distributed across worker
+//! threads (see [`crate::parallel`]).
+
+use crate::mat::DMat;
+use crate::parallel::par_row_chunks;
+
+/// `A (m×k) · B (k×n) -> (m×n)`.
+pub fn matmul(a: &DMat, b: &DMat) -> DMat {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul inner dimension mismatch: {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = DMat::zeros(m, n);
+    let bdat = b.data();
+    let adat = a.data();
+    par_row_chunks(out.data_mut(), m, n.max(1), |first, chunk| {
+        for (local_r, orow) in chunk.chunks_exact_mut(n.max(1)).enumerate() {
+            let r = first + local_r;
+            let arow = &adat[r * k..(r + 1) * k];
+            for (kk, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &bdat[kk * n..(kk + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o = bv.mul_add(av, *o);
+                }
+            }
+        }
+    });
+    out
+}
+
+/// `Aᵀ (k×m)ᵀ · B (k×n) -> (m×n)`, i.e. `matmul(a.transpose(), b)` without
+/// materializing the transpose. Used for weight gradients `Xᵀ·dY`.
+pub fn matmul_at_b(a: &DMat, b: &DMat) -> DMat {
+    assert_eq!(a.rows(), b.rows(), "matmul_at_b leading dimension mismatch");
+    let (k, m) = a.shape();
+    let n = b.cols();
+    let mut out = DMat::zeros(m, n);
+    // Serial accumulation over k keeps writes race-free; m and n are small
+    // (both are feature dimensions), so this is never the hot path.
+    for kk in 0..k {
+        let arow = a.row(kk);
+        let brow = b.row(kk);
+        for (r, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &mut out.data_mut()[r * n..(r + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o = bv.mul_add(av, *o);
+            }
+        }
+    }
+    out
+}
+
+/// `A (m×k) · Bᵀ (n×k)ᵀ -> (m×n)` without materializing the transpose.
+/// Used for input gradients `dY·Wᵀ`.
+pub fn matmul_a_bt(a: &DMat, b: &DMat) -> DMat {
+    assert_eq!(a.cols(), b.cols(), "matmul_a_bt inner dimension mismatch");
+    let (m, k) = a.shape();
+    let n = b.rows();
+    let mut out = DMat::zeros(m, n);
+    let adat = a.data();
+    let bdat = b.data();
+    par_row_chunks(out.data_mut(), m, n.max(1), |first, chunk| {
+        for (local_r, orow) in chunk.chunks_exact_mut(n.max(1)).enumerate() {
+            let r = first + local_r;
+            let arow = &adat[r * k..(r + 1) * k];
+            for (c, o) in orow.iter_mut().enumerate() {
+                let brow = &bdat[c * k..(c + 1) * k];
+                let mut acc = 0.0f32;
+                for (&x, &y) in arow.iter().zip(brow) {
+                    acc = x.mul_add(y, acc);
+                }
+                *o = acc;
+            }
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &DMat, b: &DMat) -> DMat {
+        let mut out = DMat::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0;
+                for k in 0..a.cols() {
+                    s += a.get(i, k) * b.get(k, j);
+                }
+                out.set(i, j, s);
+            }
+        }
+        out
+    }
+
+    fn approx_eq(a: &DMat, b: &DMat, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() <= tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = DMat::from_fn(5, 7, |r, c| ((r * 7 + c) % 5) as f32 - 2.0);
+        let b = DMat::from_fn(7, 3, |r, c| ((r + 2 * c) % 3) as f32 - 1.0);
+        approx_eq(&matmul(&a, &b), &naive(&a, &b), 1e-5);
+    }
+
+    #[test]
+    fn transposed_variants_match_explicit_transpose() {
+        let a = DMat::from_fn(6, 4, |r, c| (r as f32 - c as f32) * 0.5);
+        let b = DMat::from_fn(6, 3, |r, c| (r * c) as f32 * 0.1);
+        approx_eq(&matmul_at_b(&a, &b), &naive(&a.transpose(), &b), 1e-4);
+        let c = DMat::from_fn(5, 4, |r, c| (r + c) as f32 * 0.2);
+        approx_eq(&matmul_a_bt(&a, &c), &naive(&a, &c.transpose()), 1e-4);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = DMat::from_fn(4, 4, |r, c| (r * 4 + c) as f32);
+        approx_eq(&matmul(&a, &DMat::eye(4)), &a, 0.0);
+        approx_eq(&matmul(&DMat::eye(4), &a), &a, 0.0);
+    }
+
+    #[test]
+    fn large_parallel_path_matches_naive() {
+        let a = DMat::from_fn(300, 64, |r, c| ((r * 31 + c * 17) % 13) as f32 * 0.1 - 0.5);
+        let b = DMat::from_fn(64, 48, |r, c| ((r * 5 + c * 3) % 7) as f32 * 0.2 - 0.6);
+        approx_eq(&matmul(&a, &b), &naive(&a, &b), 1e-3);
+    }
+}

@@ -1,0 +1,139 @@
+//! Minimal data-parallel helpers built on `crossbeam` scoped threads.
+//!
+//! The benchmark's two hot kernels (dense matmul and sparse SpMM) are both
+//! row-parallel: output rows are independent, so the output buffer is split
+//! into contiguous chunks of whole rows and each chunk is processed by one
+//! scoped thread. Thread count defaults to the machine parallelism and can be
+//! pinned with the `SGNN_THREADS` environment variable (used by the Figure-5
+//! hardware-sensitivity experiment).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Pins the number of worker threads (0 restores the default).
+///
+/// The Figure-5 experiment uses this to emulate hosts with slower/faster
+/// CPU-side propagation.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// Number of worker threads used by the parallel kernels.
+pub fn num_threads() -> usize {
+    let pinned = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if pinned > 0 {
+        return pinned;
+    }
+    if let Ok(v) = std::env::var("SGNN_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs `f(first_row, chunk)` over contiguous chunks of whole rows of `data`.
+///
+/// `data` must have length `rows * cols`; each invocation receives the index
+/// of its first row and a mutable slice covering complete rows. Falls back to
+/// a single in-thread call when only one worker is available or the work is
+/// tiny.
+pub fn par_row_chunks<F>(data: &mut [f32], rows: usize, cols: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    assert_eq!(data.len(), rows * cols, "buffer must cover rows*cols");
+    let threads = num_threads().min(rows.max(1));
+    // Tiny problems are faster single-threaded than paying thread spawn cost.
+    if threads <= 1 || rows * cols < 1 << 14 {
+        f(0, data);
+        return;
+    }
+    let rows_per = rows.div_ceil(threads);
+    crossbeam::scope(|s| {
+        let mut rest = data;
+        let mut first = 0usize;
+        while !rest.is_empty() {
+            let take = (rows_per * cols).min(rest.len());
+            let (chunk, tail) = rest.split_at_mut(take);
+            let fr = first;
+            let fref = &f;
+            s.spawn(move |_| fref(fr, chunk));
+            first += take / cols;
+            rest = tail;
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Runs `f(i)` for `i` in `0..n` across the worker pool, interleaved.
+///
+/// Used where per-item work is coarse (e.g. one filter per task).
+pub fn par_for<F>(n: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let threads = num_threads().min(n.max(1));
+    if threads <= 1 {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    crossbeam::scope(|s| {
+        for t in 0..threads {
+            let fref = &f;
+            s.spawn(move |_| {
+                let mut i = t;
+                while i < n {
+                    fref(i);
+                    i += threads;
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn chunks_cover_all_rows_once() {
+        let rows = 997;
+        let cols = 33;
+        let mut data = vec![0.0f32; rows * cols];
+        par_row_chunks(&mut data, rows, cols, |first, chunk| {
+            for (r, row) in chunk.chunks_exact_mut(cols).enumerate() {
+                for v in row.iter_mut() {
+                    *v += (first + r) as f32;
+                }
+            }
+        });
+        for r in 0..rows {
+            assert_eq!(data[r * cols], r as f32, "row {r} written exactly once");
+        }
+    }
+
+    #[test]
+    fn par_for_visits_every_index() {
+        let sum = AtomicU64::new(0);
+        par_for(1000, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn thread_override_round_trip() {
+        set_threads(2);
+        assert_eq!(num_threads(), 2);
+        set_threads(0);
+        assert!(num_threads() >= 1);
+    }
+}

@@ -1,0 +1,280 @@
+//! Compressed-sparse-row matrix with a parallel SpMM kernel.
+//!
+//! This is the benchmark's "SP" propagation backend: `O(m)` storage, and each
+//! `Ã · X` costs `O(mF)` with output rows distributed over worker threads.
+//! Column indices are `u32` (graphs beyond 4B nodes are out of scope) and
+//! values `f32`, which matches the memory footprint assumptions in the
+//! paper's complexity table.
+
+use sgnn_dense::parallel::par_row_chunks;
+use sgnn_dense::DMat;
+
+/// A sparse matrix in CSR form.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CsrMat {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CsrMat {
+    /// Builds from raw CSR arrays.
+    ///
+    /// # Panics
+    /// Panics when the arrays are inconsistent (wrong `indptr` length,
+    /// non-monotone `indptr`, index/value length mismatch, column overflow).
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Self {
+        assert_eq!(indptr.len(), rows + 1, "indptr must have rows+1 entries");
+        assert_eq!(indices.len(), values.len(), "indices/values length mismatch");
+        assert_eq!(*indptr.last().unwrap(), indices.len(), "indptr must end at nnz");
+        assert!(indptr.windows(2).all(|w| w[0] <= w[1]), "indptr must be monotone");
+        assert!(indices.iter().all(|&c| (c as usize) < cols), "column index out of range");
+        Self { rows, cols, indptr, indices, values }
+    }
+
+    /// An all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, indptr: vec![0; rows + 1], indices: Vec::new(), values: Vec::new() }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            rows: n,
+            cols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n as u32).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Heap bytes of the CSR arrays (memory instrumentation).
+    pub fn nbytes(&self) -> usize {
+        self.indptr.len() * std::mem::size_of::<usize>()
+            + self.indices.len() * std::mem::size_of::<u32>()
+            + self.values.len() * std::mem::size_of::<f32>()
+    }
+
+    /// The (column-indices, values) pair of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> (&[u32], &[f32]) {
+        let s = self.indptr[r];
+        let e = self.indptr[r + 1];
+        (&self.indices[s..e], &self.values[s..e])
+    }
+
+    /// Value at `(r, c)` — linear scan of the row; for tests and debugging.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        let (idx, val) = self.row(r);
+        idx.iter().position(|&j| j as usize == c).map(|p| val[p]).unwrap_or(0.0)
+    }
+
+    /// Applies `f` to every stored value.
+    pub fn map_values(&mut self, f: impl Fn(f32) -> f32) {
+        self.values.iter_mut().for_each(|v| *v = f(*v));
+    }
+
+    /// Iterates `(row, col, value)` triplets in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, f32)> + '_ {
+        (0..self.rows).flat_map(move |r| {
+            let (idx, val) = self.row(r);
+            idx.iter().zip(val).map(move |(&c, &v)| (r as u32, c, v))
+        })
+    }
+
+    /// Scales row `r` by `s` and column `c` by `t`:
+    /// returns `diag(rs) · A · diag(cs)`.
+    pub fn scale_rows_cols(&self, rs: &[f32], cs: &[f32]) -> CsrMat {
+        assert_eq!(rs.len(), self.rows, "row scale length");
+        assert_eq!(cs.len(), self.cols, "col scale length");
+        let mut out = self.clone();
+        for (r, &rv) in rs.iter().enumerate() {
+            let s = out.indptr[r];
+            let e = out.indptr[r + 1];
+            for k in s..e {
+                out.values[k] *= rv * cs[out.indices[k] as usize];
+            }
+        }
+        out
+    }
+
+    /// Transposed copy (counting sort over columns, `O(nnz + cols)`).
+    pub fn transpose(&self) -> CsrMat {
+        let mut indptr = vec![0usize; self.cols + 1];
+        for &c in &self.indices {
+            indptr[c as usize + 1] += 1;
+        }
+        for i in 0..self.cols {
+            indptr[i + 1] += indptr[i];
+        }
+        let mut next = indptr.clone();
+        let mut indices = vec![0u32; self.nnz()];
+        let mut values = vec![0.0f32; self.nnz()];
+        for r in 0..self.rows {
+            let (idx, val) = self.row(r);
+            for (&c, &v) in idx.iter().zip(val) {
+                let p = next[c as usize];
+                indices[p] = r as u32;
+                values[p] = v;
+                next[c as usize] += 1;
+            }
+        }
+        CsrMat { rows: self.cols, cols: self.rows, indptr, indices, values }
+    }
+
+    /// Parallel SpMM: `self (r×c) · x (c×F) -> (r×F)`.
+    pub fn spmm(&self, x: &DMat) -> DMat {
+        assert_eq!(self.cols, x.rows(), "spmm dimension mismatch");
+        let f = x.cols();
+        let mut out = DMat::zeros(self.rows, f);
+        let xdat = x.data();
+        par_row_chunks(out.data_mut(), self.rows, f.max(1), |first, chunk| {
+            for (local, orow) in chunk.chunks_exact_mut(f.max(1)).enumerate() {
+                let r = first + local;
+                let (idx, val) = self.row(r);
+                for (&c, &w) in idx.iter().zip(val) {
+                    let xrow = &xdat[c as usize * f..(c as usize + 1) * f];
+                    for (o, &xv) in orow.iter_mut().zip(xrow) {
+                        *o = xv.mul_add(w, *o);
+                    }
+                }
+            }
+        });
+        out
+    }
+
+    /// Fused affine propagation: `a·(self·x) + b·x`, the primitive every
+    /// polynomial basis reduces to (e.g. `L̃x = -Ãx + x` is `a=-1, b=1`).
+    pub fn affine_spmm(&self, a: f32, b: f32, x: &DMat) -> DMat {
+        assert_eq!(self.rows, self.cols, "affine propagation requires square operator");
+        assert_eq!(self.cols, x.rows(), "spmm dimension mismatch");
+        let f = x.cols();
+        let mut out = DMat::zeros(self.rows, f);
+        let xdat = x.data();
+        par_row_chunks(out.data_mut(), self.rows, f.max(1), |first, chunk| {
+            for (local, orow) in chunk.chunks_exact_mut(f.max(1)).enumerate() {
+                let r = first + local;
+                let (idx, val) = self.row(r);
+                for (&c, &w) in idx.iter().zip(val) {
+                    let xrow = &xdat[c as usize * f..(c as usize + 1) * f];
+                    let aw = a * w;
+                    for (o, &xv) in orow.iter_mut().zip(xrow) {
+                        *o = xv.mul_add(aw, *o);
+                    }
+                }
+                if b != 0.0 {
+                    let xrow = &xdat[r * f..(r + 1) * f];
+                    for (o, &xv) in orow.iter_mut().zip(xrow) {
+                        *o = xv.mul_add(b, *o);
+                    }
+                }
+            }
+        });
+        out
+    }
+
+    /// Row sums (out-degree for adjacency matrices).
+    pub fn row_sums(&self) -> Vec<f32> {
+        (0..self.rows).map(|r| self.row(r).1.iter().sum()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn small() -> CsrMat {
+        // [[0 2 0], [1 0 3], [0 4 0]]
+        let mut coo = Coo::new(3, 3);
+        coo.push(0, 1, 2.0);
+        coo.push(1, 0, 1.0);
+        coo.push(1, 2, 3.0);
+        coo.push(2, 1, 4.0);
+        coo.into_csr()
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let a = small();
+        let x = DMat::from_fn(3, 2, |r, c| (r * 2 + c) as f32 + 1.0);
+        let y = a.spmm(&x);
+        // Row 0 = 2 * x[1]; row 1 = 1*x[0] + 3*x[2]; row 2 = 4*x[1].
+        assert_eq!(y.row(0), &[6.0, 8.0]);
+        assert_eq!(y.row(1), &[16.0, 20.0]);
+        assert_eq!(y.row(2), &[12.0, 16.0]);
+    }
+
+    #[test]
+    fn affine_spmm_equals_manual_combination() {
+        let a = small();
+        let x = DMat::from_fn(3, 2, |r, c| (r + c) as f32);
+        let mut want = a.spmm(&x);
+        want.scale(-1.0);
+        want.axpy(1.0, &x);
+        let got = a.affine_spmm(-1.0, 1.0, &x);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = small();
+        let t = a.transpose();
+        assert_eq!(t.get(1, 0), 2.0);
+        assert_eq!(t.get(0, 1), 1.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn identity_spmm_is_noop() {
+        let i = CsrMat::identity(4);
+        let x = DMat::from_fn(4, 3, |r, c| (r * 3 + c) as f32);
+        assert_eq!(i.spmm(&x), x);
+    }
+
+    #[test]
+    fn scale_rows_cols() {
+        let a = small();
+        let s = a.scale_rows_cols(&[1.0, 2.0, 3.0], &[1.0, 0.5, 1.0]);
+        assert_eq!(s.get(0, 1), 1.0); // 2 * 1 * 0.5
+        assert_eq!(s.get(1, 0), 2.0); // 1 * 2 * 1
+        assert_eq!(s.get(2, 1), 6.0); // 4 * 3 * 0.5
+    }
+
+    #[test]
+    fn row_sums_are_weighted_degrees() {
+        assert_eq!(small().row_sums(), vec![2.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "indptr must end at nnz")]
+    fn from_parts_validates() {
+        CsrMat::from_parts(1, 1, vec![0, 2], vec![0], vec![1.0]);
+    }
+}

@@ -1,0 +1,29 @@
+//! Sparse graph substrate for the spectral GNN benchmark.
+//!
+//! Spectral filters never materialize dense graph operators: every basis term
+//! `T^(k)(L̃)·X` is computed by repeated sparse-matrix × dense-matrix products
+//! (*propagation* in the paper's terminology, `O(mF)` per hop). This crate
+//! provides:
+//!
+//! * [`coo::Coo`] — an edge-triplet builder with symmetrization and dedup,
+//! * [`csr::CsrMat`] — compressed sparse rows with a parallel SpMM kernel
+//!   (the paper's efficient `torch.sparse`-style "SP" backend),
+//! * [`edgelist::EdgeList`] — a gather/scatter message-passing backend that
+//!   materializes per-edge messages (the PyG `EdgeIndex`-style "EI" backend
+//!   compared in Table 6),
+//! * [`graph::Graph`] — an undirected graph with degree utilities,
+//! * [`normalize::PropMatrix`] — the generalized normalized adjacency
+//!   `Ã = D̄^{ρ-1} Ā D̄^{-ρ}` together with the affine propagation
+//!   `x ↦ a·Ã·x + b·x` every polynomial basis reduces to,
+//! * [`stats`] — homophily scores, degree distributions, and degree buckets.
+
+pub mod coo;
+pub mod csr;
+pub mod edgelist;
+pub mod graph;
+pub mod normalize;
+pub mod stats;
+
+pub use csr::CsrMat;
+pub use graph::Graph;
+pub use normalize::{Backend, PropMatrix};

@@ -1,0 +1,251 @@
+//! Generalized degree normalization and the propagation operator.
+//!
+//! Following Section 2.1 of the paper, the normalized adjacency is
+//! `Ã = D̄^{ρ-1} Ā D̄^{-ρ}` where `Ā = A + I` (self-loops) and
+//! `ρ ∈ [0, 1]` interpolates between row normalization (`ρ = 0`,
+//! `D̄^{-1}Ā`... transposed conventions aside), the symmetric GCN
+//! normalization (`ρ = 1/2`), and column normalization (`ρ = 1`). The
+//! normalized Laplacian is `L̃ = I − Ã`, so *every* polynomial basis term
+//! used by the 27 filters reduces to the affine primitive
+//! `x ↦ a·Ã·x + b·x` exposed as [`PropMatrix::prop`].
+//!
+//! [`PropMatrix`] also carries the transposed operator (needed to
+//! backpropagate through propagation when `ρ ≠ 1/2`) and can route
+//! propagation through either the CSR ("SP") or the edge-list ("EI")
+//! backend for the Table-6 comparison.
+
+use crate::csr::CsrMat;
+use crate::edgelist::EdgeList;
+use crate::graph::Graph;
+use sgnn_dense::DMat;
+
+/// Which kernel executes propagation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Compressed sparse rows — `O(m)` memory, the paper's "SP" backend.
+    #[default]
+    Csr,
+    /// Gather/scatter over an edge list with an `m × F` message tensor —
+    /// the paper's "EI" backend.
+    EdgeList,
+}
+
+/// The normalized propagation operator `Ã` of one graph.
+///
+/// ```
+/// use sgnn_dense::DMat;
+/// use sgnn_sparse::{Graph, PropMatrix};
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+/// let pm = PropMatrix::new(&g, 0.5);          // symmetric normalization
+/// let x = DMat::filled(3, 1, 1.0);
+/// let lap = pm.prop(-1.0, 1.0, &x);           // L̃·x = x − Ã·x
+/// assert!(lap.max_abs() < 0.5, "constant signals are near the kernel");
+/// ```
+#[derive(Clone, Debug)]
+pub struct PropMatrix {
+    adj: CsrMat,
+    adj_t: Option<CsrMat>,
+    edges: Option<EdgeList>,
+    backend: Backend,
+    rho: f32,
+    self_loops: bool,
+}
+
+impl PropMatrix {
+    /// Standard construction: self-loops on, CSR backend.
+    pub fn new(graph: &Graph, rho: f32) -> Self {
+        Self::with_options(graph, rho, true, Backend::Csr)
+    }
+
+    /// Full-control construction.
+    pub fn with_options(graph: &Graph, rho: f32, self_loops: bool, backend: Backend) -> Self {
+        assert!((0.0..=1.0).contains(&rho), "rho must lie in [0, 1]");
+        let n = graph.nodes();
+        let mut base = graph.adjacency().clone();
+        if self_loops {
+            let mut coo = crate::coo::Coo::with_capacity(n, n, base.nnz() + n);
+            for (r, c, v) in base.iter() {
+                coo.push(r, c, v);
+            }
+            coo.add_diagonal(1.0);
+            base = coo.into_csr();
+        }
+        // Degrees of Ā (weighted row sums; symmetric, so row == col degrees).
+        let deg = base.row_sums();
+        let row_scale: Vec<f32> =
+            deg.iter().map(|&d| if d > 0.0 { d.powf(rho - 1.0) } else { 0.0 }).collect();
+        let col_scale: Vec<f32> =
+            deg.iter().map(|&d| if d > 0.0 { d.powf(-rho) } else { 0.0 }).collect();
+        let adj = base.scale_rows_cols(&row_scale, &col_scale);
+        let symmetric = (rho - 0.5).abs() < 1e-9;
+        let adj_t = if symmetric { None } else { Some(adj.transpose()) };
+        let edges = match backend {
+            Backend::Csr => None,
+            Backend::EdgeList => Some(EdgeList::from_csr(&adj)),
+        };
+        Self { adj, adj_t, edges, backend, rho, self_loops }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.adj.rows()
+    }
+
+    /// Stored edges of `Ã` (self-loops included when enabled).
+    pub fn nnz(&self) -> usize {
+        self.adj.nnz()
+    }
+
+    /// Normalization coefficient `ρ`.
+    pub fn rho(&self) -> f32 {
+        self.rho
+    }
+
+    /// Whether self-loops were added before normalizing.
+    pub fn has_self_loops(&self) -> bool {
+        self.self_loops
+    }
+
+    /// Active propagation backend.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Heap bytes of the stored operator(s).
+    pub fn nbytes(&self) -> usize {
+        self.adj.nbytes()
+            + self.adj_t.as_ref().map_or(0, CsrMat::nbytes)
+            + self.edges.as_ref().map_or(0, EdgeList::nbytes)
+    }
+
+    /// The normalized adjacency `Ã`.
+    pub fn adj(&self) -> &CsrMat {
+        &self.adj
+    }
+
+    /// `a·Ã·x + b·x` — one hop of propagation.
+    ///
+    /// Common instantiations: `Ãx` is `(1, 0)`; the Laplacian `L̃x = x − Ãx`
+    /// is `(-1, 1)`; the GCN filter `(2I − L̃)x = x + Ãx` is `(1, 1)`.
+    pub fn prop(&self, a: f32, b: f32, x: &DMat) -> DMat {
+        match self.backend {
+            Backend::Csr => self.adj.affine_spmm(a, b, x),
+            Backend::EdgeList => {
+                let mut out = self.edges.as_ref().expect("edge backend").propagate(x);
+                out.scale(a);
+                if b != 0.0 {
+                    out.axpy(b, x);
+                }
+                out
+            }
+        }
+    }
+
+    /// `a·Ãᵀ·x + b·x` — the adjoint hop used by backpropagation.
+    ///
+    /// For `ρ = 1/2` the operator is symmetric and this equals
+    /// [`prop`](Self::prop).
+    pub fn prop_t(&self, a: f32, b: f32, x: &DMat) -> DMat {
+        match &self.adj_t {
+            None => self.prop(a, b, x),
+            Some(t) => t.affine_spmm(a, b, x),
+        }
+    }
+
+    /// Per-propagation transient bytes of the backend (0 for CSR; the
+    /// `m × F` message tensor for the edge-list backend).
+    pub fn transient_bytes(&self, f: usize) -> usize {
+        self.edges.as_ref().map_or(0, |e| e.message_bytes(f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> Graph {
+        Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn symmetric_normalization_rows() {
+        let p = PropMatrix::new(&path4(), 0.5);
+        // Node 0 has self-looped degree 2, node 1 degree 3.
+        let want = 1.0 / (2.0f32 * 3.0).sqrt();
+        assert!((p.adj().get(0, 1) - want).abs() < 1e-6);
+        assert!((p.adj().get(0, 0) - 0.5).abs() < 1e-6);
+        assert!(p.adj_t.is_none(), "rho=1/2 must not store a transpose");
+    }
+
+    #[test]
+    fn row_normalization_sums_to_one() {
+        let p = PropMatrix::with_options(&path4(), 1.0, true, Backend::Csr);
+        // rho = 1: Ã = D̄^0 Ā D̄^{-1}; columns sum to 1.
+        let col_sums: Vec<f32> = (0..4)
+            .map(|c| (0..4).map(|r| p.adj().get(r, c)).sum())
+            .collect();
+        for s in col_sums {
+            assert!((s - 1.0).abs() < 1e-6, "col sum {s}");
+        }
+        // rho = 0: rows sum to 1.
+        let p0 = PropMatrix::with_options(&path4(), 0.0, true, Backend::Csr);
+        for r in 0..4 {
+            let s: f32 = (0..4).map(|c| p0.adj().get(r, c)).sum();
+            assert!((s - 1.0).abs() < 1e-6, "row sum {s}");
+        }
+    }
+
+    #[test]
+    fn laplacian_annihilates_constant_for_row_norm() {
+        // With rho = 0, Ã·1 = 1, so L̃·1 = 0.
+        let p = PropMatrix::with_options(&path4(), 0.0, true, Backend::Csr);
+        let ones = DMat::filled(4, 1, 1.0);
+        let lx = p.prop(-1.0, 1.0, &ones);
+        assert!(lx.max_abs() < 1e-6);
+    }
+
+    #[test]
+    fn transpose_propagation_consistent() {
+        let p = PropMatrix::with_options(&path4(), 0.8, true, Backend::Csr);
+        let x = DMat::from_fn(4, 2, |r, c| (r + 2 * c) as f32);
+        let y = DMat::from_fn(4, 2, |r, c| (3 * r + c) as f32 * 0.5);
+        // ⟨Ãx, y⟩ must equal ⟨x, Ãᵀy⟩.
+        let lhs = p.prop(1.0, 0.0, &x).dot(&y);
+        let rhs = x.dot(&p.prop_t(1.0, 0.0, &y));
+        assert!((lhs - rhs).abs() < 1e-4, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn backends_agree() {
+        let g = path4();
+        let sp = PropMatrix::with_options(&g, 0.5, true, Backend::Csr);
+        let ei = PropMatrix::with_options(&g, 0.5, true, Backend::EdgeList);
+        let x = DMat::from_fn(4, 3, |r, c| (r * 3 + c) as f32 - 5.0);
+        let a = sp.prop(-1.0, 1.0, &x);
+        let b = ei.prop(-1.0, 1.0, &x);
+        for (u, v) in a.data().iter().zip(b.data()) {
+            assert!((u - v).abs() < 1e-5);
+        }
+        assert!(ei.transient_bytes(3) > 0);
+        assert_eq!(sp.transient_bytes(3), 0);
+    }
+
+    #[test]
+    fn laplacian_spectrum_within_bounds() {
+        // Eigenvalues of L̃ (with self-loops, rho=1/2) must lie in [0, 2].
+        use sgnn_dense::eigen::sym_eigen;
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]);
+        let p = PropMatrix::new(&g, 0.5);
+        let n = 6;
+        let mut dense = DMat::zeros(n, n);
+        for (r, c, v) in p.adj().iter() {
+            dense.set(r as usize, c as usize, -v);
+        }
+        for i in 0..n {
+            dense.set(i, i, dense.get(i, i) + 1.0);
+        }
+        let e = sym_eigen(&dense);
+        assert!(e.values[0] > -1e-5, "λ_min = {}", e.values[0]);
+        assert!(*e.values.last().unwrap() < 2.0 + 1e-5);
+    }
+}

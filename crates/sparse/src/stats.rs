@@ -1,0 +1,138 @@
+//! Graph statistics: homophily, degree distributions, degree buckets.
+//!
+//! The node homophily score `H` (Pei et al., used in Table 3) drives the
+//! dataset taxonomy, and degree buckets drive the degree-specific
+//! effectiveness analysis of Figures 9–10.
+
+use crate::graph::Graph;
+
+/// Node homophily score: the mean, over nodes with at least one neighbor, of
+/// the fraction of neighbors sharing the node's label.
+pub fn node_homophily(graph: &Graph, labels: &[u32]) -> f64 {
+    assert_eq!(labels.len(), graph.nodes(), "one label per node");
+    let mut total = 0.0f64;
+    let mut counted = 0usize;
+    for u in 0..graph.nodes() {
+        let nbrs = graph.neighbors(u);
+        if nbrs.is_empty() {
+            continue;
+        }
+        let same = nbrs.iter().filter(|&&v| labels[v as usize] == labels[u]).count();
+        total += same as f64 / nbrs.len() as f64;
+        counted += 1;
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    }
+}
+
+/// Edge homophily: fraction of (directed) edges whose endpoints share a label.
+pub fn edge_homophily(graph: &Graph, labels: &[u32]) -> f64 {
+    let mut same = 0usize;
+    let mut total = 0usize;
+    for u in 0..graph.nodes() {
+        for &v in graph.neighbors(u) {
+            total += 1;
+            if labels[v as usize] == labels[u] {
+                same += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        same as f64 / total as f64
+    }
+}
+
+/// Summary of a degree distribution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegreeSummary {
+    pub min: u32,
+    pub max: u32,
+    pub mean: f64,
+    pub median: u32,
+}
+
+/// Computes min/max/mean/median degree.
+pub fn degree_summary(graph: &Graph) -> DegreeSummary {
+    let mut deg = graph.degrees();
+    if deg.is_empty() {
+        return DegreeSummary { min: 0, max: 0, mean: 0.0, median: 0 };
+    }
+    deg.sort_unstable();
+    DegreeSummary {
+        min: deg[0],
+        max: *deg.last().unwrap(),
+        mean: deg.iter().map(|&d| d as f64).sum::<f64>() / deg.len() as f64,
+        median: deg[deg.len() / 2],
+    }
+}
+
+/// Splits nodes into (low-degree, high-degree) buckets around the median
+/// degree — the split used by the degree-specific accuracy analysis.
+pub fn degree_buckets(graph: &Graph) -> (Vec<u32>, Vec<u32>) {
+    let deg = graph.degrees();
+    let median = degree_summary(graph).median;
+    let mut low = Vec::new();
+    let mut high = Vec::new();
+    for (u, &d) in deg.iter().enumerate() {
+        if d > median {
+            high.push(u as u32);
+        } else {
+            low.push(u as u32);
+        }
+    }
+    (low, high)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labeled_graph() -> (Graph, Vec<u32>) {
+        // Two triangles joined by one cross edge; labels = component.
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]);
+        (g, vec![0, 0, 0, 1, 1, 1])
+    }
+
+    #[test]
+    fn homophily_of_clustered_labels_is_high() {
+        let (g, y) = labeled_graph();
+        let h = node_homophily(&g, &y);
+        // Nodes 2 and 3 have 1 of 3 neighbors mismatched.
+        let want = (4.0 + 2.0 * (2.0 / 3.0)) / 6.0;
+        assert!((h - want).abs() < 1e-9, "{h}");
+        assert!(edge_homophily(&g, &y) > 0.8);
+    }
+
+    #[test]
+    fn homophily_of_alternating_labels_is_low() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let y = vec![0, 1, 0, 1];
+        assert_eq!(node_homophily(&g, &y), 0.0);
+        assert_eq!(edge_homophily(&g, &y), 0.0);
+    }
+
+    #[test]
+    fn degree_summary_star() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let s = degree_summary(&g);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        assert_eq!(s.median, 1);
+        assert!((s.mean - 8.0 / 5.0).abs() < 1e-12);
+        let (low, high) = degree_buckets(&g);
+        assert_eq!(high, vec![0]);
+        assert_eq!(low.len(), 4);
+    }
+
+    #[test]
+    fn isolated_nodes_skipped_in_homophily() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let h = node_homophily(&g, &[0, 0, 1]);
+        assert_eq!(h, 1.0);
+    }
+}

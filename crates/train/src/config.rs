@@ -1,0 +1,127 @@
+//! Training configuration and the per-run report.
+
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters of one training run (Table 4's universal + individual
+/// scheme, flattened).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Propagation hops `K` (universal default 10).
+    pub hops: usize,
+    /// Hidden width `F`.
+    pub hidden: usize,
+    /// Training epochs (the paper fixes 500; scaled runs use fewer).
+    pub epochs: usize,
+    /// Early-stopping patience on the validation metric (0 disables).
+    pub patience: usize,
+    /// Learning rate / weight decay of the transformation MLPs.
+    pub lr: f32,
+    pub weight_decay: f32,
+    /// Learning rate / weight decay of filter parameters `θ`, `γ`.
+    pub lr_filter: f32,
+    pub weight_decay_filter: f32,
+    pub dropout: f32,
+    /// Graph normalization `ρ ∈ [0, 1]`.
+    pub rho: f32,
+    /// Mini-batch size (`4096` small/medium, `200k` large in the paper).
+    pub batch_size: usize,
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            hops: 10,
+            hidden: 64,
+            epochs: 120,
+            patience: 30,
+            lr: 0.01,
+            weight_decay: 5e-4,
+            lr_filter: 0.05,
+            weight_decay_filter: 5e-5,
+            dropout: 0.5,
+            rho: 0.5,
+            batch_size: 4096,
+            seed: 0,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// Quick configuration for unit tests.
+    pub fn fast_test(seed: u64) -> Self {
+        Self { hops: 4, hidden: 32, epochs: 40, patience: 0, seed, ..Self::default() }
+    }
+}
+
+/// Everything measured during one run: efficacy plus the stage-level
+/// efficiency breakdown that Tables 9/11 and Figure 2 report.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TrainReport {
+    pub filter: String,
+    pub dataset: String,
+    pub scheme: String,
+    /// Test metric (accuracy or ROC AUC depending on the dataset).
+    pub test_metric: f64,
+    pub valid_metric: f64,
+    /// Epochs actually run (early stopping may cut the budget).
+    pub epochs_run: usize,
+    /// Precomputation seconds (mini-batch only; 0 for full-batch).
+    pub precompute_s: f64,
+    /// Mean training seconds per epoch.
+    pub train_epoch_s: f64,
+    /// Total training seconds.
+    pub train_total_s: f64,
+    /// Full-graph inference seconds.
+    pub infer_s: f64,
+    /// Peak device-model bytes during training steps.
+    pub device_bytes: usize,
+    /// Peak RAM-model bytes (precomputed terms + inputs).
+    pub ram_bytes: usize,
+    /// Propagation hops executed during training + inference.
+    pub prop_hops: usize,
+}
+
+impl TrainReport {
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<12} {:<14} {:<4} metric={:.4} pre={:.3}s epoch={:.4}s infer={:.4}s dev={} ram={}",
+            self.filter,
+            self.dataset,
+            self.scheme,
+            self.test_metric,
+            self.precompute_s,
+            self.train_epoch_s,
+            self.infer_s,
+            crate::memory::fmt_bytes(self.device_bytes),
+            crate::memory::fmt_bytes(self.ram_bytes),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_universal_scheme() {
+        let c = TrainConfig::default();
+        assert_eq!(c.hops, 10);
+        assert_eq!(c.rho, 0.5);
+        assert_eq!(c.batch_size, 4096);
+    }
+
+    #[test]
+    fn report_summary_contains_key_fields() {
+        let r = TrainReport {
+            filter: "PPR".into(),
+            dataset: "cora".into(),
+            scheme: "FB".into(),
+            test_metric: 0.87,
+            ..Default::default()
+        };
+        let s = r.summary();
+        assert!(s.contains("PPR") && s.contains("cora") && s.contains("0.8700"));
+    }
+}

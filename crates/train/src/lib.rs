@@ -1,0 +1,30 @@
+//! Learning schemes, trainers, and efficiency instrumentation.
+//!
+//! This crate drives the paper's two learning pipelines end-to-end:
+//!
+//! * [`full_batch`] — everything (graph operator, activations, gradients) on
+//!   the device tape, matching Figure 1(a),
+//! * [`mini_batch`] — the decoupled scheme of Figure 1(b): a timed CPU
+//!   precomputation stage materializes the filter's basis terms into RAM,
+//!   then training touches only gathered batch rows,
+//! * [`regression`] — the Table-7 spectral signal-fitting task,
+//! * [`metrics`] — accuracy, ROC AUC, F1, and R²,
+//! * [`memory`] — the two-tier memory model (tracking allocator for RAM,
+//!   tape residency for device memory) substituting for the paper's
+//!   GPU/host split,
+//! * [`timer`] — per-stage wall-clock aggregation,
+//! * [`hardware`] — the thread/device-speed scaling used to reproduce the
+//!   Figure-5 hardware-sensitivity study.
+
+pub mod config;
+pub mod full_batch;
+pub mod hardware;
+pub mod memory;
+pub mod metrics;
+pub mod mini_batch;
+pub mod regression;
+pub mod timer;
+
+pub use config::{TrainConfig, TrainReport};
+pub use full_batch::train_full_batch;
+pub use mini_batch::train_mini_batch;

@@ -1,0 +1,77 @@
+//! Per-stage wall-clock aggregation (precompute / train / inference).
+
+use std::time::Instant;
+
+/// Accumulates durations of repeated executions of one stage.
+#[derive(Clone, Debug, Default)]
+pub struct StageTimer {
+    samples: Vec<f64>,
+}
+
+impl StageTimer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Times one closure execution and records it.
+    pub fn time<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.samples.push(start.elapsed().as_secs_f64());
+        out
+    }
+
+    /// Records an externally measured duration (seconds).
+    pub fn record(&mut self, seconds: f64) {
+        self.samples.push(seconds);
+    }
+
+    /// Number of recorded executions.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Total seconds across executions.
+    pub fn total(&self) -> f64 {
+        self.samples.iter().sum()
+    }
+
+    /// Mean seconds per execution (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.total() / self.samples.len() as f64
+        }
+    }
+
+    /// Sample standard deviation of the execution times.
+    pub fn stddev(&self) -> f64 {
+        sgnn_dense::stats::stddev(&self.samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_aggregates() {
+        let mut t = StageTimer::new();
+        let v = t.time(|| 21 * 2);
+        assert_eq!(v, 42);
+        t.record(1.0);
+        t.record(3.0);
+        assert_eq!(t.count(), 3);
+        assert!(t.total() >= 4.0);
+        assert!(t.mean() > 0.0);
+    }
+
+    #[test]
+    fn empty_timer_is_zero() {
+        let t = StageTimer::new();
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.total(), 0.0);
+        assert_eq!(t.stddev(), 0.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! Spectral signal regression (the paper's Table 7, single column).
+//!
+//! Fits several filters to the band-pass target `g*(λ) = e^{-10(λ-1)²}` and
+//! prints the learned frequency responses next to the target — making the
+//! difference between low-pass-only and band-capable bases visible.
+//!
+//! ```sh
+//! cargo run --release --example signal_regression
+//! ```
+
+use std::sync::Arc;
+
+use spectral_gnn::core::make_filter;
+use spectral_gnn::data::signals::{regression_task, Signal};
+use spectral_gnn::data::{dataset_spec, GenScale};
+use spectral_gnn::sparse::PropMatrix;
+use spectral_gnn::train::regression::fit_signal;
+
+fn main() {
+    let data = dataset_spec("cora").unwrap().generate(GenScale::Tiny, 0);
+    let pm = Arc::new(PropMatrix::new(&data.graph, 0.5));
+    let task = regression_task(&pm, Signal::Band, 4, 0);
+    println!(
+        "target: {} = e^(-10(λ-1)²) on a {}-node graph",
+        task.signal.name(),
+        pm.n()
+    );
+
+    println!("\n{:<12} {:>8}", "filter", "R²×100");
+    for fname in ["Impulse", "HK", "Monomial", "Horner", "Chebyshev", "Bernstein", "OptBasis"] {
+        let filter = make_filter(fname, 10).unwrap();
+        let rep = fit_signal(filter, &pm, &task, 200, 0.05, 0);
+        println!("{:<12} {:>8.2}", fname, rep.r2.max(0.0) * 100.0);
+    }
+    println!(
+        "\nExpected shape (paper Table 7): low-pass fixed filters (Impulse, HK)\n\
+         cannot express a band-pass response; bases with genuine band capability\n\
+         (Horner's residual terms, OptBasis' adaptive basis) score far higher."
+    );
+}

@@ -1,0 +1,65 @@
+//! Why filters work: spectral energy of the task vs. filter responses
+//! (the paper's RQ7 in one screen).
+//!
+//! Decomposes the label signal of a homophilous and a heterophilous graph
+//! over the exact Laplacian eigenbasis, then prints the frequency responses
+//! of a low-pass and a high-pass-capable filter against those energy
+//! profiles.
+//!
+//! ```sh
+//! cargo run --release --example spectral_analysis
+//! ```
+
+use spectral_gnn::analysis::spectrum::{band_energy, label_signal, laplacian_spectrum};
+use spectral_gnn::core::filter::sample_response;
+use spectral_gnn::core::{make_filter, ResponseParams};
+use spectral_gnn::data::{csbm, CsbmParams, Metric};
+use spectral_gnn::sparse::PropMatrix;
+
+fn main() {
+    let base = CsbmParams {
+        nodes: 300,
+        edges: 1200,
+        classes: 3,
+        feature_dim: 16,
+        signal: 1.0,
+        degree_exponent: 2.5,
+        homophily: 0.0,
+    };
+    let bands = 8;
+
+    println!("label-signal energy per frequency band (λ ∈ [0,2], {bands} bands):");
+    for h in [0.85f64, 0.10] {
+        let params = CsbmParams { homophily: h, ..base.clone() };
+        let data = csbm::generate("g", &params, Metric::Accuracy, 0);
+        let pm = PropMatrix::new(&data.graph, 0.5);
+        let eig = laplacian_spectrum(&pm);
+        let energy = band_energy(&eig, &label_signal(&data.labels, data.num_classes), bands);
+        let bar: String = energy
+            .iter()
+            .map(|&e| {
+                let level = (e * 40.0).round() as usize;
+                format!("{:>5.2}{}", e, " ".repeat(0) + &"#".repeat(level.min(40)))
+            })
+            .collect::<Vec<_>>()
+            .join("\n    ");
+        println!("\n  homophily {h:.2} (measured {:.2}):\n    {bar}", data.node_homophily());
+    }
+
+    println!("\nfilter responses g(λ) sampled on [0, 2]:");
+    for name in ["Impulse", "FAGNN"] {
+        let filter = make_filter(name, 10).unwrap();
+        let rp = ResponseParams::initial(&filter.spec(16));
+        let samples = sample_response(filter.as_ref(), &rp, 9);
+        let line: Vec<String> =
+            samples.iter().map(|(l, g)| format!("g({l:.2})={g:+.3}")).collect();
+        println!("  {:<8} {}", name, line.join(" "));
+    }
+    println!(
+        "\nReading: under homophily the label energy concentrates in the low\n\
+         bands, matching the low-pass Impulse response; under heterophily the\n\
+         energy moves to high bands, where only the high-pass channel of\n\
+         FAGNN responds — the alignment the paper identifies as the root of\n\
+         filter effectiveness (C3/C6)."
+    );
+}

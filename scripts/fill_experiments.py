@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Splices harness output (results_raw.log) into EXPERIMENTS.md.
+
+Each `<!-- RESULTS:key -->` marker is replaced by the matching `== … ==`
+block(s) from the log, wrapped in a code fence. Re-runnable: markers are
+preserved inside the fences.
+"""
+import re
+import sys
+
+HEADERS = {
+    "table1": "== Table 1:",
+    "table3": "== Table 3:",
+    "table5": "== Table 5:",
+    "table6": "== Table 6:",
+    "table7": "== Table 7:",
+    "table9": "== Table 9:",
+    "table10": "== Table 10:",
+    "table11": "== Table 11:",
+    "fig2": "== Figure 2:",
+    "fig3": "== Figure 3:",
+    "fig4": "== Figure 4:",
+    "fig5": "== Figure 5:",
+    "fig6": "== Figure 6:",
+    "fig7": "== Figure 7:",
+    "fig8": "== Figure 8:",
+    "fig9": "== Figure 9:",
+    "fig10": "== Figure 10:",
+}
+
+
+def blocks(log: str):
+    """Yield (header_line, body) for each `== … ==` section of the log."""
+    out = {}
+    cur_key, cur = None, []
+    for line in log.splitlines():
+        if line.startswith("== "):
+            if cur_key is not None:
+                out.setdefault(cur_key, []).append("\n".join(cur).strip("\n"))
+            cur_key, cur = line, [line]
+        elif cur_key is not None:
+            cur.append(line)
+    if cur_key is not None:
+        out.setdefault(cur_key, []).append("\n".join(cur).strip("\n"))
+    return out
+
+
+def main(log_path: str, md_path: str) -> None:
+    log = open(log_path).read()
+    md = open(md_path).read()
+    secs = blocks(log)
+
+    def body_for(key: str) -> str | None:
+        prefix = HEADERS[key]
+        parts = []
+        for header, bodies in secs.items():
+            if header.startswith(prefix):
+                parts.extend(bodies)
+        return "\n\n".join(parts) if parts else None
+
+    for key in HEADERS:
+        marker = f"<!-- RESULTS:{key} -->"
+        if marker not in md:
+            continue
+        body = body_for(key)
+        if body is None:
+            print(f"warning: no log section for {key}", file=sys.stderr)
+            continue
+        # Replace marker (and any previous fenced block right after it).
+        pattern = re.escape(marker) + r"(\n```text\n.*?\n```)?"
+        replacement = f"{marker}\n```text\n{body}\n```"
+        md = re.sub(pattern, replacement.replace("\\", "\\\\"), md, count=1, flags=re.S)
+    open(md_path, "w").write(md)
+    print("EXPERIMENTS.md updated")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "results_raw.log",
+         sys.argv[2] if len(sys.argv) > 2 else "EXPERIMENTS.md")
