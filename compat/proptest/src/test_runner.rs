@@ -1,0 +1,92 @@
+//! Per-case deterministic RNG and run configuration.
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; keep the offline runner snappier.
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// Marker returned by `prop_assume!` to skip (not fail) a case.
+#[derive(Clone, Copy, Debug)]
+pub struct Rejected;
+
+/// SplitMix64 stream seeded from the property name and case index, so every
+/// case is reproducible without persisted seeds.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Deterministic RNG for case `case` of property `name`.
+    pub fn for_case(name: &str, case: u32) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            state: h ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[lo, lo + span)`; `lo` when the span is empty.
+    /// (Callers pass `span = hi - lo`.)
+    pub fn below(&mut self, lo: u64, span_or_hi: u64) -> u64 {
+        let span = span_or_hi.wrapping_sub(lo);
+        if span == 0 {
+            return lo;
+        }
+        // Modulo draw: bias is ~span/2^64, irrelevant for test sampling.
+        lo.wrapping_add(self.next_u64() % span)
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 random bits.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_names_give_distinct_streams() {
+        let a = TestRng::for_case("alpha", 0).next_u64();
+        let b = TestRng::for_case("beta", 0).next_u64();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn unit_f64_stays_in_half_open_interval() {
+        let mut rng = TestRng::for_case("unit", 7);
+        for _ in 0..10_000 {
+            let u = rng.unit_f64();
+            assert!((0.0..1.0).contains(&u), "{u}");
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Offline stand-in for the `rand` crate (0.9 API subset).
+//!
+//! The build environment of this repository has no access to a crates
+//! registry, so the workspace vendors the thin slice of `rand` it actually
+//! uses: [`rngs::SmallRng`] (xoshiro256++ seeded through SplitMix64, the
+//! same generator real `rand` 0.9 uses for `SmallRng` on 64-bit targets),
+//! [`SeedableRng::seed_from_u64`], and the [`Rng`] methods `random`,
+//! `random_range`, and `random_bool`.
+//!
+//! Determinism is the only contract the benchmark relies on: every
+//! experiment seeds its generator explicitly, and the statistical tests
+//! (Gaussian moments, homophily targets, training accuracy) only require a
+//! generator of reasonable quality, which xoshiro256++ provides.
+
+pub mod rngs;
+
+/// Low-level generator interface: everything derives from `next_u64`.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits (upper half of `next_u64`).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding interface (only the `u64` convenience constructor is provided).
+pub trait SeedableRng: Sized {
+    /// Expands a `u64` seed into the generator's full state via SplitMix64.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable uniformly from an [`RngCore`] (the `StandardUniform`
+/// distribution of real `rand`, folded into a single trait).
+pub trait UniformSample {
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl UniformSample for f32 {
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 24 high bits -> [0, 1) with full f32 mantissa resolution.
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl UniformSample for f64 {
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits -> [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl UniformSample for u32 {
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl UniformSample for u64 {
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl UniformSample for bool {
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges samplable uniformly (the `SampleRange` trait of real `rand`).
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Unbiased integer sampling in `[0, span)` (Lemire's method with
+/// rejection).
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (span as u128);
+        let lo = m as u64;
+        if lo < span {
+            let threshold = span.wrapping_neg() % span;
+            if lo < threshold {
+                continue;
+            }
+        }
+        return (m >> 64) as u64;
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width range: every value is admissible.
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let u: $t = UniformSample::sample_uniform(rng);
+                self.start + (self.end - self.start) * u
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+/// User-facing generator interface.
+pub trait Rng: RngCore {
+    /// A uniform sample of `T` (floats in `[0, 1)`, full width for
+    /// integers).
+    fn random<T: UniformSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_uniform(self)
+    }
+
+    /// A uniform sample from `range`.
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+
+    #[test]
+    fn seeding_is_deterministic_and_seed_sensitive() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(1);
+        let mut c = SmallRng::seed_from_u64(2);
+        let (xa, xb, xc) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(xa, xb);
+        assert_ne!(xa, xc);
+    }
+
+    #[test]
+    fn unit_floats_stay_in_range() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let f: f32 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+            let d: f64 = rng.random();
+            assert!((0.0..1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = rng.random_range(5u32..17);
+            assert!((5..17).contains(&v));
+            let w = rng.random_range(0usize..=3);
+            assert!(w <= 3);
+            let f = rng.random_range(-2.0f32..2.0);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn small_ranges_hit_every_value() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut seen = [false; 4];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,108 @@
+//! Offline stand-in for `serde_json` (the subset this workspace uses:
+//! `to_string` / `to_string_pretty` over the vendored `serde` facade).
+
+use std::fmt;
+
+/// Serialization error. The vendored pipeline is infallible, but the
+/// signature mirrors `serde_json` so call sites keep their error handling.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Compact JSON encoding.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Two-space-indented JSON encoding (re-formats the compact output;
+/// string-aware so braces inside values survive).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let compact = to_string(value)?;
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut indent = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let push_newline = |out: &mut String, indent: usize| {
+        out.push('\n');
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+    };
+    let mut chars = compact.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                // Keep empty containers on one line.
+                if let Some(&close) = chars.peek() {
+                    if (c == '{' && close == '}') || (c == '[' && close == ']') {
+                        out.push(close);
+                        chars.next();
+                        continue;
+                    }
+                }
+                indent += 1;
+                push_newline(&mut out, indent);
+            }
+            '}' | ']' => {
+                indent = indent.saturating_sub(1);
+                push_newline(&mut out, indent);
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                push_newline(&mut out, indent);
+            }
+            ':' => {
+                out.push_str(": ");
+            }
+            c => out.push(c),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_print_is_string_aware() {
+        let rows = vec![("a{b".to_string(), 1u32), ("c".to_string(), 2)];
+        let pretty = to_string_pretty(&rows).unwrap();
+        assert!(pretty.contains("\"a{b\""), "{pretty}");
+        assert!(pretty.contains('\n'));
+        let compact = to_string(&rows).unwrap();
+        assert_eq!(compact, "[[\"a{b\",1],[\"c\",2]]");
+    }
+
+    #[test]
+    fn empty_containers_stay_inline() {
+        let v: Vec<u8> = Vec::new();
+        assert_eq!(to_string_pretty(&v).unwrap(), "[]");
+    }
+}

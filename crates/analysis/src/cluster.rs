@@ -3,7 +3,10 @@
 use sgnn_dense::DMat;
 
 fn sq_dist(a: &[f32], b: &[f32]) -> f64 {
-    a.iter().zip(b).map(|(&x, &y)| ((x - y) as f64).powi(2)).sum()
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| ((x - y) as f64).powi(2))
+        .sum()
 }
 
 /// Mean silhouette score of `points` under `labels` (Euclidean), in

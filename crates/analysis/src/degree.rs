@@ -26,8 +26,14 @@ pub struct DegreeGapReport {
 pub fn degree_gap(logits: &DMat, data: &Dataset) -> DegreeGapReport {
     let (low_all, high_all) = degree_buckets(&data.graph);
     let in_test: std::collections::HashSet<u32> = data.splits.test.iter().copied().collect();
-    let low: Vec<u32> = low_all.into_iter().filter(|i| in_test.contains(i)).collect();
-    let high: Vec<u32> = high_all.into_iter().filter(|i| in_test.contains(i)).collect();
+    let low: Vec<u32> = low_all
+        .into_iter()
+        .filter(|i| in_test.contains(i))
+        .collect();
+    let high: Vec<u32> = high_all
+        .into_iter()
+        .filter(|i| in_test.contains(i))
+        .collect();
     let eval = |idx: &[u32]| -> f64 {
         if idx.is_empty() {
             return 0.0;

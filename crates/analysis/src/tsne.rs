@@ -17,7 +17,12 @@ pub struct TsneConfig {
 
 impl Default for TsneConfig {
     fn default() -> Self {
-        Self { perplexity: 30.0, iterations: 300, learning_rate: 100.0, seed: 0 }
+        Self {
+            perplexity: 30.0,
+            iterations: 300,
+            learning_rate: 100.0,
+            seed: 0,
+        }
     }
 }
 
@@ -29,7 +34,12 @@ pub fn tsne(x: &DMat, cfg: &TsneConfig) -> DMat {
 
     let mut rng = drng::seeded(cfg.seed);
     let mut y: Vec<[f64; 2]> = (0..n)
-        .map(|_| [drng::randn(&mut rng) as f64 * 1e-2, drng::randn(&mut rng) as f64 * 1e-2])
+        .map(|_| {
+            [
+                drng::randn(&mut rng) as f64 * 1e-2,
+                drng::randn(&mut rng) as f64 * 1e-2,
+            ]
+        })
         .collect();
     let mut vel = vec![[0.0f64; 2]; n];
 
@@ -124,7 +134,11 @@ fn joint_affinities(x: &DMat, perplexity: f64) -> Vec<f64> {
             }
             if entropy > target_entropy {
                 lo = beta;
-                beta = if hi >= 1e12 { beta * 2.0 } else { (beta + hi) / 2.0 };
+                beta = if hi >= 1e12 {
+                    beta * 2.0
+                } else {
+                    (beta + hi) / 2.0
+                };
             } else {
                 hi = beta;
                 beta = (beta + lo) / 2.0;
@@ -167,7 +181,13 @@ mod tests {
             let center = if r < n / 2 { -8.0 } else { 8.0 };
             center + drng::randn(&mut rng)
         });
-        let y = tsne(&x, &TsneConfig { iterations: 250, ..Default::default() });
+        let y = tsne(
+            &x,
+            &TsneConfig {
+                iterations: 250,
+                ..Default::default()
+            },
+        );
         // Mean intra-blob distance must be well below inter-blob distance.
         let dist = |a: usize, b: usize| {
             let dx = (y.get(a, 0) - y.get(b, 0)) as f64;
@@ -200,7 +220,10 @@ mod tests {
     #[test]
     fn output_shape_and_determinism() {
         let x = DMat::from_fn(10, 3, |r, c| ((r * 3 + c) % 7) as f32);
-        let cfg = TsneConfig { iterations: 50, ..Default::default() };
+        let cfg = TsneConfig {
+            iterations: 50,
+            ..Default::default()
+        };
         let a = tsne(&x, &cfg);
         let b = tsne(&x, &cfg);
         assert_eq!(a.shape(), (10, 2));

@@ -31,8 +31,10 @@ pub fn check_grads(
     eps: f32,
 ) -> GradCheckReport {
     // Snapshot analytic grads first (eval must not touch them).
-    let analytic: Vec<Vec<f32>> =
-        ids.iter().map(|&id| params.grad(id).data().to_vec()).collect();
+    let analytic: Vec<Vec<f32>> = ids
+        .iter()
+        .map(|&id| params.grad(id).data().to_vec())
+        .collect();
     let mut max_rel_err = 0.0f64;
     let mut checked = 0usize;
     for (slot, &id) in ids.iter().enumerate() {
@@ -54,7 +56,10 @@ pub fn check_grads(
             checked += 1;
         }
     }
-    GradCheckReport { max_rel_err, checked }
+    GradCheckReport {
+        max_rel_err,
+        checked,
+    }
 }
 
 #[cfg(test)]
@@ -102,15 +107,27 @@ mod tests {
             1e-3,
         );
         assert!(report.checked > 0);
-        assert!(report.max_rel_err < 5e-3, "max rel err {}", report.max_rel_err);
+        assert!(
+            report.max_rel_err < 5e-3,
+            "max rel err {}",
+            report.max_rel_err
+        );
     }
 
     #[test]
     fn attention_ops_gradients_verify() {
         let mut rng = drng::seeded(21);
         let mut ps = ParamStore::new();
-        let q = ps.add("q", drng::randn_mat(4, 1, 0.5, &mut rng), ParamGroup::Network);
-        let v = ps.add("v", drng::randn_mat(4, 4, 0.5, &mut rng), ParamGroup::Network);
+        let q = ps.add(
+            "q",
+            drng::randn_mat(4, 1, 0.5, &mut rng),
+            ParamGroup::Network,
+        );
+        let v = ps.add(
+            "v",
+            drng::randn_mat(4, 4, 0.5, &mut rng),
+            ParamGroup::Network,
+        );
         let x = drng::randn_mat(6, 8, 1.0, &mut rng);
         let target = drng::randn_mat(6, 4, 1.0, &mut rng);
 
@@ -148,16 +165,30 @@ mod tests {
             },
             1e-3,
         );
-        assert!(report.max_rel_err < 5e-3, "max rel err {}", report.max_rel_err);
+        assert!(
+            report.max_rel_err < 5e-3,
+            "max rel err {}",
+            report.max_rel_err
+        );
     }
 
     #[test]
     fn lin_comb_and_colscale_gradients_verify() {
         let mut rng = drng::seeded(5);
         let mut ps = ParamStore::new();
-        let theta = ps.add("theta", drng::randn_mat(3, 1, 0.5, &mut rng), ParamGroup::Filter);
-        let w = ps.add("w", drng::randn_mat(1, 4, 0.5, &mut rng), ParamGroup::Filter);
-        let terms: Vec<DMat> = (0..3).map(|_| drng::randn_mat(6, 4, 1.0, &mut rng)).collect();
+        let theta = ps.add(
+            "theta",
+            drng::randn_mat(3, 1, 0.5, &mut rng),
+            ParamGroup::Filter,
+        );
+        let w = ps.add(
+            "w",
+            drng::randn_mat(1, 4, 0.5, &mut rng),
+            ParamGroup::Filter,
+        );
+        let terms: Vec<DMat> = (0..3)
+            .map(|_| drng::randn_mat(6, 4, 1.0, &mut rng))
+            .collect();
         let target = drng::randn_mat(6, 4, 1.0, &mut rng);
 
         let build = |ps: &ParamStore| -> (Tape, usize) {
@@ -183,6 +214,10 @@ mod tests {
             },
             1e-3,
         );
-        assert!(report.max_rel_err < 5e-3, "max rel err {}", report.max_rel_err);
+        assert!(
+            report.max_rel_err < 5e-3,
+            "max rel err {}",
+            report.max_rel_err
+        );
     }
 }

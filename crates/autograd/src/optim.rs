@@ -16,7 +16,10 @@ pub struct GroupHyper {
 
 impl Default for GroupHyper {
     fn default() -> Self {
-        Self { lr: 0.01, weight_decay: 0.0 }
+        Self {
+            lr: 0.01,
+            weight_decay: 0.0,
+        }
     }
 }
 
@@ -40,7 +43,10 @@ impl Sgd {
     /// Same hyperparameters for both groups.
     pub fn new(lr: f32, weight_decay: f32) -> Self {
         let h = GroupHyper { lr, weight_decay };
-        Self { network: h, filter: h }
+        Self {
+            network: h,
+            filter: h,
+        }
     }
 }
 
@@ -87,7 +93,16 @@ impl Adam {
 
     /// Separate network / filter hyperparameters (Table 4's individual scheme).
     pub fn with_groups(network: GroupHyper, filter: GroupHyper) -> Self {
-        Self { network, filter, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Self {
+            network,
+            filter,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     fn ensure_state(&mut self, params: &ParamStore) {
@@ -195,8 +210,14 @@ mod tests {
         ps.accumulate_grad(wn, &DMat::filled(1, 1, 1.0));
         ps.accumulate_grad(th, &DMat::filled(1, 1, 1.0));
         let mut opt = Sgd {
-            network: GroupHyper { lr: 0.1, weight_decay: 0.0 },
-            filter: GroupHyper { lr: 0.001, weight_decay: 0.0 },
+            network: GroupHyper {
+                lr: 0.1,
+                weight_decay: 0.0,
+            },
+            filter: GroupHyper {
+                lr: 0.001,
+                weight_decay: 0.0,
+            },
         };
         opt.step(&mut ps);
         assert!((ps.value(wn).get(0, 0) + 0.1).abs() < 1e-7);

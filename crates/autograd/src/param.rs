@@ -42,7 +42,12 @@ impl ParamStore {
     /// Registers a parameter and returns its handle.
     pub fn add(&mut self, name: impl Into<String>, value: DMat, group: ParamGroup) -> ParamId {
         let (r, c) = value.shape();
-        self.params.push(Param { name: name.into(), grad: DMat::zeros(r, c), value, group });
+        self.params.push(Param {
+            name: name.into(),
+            grad: DMat::zeros(r, c),
+            value,
+            group,
+        });
         ParamId(self.params.len() - 1)
     }
 
@@ -112,14 +117,23 @@ impl ParamStore {
 
     /// Heap bytes of parameter values + gradient buffers (device-memory model).
     pub fn nbytes(&self) -> usize {
-        self.params.iter().map(|p| p.value.nbytes() + p.grad.nbytes()).sum()
+        self.params
+            .iter()
+            .map(|p| p.value.nbytes() + p.grad.nbytes())
+            .sum()
     }
 
     /// Global L2 norm of all gradients — used for divergence diagnostics.
     pub fn grad_norm(&self) -> f64 {
         self.params
             .iter()
-            .map(|p| p.grad.data().iter().map(|&g| (g as f64) * (g as f64)).sum::<f64>())
+            .map(|p| {
+                p.grad
+                    .data()
+                    .iter()
+                    .map(|&g| (g as f64) * (g as f64))
+                    .sum::<f64>()
+            })
             .sum::<f64>()
             .sqrt()
     }

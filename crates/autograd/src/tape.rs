@@ -10,6 +10,7 @@ use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 use rand::Rng;
+use sgnn_dense::runtime::run_chunks;
 use sgnn_dense::{matmul, rng as drng, DMat};
 use sgnn_sparse::PropMatrix;
 
@@ -30,31 +31,72 @@ enum Op {
     Add(NodeId, NodeId),
     Sub(NodeId, NodeId),
     Scale(NodeId, f32),
-    AddBias { x: NodeId, bias: NodeId },
+    AddBias {
+        x: NodeId,
+        bias: NodeId,
+    },
     Hadamard(NodeId, NodeId),
     /// Column-wise scaling by a `1 × C` vector (per-feature filter weights).
-    ColScale { x: NodeId, w: NodeId },
+    ColScale {
+        x: NodeId,
+        w: NodeId,
+    },
     /// Row-wise scaling by an `n × 1` vector (attention weights).
-    RowScale { x: NodeId, w: NodeId },
+    RowScale {
+        x: NodeId,
+        w: NodeId,
+    },
     /// Row-wise softmax (attention normalization).
     SoftmaxRows(NodeId),
     /// Contiguous column slice `[start, start+len)`.
-    SliceCols { x: NodeId, start: usize, len: usize },
+    SliceCols {
+        x: NodeId,
+        start: usize,
+        len: usize,
+    },
     Relu(NodeId),
     Tanh(NodeId),
     Recip(NodeId),
-    Dropout { x: NodeId, mask: DMat },
+    Dropout {
+        x: NodeId,
+        mask: DMat,
+    },
     /// One propagation hop `a·Ã·x + b·x`; adjoint uses `Ãᵀ`.
-    Prop { pm: Arc<PropMatrix>, a: f32, b: f32, x: NodeId },
+    Prop {
+        pm: Arc<PropMatrix>,
+        a: f32,
+        b: f32,
+        x: NodeId,
+    },
     HCat(Vec<NodeId>),
-    GatherRows { x: NodeId, idx: Arc<Vec<u32>> },
+    GatherRows {
+        x: NodeId,
+        idx: Arc<Vec<u32>>,
+    },
     /// `Σ_k coeffs[k] · terms[k]` with a `K × 1` coefficient node.
-    LinComb { terms: Vec<NodeId>, coeffs: NodeId },
-    SoftmaxCrossEntropy { logits: NodeId, targets: Arc<Vec<u32>>, probs: DMat },
-    BceWithLogits { logits: NodeId, targets: Arc<Vec<f32>>, probs: DMat },
-    Mse { pred: NodeId, target: DMat },
+    LinComb {
+        terms: Vec<NodeId>,
+        coeffs: NodeId,
+    },
+    SoftmaxCrossEntropy {
+        logits: NodeId,
+        targets: Arc<Vec<u32>>,
+        probs: DMat,
+    },
+    BceWithLogits {
+        logits: NodeId,
+        targets: Arc<Vec<f32>>,
+        probs: DMat,
+    },
+    Mse {
+        pred: NodeId,
+        target: DMat,
+    },
     Sum(NodeId),
-    Custom { inputs: Vec<NodeId>, op: Box<dyn CustomOp> },
+    Custom {
+        inputs: Vec<NodeId>,
+        op: Box<dyn CustomOp>,
+    },
 }
 
 struct Node {
@@ -75,7 +117,11 @@ impl Tape {
     /// Creates a tape. `training` controls dropout; `seed` makes dropout
     /// masks reproducible.
     pub fn new(training: bool, seed: u64) -> Self {
-        Self { nodes: Vec::new(), training, rng: drng::seeded(seed) }
+        Self {
+            nodes: Vec::new(),
+            training,
+            rng: drng::seeded(seed),
+        }
     }
 
     /// Whether dropout is active.
@@ -125,7 +171,12 @@ impl Tape {
     }
 
     fn push(&mut self, value: DMat, needs_grad: bool, op: Op) -> NodeId {
-        self.nodes.push(Node { value, grad: None, needs_grad, op });
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            needs_grad,
+            op,
+        });
         self.nodes.len() - 1
     }
 
@@ -212,7 +263,11 @@ impl Tape {
     pub fn col_scale(&mut self, x: NodeId, w: NodeId) -> NodeId {
         let wv = self.value(w);
         assert_eq!(wv.rows(), 1, "column weights must be a row vector");
-        assert_eq!(wv.cols(), self.value(x).cols(), "column weight width mismatch");
+        assert_eq!(
+            wv.cols(),
+            self.value(x).cols(),
+            "column weight width mismatch"
+        );
         let wrow: Vec<f32> = wv.row(0).to_vec();
         let mut v = self.value(x).clone();
         for r in 0..v.rows() {
@@ -228,7 +283,11 @@ impl Tape {
     pub fn row_scale(&mut self, x: NodeId, w: NodeId) -> NodeId {
         let wv = self.value(w);
         assert_eq!(wv.cols(), 1, "row weights must be a column vector");
-        assert_eq!(wv.rows(), self.value(x).rows(), "row weight height mismatch");
+        assert_eq!(
+            wv.rows(),
+            self.value(x).rows(),
+            "row weight height mismatch"
+        );
         let wcol: Vec<f32> = (0..wv.rows()).map(|r| wv.get(r, 0)).collect();
         let mut v = self.value(x).clone();
         for (r, &s) in wcol.iter().enumerate() {
@@ -238,12 +297,16 @@ impl Tape {
         self.push(v, ng, Op::RowScale { x, w })
     }
 
-    /// Numerically-stable softmax along each row.
+    /// Numerically-stable softmax along each row. Rows are independent, so
+    /// attention-sized inputs (`n × n`) normalize across the worker pool.
     pub fn softmax_rows(&mut self, x: NodeId) -> NodeId {
         let mut v = self.value(x).clone();
-        for r in 0..v.rows() {
-            sgnn_dense::stats::softmax_inplace(v.row_mut(r));
-        }
+        let (rows, cols) = v.shape();
+        run_chunks(v.data_mut(), rows, cols.max(1), |_, chunk| {
+            for row in chunk.chunks_exact_mut(cols.max(1)) {
+                sgnn_dense::stats::softmax_inplace(row);
+            }
+        });
         let ng = self.needs(x);
         self.push(v, ng, Op::SoftmaxRows(x))
     }
@@ -312,7 +375,16 @@ impl Tape {
     pub fn prop(&mut self, pm: &Arc<PropMatrix>, a: f32, b: f32, x: NodeId) -> NodeId {
         let v = pm.prop(a, b, self.value(x));
         let ng = self.needs(x);
-        self.push(v, ng, Op::Prop { pm: Arc::clone(pm), a, b, x })
+        self.push(
+            v,
+            ng,
+            Op::Prop {
+                pm: Arc::clone(pm),
+                a,
+                b,
+                x,
+            },
+        )
     }
 
     /// Horizontal concatenation.
@@ -342,7 +414,14 @@ impl Tape {
             v.axpy(c, self.value(t));
         }
         let ng = self.needs(coeffs) || terms.iter().any(|&t| self.needs(t));
-        self.push(v, ng, Op::LinComb { terms: terms.to_vec(), coeffs })
+        self.push(
+            v,
+            ng,
+            Op::LinComb {
+                terms: terms.to_vec(),
+                coeffs,
+            },
+        )
     }
 
     /// Records a custom op: caller supplies the forward `value` and the
@@ -370,7 +449,15 @@ impl Tape {
         let n = targets.len().max(1);
         let v = DMat::from_vec(1, 1, vec![(loss / n as f64) as f32]);
         let ng = self.needs(logits);
-        self.push(v, ng, Op::SoftmaxCrossEntropy { logits, targets, probs })
+        self.push(
+            v,
+            ng,
+            Op::SoftmaxCrossEntropy {
+                logits,
+                targets,
+                probs,
+            },
+        )
     }
 
     /// Mean binary cross-entropy with logits; `logits` is `n × 1`.
@@ -390,7 +477,15 @@ impl Tape {
         let n = targets.len().max(1);
         let v = DMat::from_vec(1, 1, vec![(loss / n as f64) as f32]);
         let ng = self.needs(logits);
-        self.push(v, ng, Op::BceWithLogits { logits, targets, probs })
+        self.push(
+            v,
+            ng,
+            Op::BceWithLogits {
+                logits,
+                targets,
+                probs,
+            },
+        )
     }
 
     /// Mean squared error against a constant target.
@@ -422,13 +517,19 @@ impl Tape {
     /// # Panics
     /// Panics if `loss` is not a `1 × 1` node.
     pub fn backward(&mut self, loss: NodeId, store: &mut ParamStore) {
-        assert_eq!(self.value(loss).shape(), (1, 1), "backward needs a scalar loss");
+        assert_eq!(
+            self.value(loss).shape(),
+            (1, 1),
+            "backward needs a scalar loss"
+        );
         self.nodes[loss].grad = Some(DMat::filled(1, 1, 1.0));
         for i in (0..=loss).rev() {
             if !self.nodes[i].needs_grad {
                 continue;
             }
-            let Some(gout) = self.nodes[i].grad.take() else { continue };
+            let Some(gout) = self.nodes[i].grad.take() else {
+                continue;
+            };
             // Param leaves: push gradient to the store.
             if let Op::Param(pid) = self.nodes[i].op {
                 store.accumulate_grad(pid, &gout);
@@ -511,20 +612,26 @@ impl Tape {
                 vec![(*x, gx), (*w, gw)]
             }
             Op::SoftmaxRows(x) => {
-                // dx_i = y_i (g_i − Σ_j g_j y_j) per row.
+                // dx_i = y_i (g_i − Σ_j g_j y_j) per row; rows are
+                // independent, so the backward also runs over the pool.
                 let y = &node.value;
                 let mut g = gout.clone();
-                for r in 0..g.rows() {
-                    let dot: f64 = y
-                        .row(r)
-                        .iter()
-                        .zip(gout.row(r))
-                        .map(|(&yy, &gg)| yy as f64 * gg as f64)
-                        .sum();
-                    for (gv, &yy) in g.row_mut(r).iter_mut().zip(y.row(r)) {
-                        *gv = yy * (*gv - dot as f32);
+                let (rows, cols) = g.shape();
+                let ydat = y.data();
+                run_chunks(g.data_mut(), rows, cols.max(1), |first, chunk| {
+                    for (local, grow) in chunk.chunks_exact_mut(cols.max(1)).enumerate() {
+                        let r = first + local;
+                        let yrow = &ydat[r * cols..(r + 1) * cols];
+                        let dot: f64 = yrow
+                            .iter()
+                            .zip(grow.iter())
+                            .map(|(&yy, &gg)| yy as f64 * gg as f64)
+                            .sum();
+                        for (gv, &yy) in grow.iter_mut().zip(yrow) {
+                            *gv = yy * (*gv - dot as f32);
+                        }
                     }
-                }
+                });
                 vec![(*x, g)]
             }
             Op::SliceCols { x, start, len } => {
@@ -546,8 +653,7 @@ impl Tape {
                 }
                 let mut gw = DMat::zeros(1, wv.cols());
                 for r in 0..xv.rows() {
-                    for ((g, &xx), &go) in
-                        gw.row_mut(0).iter_mut().zip(xv.row(r)).zip(gout.row(r))
+                    for ((g, &xx), &go) in gw.row_mut(0).iter_mut().zip(xv.row(r)).zip(gout.row(r))
                     {
                         *g += xx * go;
                     }
@@ -620,7 +726,11 @@ impl Tape {
                 }
                 out
             }
-            Op::SoftmaxCrossEntropy { logits, targets, probs } => {
+            Op::SoftmaxCrossEntropy {
+                logits,
+                targets,
+                probs,
+            } => {
                 let scale = gout.get(0, 0) / targets.len().max(1) as f32;
                 let mut g = probs.clone();
                 for (r, &y) in targets.iter().enumerate() {
@@ -630,7 +740,11 @@ impl Tape {
                 }
                 vec![(*logits, g)]
             }
-            Op::BceWithLogits { logits, targets, probs } => {
+            Op::BceWithLogits {
+                logits,
+                targets,
+                probs,
+            } => {
                 let scale = gout.get(0, 0) / targets.len().max(1) as f32;
                 let mut g = DMat::zeros(probs.rows(), 1);
                 for (r, &t) in targets.iter().enumerate() {
@@ -652,7 +766,11 @@ impl Tape {
             Op::Custom { inputs, op } => {
                 let vals: Vec<&DMat> = inputs.iter().map(|&j| self.value(j)).collect();
                 let grads = op.backward(&vals, gout);
-                assert_eq!(grads.len(), inputs.len(), "custom op must return one grad slot per input");
+                assert_eq!(
+                    grads.len(),
+                    inputs.len(),
+                    "custom op must return one grad slot per input"
+                );
                 inputs
                     .iter()
                     .zip(grads)
@@ -672,8 +790,16 @@ mod tests {
     #[test]
     fn matmul_bias_relu_gradients_flow() {
         let mut ps = ParamStore::new();
-        let w = ps.add("w", DMat::from_fn(2, 2, |r, c| (r + c) as f32 * 0.5 - 0.3), ParamGroup::Network);
-        let b = ps.add("b", DMat::from_vec(1, 2, vec![0.1, -0.2]), ParamGroup::Network);
+        let w = ps.add(
+            "w",
+            DMat::from_fn(2, 2, |r, c| (r + c) as f32 * 0.5 - 0.3),
+            ParamGroup::Network,
+        );
+        let b = ps.add(
+            "b",
+            DMat::from_vec(1, 2, vec![0.1, -0.2]),
+            ParamGroup::Network,
+        );
         let mut t = Tape::new(true, 0);
         let x = t.constant(DMat::from_fn(3, 2, |r, c| (r * 2 + c) as f32 * 0.3));
         let wn = t.param(&ps, w);
@@ -703,7 +829,11 @@ mod tests {
     #[test]
     fn lin_comb_gradients() {
         let mut ps = ParamStore::new();
-        let theta = ps.add("theta", DMat::from_vec(2, 1, vec![0.5, 2.0]), ParamGroup::Filter);
+        let theta = ps.add(
+            "theta",
+            DMat::from_vec(2, 1, vec![0.5, 2.0]),
+            ParamGroup::Filter,
+        );
         let mut t = Tape::new(true, 0);
         let t0 = t.constant(DMat::filled(2, 2, 1.0));
         let t1 = t.constant(DMat::filled(2, 2, 3.0));
@@ -747,15 +877,18 @@ mod tests {
         let mut t = Tape::new(true, 7);
         let x = t.constant(DMat::filled(100, 100, 1.0));
         let d = t.dropout(x, 0.3);
-        let mean: f64 =
-            t.value(d).data().iter().map(|&v| v as f64).sum::<f64>() / 10_000.0;
+        let mean: f64 = t.value(d).data().iter().map(|&v| v as f64).sum::<f64>() / 10_000.0;
         assert!((mean - 1.0).abs() < 0.05, "inverted dropout mean {mean}");
     }
 
     #[test]
     fn gather_rows_backward_scatters() {
         let mut ps = ParamStore::new();
-        let w = ps.add("w", DMat::from_fn(3, 2, |r, c| (r + c) as f32), ParamGroup::Network);
+        let w = ps.add(
+            "w",
+            DMat::from_fn(3, 2, |r, c| (r + c) as f32),
+            ParamGroup::Network,
+        );
         let mut t = Tape::new(true, 0);
         let wn = t.param(&ps, w);
         let g = t.gather_rows(wn, Arc::new(vec![2, 2, 0]));

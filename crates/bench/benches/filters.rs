@@ -27,7 +27,17 @@ fn bench_filters(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("filter_propagate_k10");
     group.sample_size(10);
-    for name in ["Identity", "PPR", "Monomial", "Chebyshev", "ChebInterp", "Bernstein", "OptBasis", "FAGNN", "FiGURe"] {
+    for name in [
+        "Identity",
+        "PPR",
+        "Monomial",
+        "Chebyshev",
+        "ChebInterp",
+        "Bernstein",
+        "OptBasis",
+        "FAGNN",
+        "FiGURe",
+    ] {
         let filter = make_filter(name, 10).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
             b.iter(|| {

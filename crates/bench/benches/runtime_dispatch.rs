@@ -1,0 +1,129 @@
+//! Dispatch-cost microbenchmark: per-call thread spawning vs the persistent
+//! worker pool.
+//!
+//! The workload is the 256×64 output matmul (`256×64 · 64×64`) — 16 Ki
+//! output elements, exactly at the runtime's parallel cutoff, so dispatch
+//! overhead is a visible fraction of total time. The `scoped_spawn` variant
+//! reproduces the pre-pool strategy (spawn one OS thread per row chunk on
+//! every call, via `std::thread::scope`); `persistent_pool` is the shipped
+//! [`sgnn_dense::runtime`] path. The pool must win: it pays one condvar
+//! wake instead of a thread create + join per chunk.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sgnn_dense::runtime::{num_threads, run_chunks, set_threads};
+use sgnn_dense::{matmul::matmul, DMat};
+use std::hint::black_box;
+
+/// Lanes both variants dispatch across. Pinned explicitly so the comparison
+/// exercises multi-lane dispatch even on single-core CI hosts, where the
+/// default width would be 1 and both paths would degenerate to serial.
+const LANES: usize = 4;
+
+/// The old per-call strategy: same row-chunked matmul kernel, but every
+/// invocation spawns fresh scoped threads.
+fn matmul_scoped_spawn(a: &DMat, b: &DMat) -> DMat {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = DMat::zeros(m, n);
+    let adat = a.data();
+    let bdat = b.data();
+    let threads = num_threads().min(m.max(1));
+    let rows_per = m.div_ceil(threads);
+    let kernel = |first: usize, chunk: &mut [f32]| {
+        for (local_r, orow) in chunk.chunks_exact_mut(n).enumerate() {
+            let r = first + local_r;
+            let arow = &adat[r * k..(r + 1) * k];
+            for (kk, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &bdat[kk * n..(kk + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o = bv.mul_add(av, *o);
+                }
+            }
+        }
+    };
+    std::thread::scope(|s| {
+        let mut rest = out.data_mut();
+        let mut first = 0usize;
+        while !rest.is_empty() {
+            let take = (rows_per * n).min(rest.len());
+            let (chunk, tail) = rest.split_at_mut(take);
+            let fr = first;
+            let kref = &kernel;
+            s.spawn(move || kref(fr, chunk));
+            first += take / n;
+            rest = tail;
+        }
+    });
+    out
+}
+
+/// The per-call half of the overhead pair: same trivial kernel, fresh
+/// scoped threads every invocation.
+fn touch_rows_scoped_spawn(data: &mut [f32], rows: usize, cols: usize) {
+    let threads = num_threads().min(rows.max(1));
+    let rows_per = rows.div_ceil(threads);
+    std::thread::scope(|s| {
+        let mut rest = data;
+        let mut first = 0usize;
+        while !rest.is_empty() {
+            let take = (rows_per * cols).min(rest.len());
+            let (chunk, tail) = rest.split_at_mut(take);
+            let fr = first;
+            s.spawn(move || touch_kernel(fr, chunk));
+            first += take / cols;
+            rest = tail;
+        }
+    });
+}
+
+fn touch_kernel(first: usize, chunk: &mut [f32]) {
+    for (i, v) in chunk.iter_mut().enumerate() {
+        *v += (first + i) as f32;
+    }
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    set_threads(LANES);
+    let a = DMat::from_fn(256, 64, |r, cc| {
+        ((r * 31 + cc * 17) % 13) as f32 * 0.1 - 0.5
+    });
+    let b = DMat::from_fn(64, 64, |r, cc| ((r * 5 + cc * 3) % 7) as f32 * 0.2 - 0.6);
+
+    // Headline pair: the real matmul kernel, dispatch included.
+    let mut group = c.benchmark_group("matmul_256x64_dispatch");
+    group.sample_size(30);
+    group.bench_function("scoped_spawn", |bch| {
+        bch.iter(|| black_box(matmul_scoped_spawn(&a, &b)))
+    });
+    group.bench_function("persistent_pool", |bch| {
+        bch.iter(|| black_box(matmul(&a, &b)))
+    });
+    group.finish();
+
+    // Overhead pair: near-empty kernel on the same 256×64 shape, so the
+    // measured time is almost entirely dispatch cost (thread create + join
+    // vs condvar wake).
+    let mut buf = vec![0.0f32; 256 * 64];
+    let mut group = c.benchmark_group("dispatch_overhead_256x64");
+    group.sample_size(30);
+    group.bench_function("scoped_spawn", |bch| {
+        bch.iter(|| {
+            touch_rows_scoped_spawn(&mut buf, 256, 64);
+            black_box(buf[0]);
+        })
+    });
+    group.bench_function("persistent_pool", |bch| {
+        bch.iter(|| {
+            run_chunks(&mut buf, 256, 64, touch_kernel);
+            black_box(buf[0]);
+        })
+    });
+    group.finish();
+    set_threads(0);
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

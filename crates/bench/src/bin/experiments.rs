@@ -32,7 +32,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         let flag = args[i].as_str();
         let take = |i: &mut usize| -> Result<String, String> {
             *i += 1;
-            args.get(*i).cloned().ok_or_else(|| format!("{flag} needs a value"))
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
         };
         match flag {
             "--scale" => {
@@ -44,13 +46,23 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 }
             }
             "--seeds" => opts.seeds = take(&mut i)?.parse().map_err(|e| format!("--seeds: {e}"))?,
-            "--epochs" => opts.epochs = take(&mut i)?.parse().map_err(|e| format!("--epochs: {e}"))?,
+            "--epochs" => {
+                opts.epochs = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--epochs: {e}"))?
+            }
             "--hops" => opts.hops = take(&mut i)?.parse().map_err(|e| format!("--hops: {e}"))?,
-            "--hidden" => opts.hidden = take(&mut i)?.parse().map_err(|e| format!("--hidden: {e}"))?,
+            "--hidden" => {
+                opts.hidden = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--hidden: {e}"))?
+            }
             "--filters" => opts.filters = take(&mut i)?.split(',').map(str::to_string).collect(),
             "--datasets" => opts.datasets = take(&mut i)?.split(',').map(str::to_string).collect(),
             "--device-budget-mb" => {
-                let mb: usize = take(&mut i)?.parse().map_err(|e| format!("--device-budget-mb: {e}"))?;
+                let mb: usize = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--device-budget-mb: {e}"))?;
                 opts.device_budget = mb << 20;
             }
             "--json" => opts.json = true,
@@ -94,7 +106,10 @@ const ALL_TARGETS: &[&str] = &[
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(target) = args.first().cloned() else {
-        eprintln!("usage: experiments <target> [flags]; targets: {} all", ALL_TARGETS.join(" "));
+        eprintln!(
+            "usage: experiments <target> [flags]; targets: {} all",
+            ALL_TARGETS.join(" ")
+        );
         std::process::exit(2);
     };
     let opts = match parse_opts(&args[1..]) {
@@ -113,7 +128,10 @@ fn main() {
         match dispatch(&target, &opts) {
             Some(out) => println!("{out}"),
             None => {
-                eprintln!("unknown target {target}; targets: {} all", ALL_TARGETS.join(" "));
+                eprintln!(
+                    "unknown target {target}; targets: {} all",
+                    ALL_TARGETS.join(" ")
+                );
                 std::process::exit(2);
             }
         }

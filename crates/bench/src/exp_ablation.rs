@@ -41,10 +41,17 @@ fn alpha_sweep(opts: &Opts, out: &mut String, rows: &mut Vec<AlphaRow>) {
         let data = opts.load_dataset(dname, 0);
         let mut line = format!("  {dname:<14}");
         for &alpha in &alphas {
-            let filter: Arc<dyn SpectralFilter> = Arc::new(Ppr { hops: opts.hops, alpha });
+            let filter: Arc<dyn SpectralFilter> = Arc::new(Ppr {
+                hops: opts.hops,
+                alpha,
+            });
             let r = train_full_batch(filter, &data, &opts.train_config(0));
             let _ = write!(line, " α={alpha:.2}:{:.3}", r.test_metric);
-            rows.push(AlphaRow { dataset: dname.clone(), alpha, metric: r.test_metric });
+            rows.push(AlphaRow {
+                dataset: dname.clone(),
+                alpha,
+                metric: r.test_metric,
+            });
         }
         let _ = writeln!(out, "{line}");
     }
@@ -68,10 +75,15 @@ fn learned_responses(opts: &Opts, out: &mut String, rows: &mut Vec<ResponseRow>)
         let (_, model, store) = train_full_batch_model(filter, &data, &opts.train_config(0));
         let rp = model.filter.response_params(&store);
         let grid: Vec<f64> = (0..=8).map(|i| 0.25 * i as f64).collect();
-        let resp: Vec<f64> =
-            grid.iter().map(|&l| model.filter.filter().response(l, &rp)).collect();
-        let line: Vec<String> =
-            grid.iter().zip(&resp).map(|(l, g)| format!("g({l:.2})={g:+.3}")).collect();
+        let resp: Vec<f64> = grid
+            .iter()
+            .map(|&l| model.filter.filter().response(l, &rp))
+            .collect();
+        let line: Vec<String> = grid
+            .iter()
+            .zip(&resp)
+            .map(|(l, g)| format!("g({l:.2})={g:+.3}"))
+            .collect();
         let _ = writeln!(out, "  {dname:<14} {}", line.join(" "));
         rows.push(ResponseRow {
             dataset: dname.clone(),
@@ -96,15 +108,32 @@ struct BackendRow {
 fn backend_ablation(opts: &Opts, out: &mut String, rows: &mut Vec<BackendRow>) {
     let data = opts.load_dataset(&opts.dataset_names(&["pubmed"])[0], 0);
     let x = drng::randn_mat(data.nodes(), opts.hidden, 1.0, &mut drng::seeded(0));
-    let _ = writeln!(out, "-- (c) propagation backend (n = {}, m = {}) --", data.nodes(), data.edges());
-    for (name, backend) in [("SP/csr", Backend::Csr), ("EI/edge-list", Backend::EdgeList)] {
+    let _ = writeln!(
+        out,
+        "-- (c) propagation backend (n = {}, m = {}) --",
+        data.nodes(),
+        data.edges()
+    );
+    for (name, backend) in [
+        ("SP/csr", Backend::Csr),
+        ("EI/edge-list", Backend::EdgeList),
+    ] {
         let pm = PropMatrix::with_options(&data.graph, 0.5, true, backend);
         let mut t = StageTimer::new();
         for _ in 0..5 {
             t.time(|| std::hint::black_box(pm.prop(1.0, 0.0, &x)));
         }
-        let _ = writeln!(out, "  {:<14} {:.5}s/hop (±{:.5})", name, t.mean(), t.stddev());
-        rows.push(BackendRow { backend: name.into(), seconds_per_hop: t.mean() });
+        let _ = writeln!(
+            out,
+            "  {:<14} {:.5}s/hop (±{:.5})",
+            name,
+            t.mean(),
+            t.stddev()
+        );
+        rows.push(BackendRow {
+            backend: name.into(),
+            seconds_per_hop: t.mean(),
+        });
     }
 }
 

@@ -25,7 +25,10 @@ pub fn run(opts: &Opts) -> String {
     let datasets = opts.dataset_names(&["cora", "pubmed", "flickr", "ogbn-arxiv", "ogbn-mag"]);
     let filters = opts.filter_names(&filter_sets::representatives());
     let mut out = String::new();
-    let _ = writeln!(out, "== Figure 3: effectiveness across scales (relative to best) ==");
+    let _ = writeln!(
+        out,
+        "== Figure 3: effectiveness across scales (relative to best) =="
+    );
     let mut rows = Vec::new();
     for dname in &datasets {
         let data = opts.load_dataset(dname, 0);
@@ -34,11 +37,22 @@ pub fn run(opts: &Opts) -> String {
             .iter()
             .map(|f| train_full_batch(opts.build_filter(f), &data, &cfg))
             .collect();
-        let best = reports.iter().map(|r| r.test_metric).fold(f64::MIN, f64::max);
+        let best = reports
+            .iter()
+            .map(|r| r.test_metric)
+            .fold(f64::MIN, f64::max);
         let _ = writeln!(out, "-- {dname} (n = {}) --", data.nodes());
         for r in &reports {
-            let rel = if best > 0.0 { r.test_metric / best } else { 0.0 };
-            let _ = writeln!(out, "  {:<12} metric={:.4} relative={:.3}", r.filter, r.test_metric, rel);
+            let rel = if best > 0.0 {
+                r.test_metric / best
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  {:<12} metric={:.4} relative={:.3}",
+                r.filter, r.test_metric, rel
+            );
             rows.push(Row {
                 dataset: dname.clone(),
                 nodes: data.nodes(),
@@ -47,7 +61,10 @@ pub fn run(opts: &Opts) -> String {
                 relative: rel,
             });
         }
-        let spread = reports.iter().map(|r| r.test_metric / best.max(1e-9)).fold(f64::MAX, f64::min);
+        let spread = reports
+            .iter()
+            .map(|r| r.test_metric / best.max(1e-9))
+            .fold(f64::MAX, f64::min);
         let _ = writeln!(out, "  spread: worst/best = {spread:.3}");
     }
     save_json(opts, "fig3", &rows);

@@ -26,14 +26,18 @@ pub fn run(opts: &Opts) -> String {
     let filters = opts.filter_names(&filter_sets::representatives());
     let seeds = opts.seeds.max(5);
     let mut out = String::new();
-    let _ = writeln!(out, "== Figure 4: accuracy spread over {seeds} shared seeds ==");
+    let _ = writeln!(
+        out,
+        "== Figure 4: accuracy spread over {seeds} shared seeds =="
+    );
     let mut rows = Vec::new();
     for dname in &datasets {
         let _ = writeln!(out, "-- {dname} --");
         // One dataset generation per seed, shared by every filter: variance
         // includes the split/topology difference, as the paper emphasizes.
-        let data_per_seed: Vec<_> =
-            (0..seeds).map(|s| opts.load_dataset(dname, s as u64)).collect();
+        let data_per_seed: Vec<_> = (0..seeds)
+            .map(|s| opts.load_dataset(dname, s as u64))
+            .collect();
         for fname in &filters {
             let per_seed: Vec<f64> = data_per_seed
                 .iter()

@@ -40,7 +40,7 @@ pub fn run(opts: &Opts) -> String {
         "filter", "sch", "host", "pre(s)", "epoch(s)"
     );
     let mut rows = Vec::new();
-    let threads = sgnn_dense::parallel::num_threads();
+    let threads = sgnn_dense::runtime::num_threads();
     for fname in &filters {
         for scheme in ["FB", "MB"] {
             if scheme == "MB" && !opts.build_filter(fname).mb_compatible() {

@@ -75,8 +75,7 @@ pub fn run(opts: &Opts) -> String {
                 for (b, chunk) in splits.train.pairs.chunks(batch).enumerate() {
                     store.zero_grads();
                     let start = (b * batch).min(splits.train.labels.len());
-                    let labels =
-                        splits.train.labels[start..start + chunk.len()].to_vec();
+                    let labels = splits.train.labels[start..start + chunk.len()].to_vec();
                     let mut tape = Tape::new(true, epoch * 1000 + b as u64);
                     let loss = head.loss(&mut tape, &z, chunk, labels, &store);
                     tape.backward(loss, &mut store);

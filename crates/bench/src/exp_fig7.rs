@@ -22,8 +22,20 @@ struct Row {
 /// Runs the hop sweep on one homophilous + one heterophilous dataset.
 pub fn run(opts: &Opts) -> String {
     let datasets = opts.dataset_names(&["cora", "roman-empire"]);
-    let filters = opts.filter_names(&["Linear", "Impulse", "PPR", "Gaussian", "Monomial", "Chebyshev", "Jacobi"]);
-    let hop_grid: Vec<usize> = if opts.hops <= 4 { vec![2, 4] } else { vec![2, 6, 10, 14, 20] };
+    let filters = opts.filter_names(&[
+        "Linear",
+        "Impulse",
+        "PPR",
+        "Gaussian",
+        "Monomial",
+        "Chebyshev",
+        "Jacobi",
+    ]);
+    let hop_grid: Vec<usize> = if opts.hops <= 4 {
+        vec![2, 4]
+    } else {
+        vec![2, 6, 10, 14, 20]
+    };
     let mut out = String::new();
     let _ = writeln!(out, "== Figure 7: effect of propagation hops K ==");
     let mut rows = Vec::new();

@@ -30,7 +30,10 @@ pub fn run(opts: &Opts) -> String {
     let datasets = opts.dataset_names(&["cora", "chameleon"]);
     let filters = opts.filter_names(&["Impulse", "PPR", "Monomial", "Chebyshev", "Jacobi"]);
     let mut out = String::new();
-    let _ = writeln!(out, "== Figure 8: t-SNE cluster quality of filter embeddings ==");
+    let _ = writeln!(
+        out,
+        "== Figure 8: t-SNE cluster quality of filter embeddings =="
+    );
     let mut rows = Vec::new();
     for dname in &datasets {
         let data = opts.load_dataset(dname, 0);
@@ -54,7 +57,14 @@ pub fn run(opts: &Opts) -> String {
                 &sgnn_core::op::CoeffValues::initial(&spec),
             );
             let sub = rep.gather_rows(&idx);
-            let coords = tsne(&sub, &TsneConfig { iterations: 200, seed: 0, ..Default::default() });
+            let coords = tsne(
+                &sub,
+                &TsneConfig {
+                    iterations: 200,
+                    seed: 0,
+                    ..Default::default()
+                },
+            );
             let sil = silhouette_score(&coords, &labels);
             let ratio = intra_inter_ratio(&coords, &labels);
             let _ = writeln!(
@@ -67,7 +77,9 @@ pub fn run(opts: &Opts) -> String {
                 filter: fname.clone(),
                 silhouette: sil,
                 intra_inter: ratio,
-                coords: (0..coords.rows()).map(|r| (coords.get(r, 0), coords.get(r, 1))).collect(),
+                coords: (0..coords.rows())
+                    .map(|r| (coords.get(r, 0), coords.get(r, 1)))
+                    .collect(),
             });
         }
     }

@@ -16,7 +16,11 @@ pub fn run(opts: &Opts) -> String {
     let x = drng::randn_mat(pm.n(), 8, 1.0, &mut drng::seeded(0));
 
     let mut out = String::new();
-    let _ = writeln!(out, "== Table 1: taxonomy of spectral filters (K = {}) ==", opts.hops);
+    let _ = writeln!(
+        out,
+        "== Table 1: taxonomy of spectral filters (K = {}) ==",
+        opts.hops
+    );
     let _ = writeln!(
         out,
         "{:<12} {:<9} {:<34} {:<14} {:<10} {:>6} {:>6}",
@@ -63,7 +67,13 @@ mod tests {
         }
         // Bernstein executes O(K²) hops — visibly more than K.
         let bern_line = out.lines().find(|l| l.starts_with("Bernstein")).unwrap();
-        let hops: usize = bern_line.split_whitespace().rev().nth(1).unwrap().parse().unwrap();
+        let hops: usize = bern_line
+            .split_whitespace()
+            .rev()
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
         assert!(hops > 4, "Bernstein hops {hops}");
     }
 }

@@ -25,7 +25,11 @@ struct Row {
 /// Generates every dataset at the selected scale and reports its statistics.
 pub fn run(opts: &Opts) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "== Table 3: dataset statistics (scale {:?}) ==", opts.scale);
+    let _ = writeln!(
+        out,
+        "== Table 3: dataset statistics (scale {:?}) ==",
+        opts.scale
+    );
     let _ = writeln!(
         out,
         "{:<16} {:>9} {:>11} {:>7} {:>7} {:>6} {:>5} {:>9} {:>6}",

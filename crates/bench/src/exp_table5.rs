@@ -38,8 +38,7 @@ pub fn run_scheme(opts: &Opts, scheme: &str) -> String {
     };
     let mut rows: Vec<AggregateRow> = Vec::new();
     for dname in &datasets {
-        let mut per_filter: Vec<Vec<sgnn_train::TrainReport>> =
-            vec![Vec::new(); filters.len()];
+        let mut per_filter: Vec<Vec<sgnn_train::TrainReport>> = vec![Vec::new(); filters.len()];
         let mut oom: Vec<bool> = vec![false; filters.len()];
         for seed in 0..opts.seeds {
             let data = opts.load_dataset(dname, seed as u64);
@@ -61,9 +60,17 @@ pub fn run_scheme(opts: &Opts, scheme: &str) -> String {
                         oom[fi] = true;
                         continue;
                     }
-                    per_filter[fi].push(train_full_batch(filter, &data, &opts.train_config(seed as u64)));
+                    per_filter[fi].push(train_full_batch(
+                        filter,
+                        &data,
+                        &opts.train_config(seed as u64),
+                    ));
                 } else {
-                    per_filter[fi].push(train_mini_batch(filter, &data, &opts.train_config(seed as u64)));
+                    per_filter[fi].push(train_mini_batch(
+                        filter,
+                        &data,
+                        &opts.train_config(seed as u64),
+                    ));
                 }
             }
         }

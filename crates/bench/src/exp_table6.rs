@@ -196,8 +196,9 @@ fn train_gt_sample(data: &Dataset, opts: &Opts) -> BaselineRow {
         &mut store,
         &mut rng,
     );
-    let anchors: Vec<u32> =
-        (0..anchors_n).map(|_| rand::Rng::random_range(&mut rng, 0..data.nodes() as u32)).collect();
+    let anchors: Vec<u32> = (0..anchors_n)
+        .map(|_| rand::Rng::random_range(&mut rng, 0..data.nodes() as u32))
+        .collect();
     let mut opt = Adam::new(0.01, 1e-4);
     let targets = Arc::new(data.targets_of(&data.splits.train));
     let idx = Arc::new(data.splits.train.clone());
@@ -241,11 +242,36 @@ pub fn run(opts: &Opts) -> String {
     let mut rows = Vec::new();
     for dname in &datasets {
         let data = opts.load_dataset(dname, 0);
-        rows.push(train_iterative(BaselineKind::Gcn, Backend::Csr, &data, opts));
-        rows.push(train_iterative(BaselineKind::GraphSage, Backend::Csr, &data, opts));
-        rows.push(train_iterative(BaselineKind::Gcn, Backend::EdgeList, &data, opts));
-        rows.push(train_iterative(BaselineKind::GraphSage, Backend::EdgeList, &data, opts));
-        rows.push(train_iterative(BaselineKind::ChebNet, Backend::EdgeList, &data, opts));
+        rows.push(train_iterative(
+            BaselineKind::Gcn,
+            Backend::Csr,
+            &data,
+            opts,
+        ));
+        rows.push(train_iterative(
+            BaselineKind::GraphSage,
+            Backend::Csr,
+            &data,
+            opts,
+        ));
+        rows.push(train_iterative(
+            BaselineKind::Gcn,
+            Backend::EdgeList,
+            &data,
+            opts,
+        ));
+        rows.push(train_iterative(
+            BaselineKind::GraphSage,
+            Backend::EdgeList,
+            &data,
+            opts,
+        ));
+        rows.push(train_iterative(
+            BaselineKind::ChebNet,
+            Backend::EdgeList,
+            &data,
+            opts,
+        ));
         rows.push(train_nagphormer(&data, opts));
         rows.push(train_gt_sample(&data, opts));
     }
@@ -259,7 +285,11 @@ pub fn run(opts: &Opts) -> String {
     );
     for r in &rows {
         if r.oom {
-            let _ = writeln!(out, "{:<12} {:<4} {:<16}    (OOM)", r.model, r.backend, r.dataset);
+            let _ = writeln!(
+                out,
+                "{:<12} {:<4} {:<16}    (OOM)",
+                r.model, r.backend, r.dataset
+            );
         } else {
             let _ = writeln!(
                 out,

@@ -29,13 +29,19 @@ pub fn run(opts: &Opts) -> String {
     let pm = Arc::new(PropMatrix::new(&data.graph, 0.5));
     // OptBasis has no closed-form response but fits signals fine;
     // Identity is excluded (nothing spectral to fit) like the paper.
-    let default: Vec<&str> =
-        filter_sets::all().into_iter().filter(|&f| f != "Identity").collect();
+    let default: Vec<&str> = filter_sets::all()
+        .into_iter()
+        .filter(|&f| f != "Identity")
+        .collect();
     let filters = opts.filter_names(&default);
     let epochs = opts.epochs.max(80);
 
     let mut out = String::new();
-    let _ = writeln!(out, "== Table 7: signal regression R² × 100 (n = {}) ==", pm.n());
+    let _ = writeln!(
+        out,
+        "== Table 7: signal regression R² × 100 (n = {}) ==",
+        pm.n()
+    );
     let _ = writeln!(
         out,
         "{:<12} {:>8} {:>8} {:>8} {:>8} {:>8}",
@@ -83,8 +89,11 @@ mod tests {
         opts.epochs = 60;
         let out = run(&opts);
         let line = out.lines().find(|l| l.starts_with("HK")).unwrap();
-        let vals: Vec<f64> =
-            line.split_whitespace().skip(1).map(|v| v.parse().unwrap()).collect();
+        let vals: Vec<f64> = line
+            .split_whitespace()
+            .skip(1)
+            .map(|v| v.parse().unwrap())
+            .collect();
         // LOW (index 3) must beat BAND (index 0) for the heat kernel.
         assert!(vals[3] > vals[0], "LOW {} vs BAND {}", vals[3], vals[0]);
     }

@@ -10,7 +10,14 @@ use crate::harness::{
 
 /// Medium and large datasets used by the efficiency tables.
 pub fn default_datasets() -> Vec<&'static str> {
-    vec!["flickr", "penn94", "ogbn-arxiv", "genius", "pokec", "snap-patents"]
+    vec![
+        "flickr",
+        "penn94",
+        "ogbn-arxiv",
+        "genius",
+        "pokec",
+        "snap-patents",
+    ]
 }
 
 /// Runs the efficiency sweep for one scheme (`"FB"` → Table 9, `"MB"` →

@@ -48,7 +48,14 @@ impl Default for Opts {
 impl Opts {
     /// Quick variant for integration tests: tiny graphs, one seed.
     pub fn tiny() -> Self {
-        Self { scale: GenScale::Tiny, seeds: 1, epochs: 25, hops: 4, hidden: 32, ..Self::default() }
+        Self {
+            scale: GenScale::Tiny,
+            seeds: 1,
+            epochs: 25,
+            hops: 4,
+            hidden: 32,
+            ..Self::default()
+        }
     }
 
     /// The training configuration for seed `s`.
@@ -159,7 +166,11 @@ pub fn render_table(title: &str, rows: &[AggregateRow], show_efficiency: bool) -
     }
     for r in rows {
         if r.oom {
-            let _ = writeln!(out, "{:<12} {:<16} {:<3}     (OOM)", r.filter, r.dataset, r.scheme);
+            let _ = writeln!(
+                out,
+                "{:<12} {:<16} {:<3}     (OOM)",
+                r.filter, r.dataset, r.scheme
+            );
             continue;
         }
         if show_efficiency {
@@ -250,7 +261,18 @@ pub mod filter_sets {
 
     /// Representative pick across the three types (used by figure sweeps).
     pub fn representatives() -> Vec<&'static str> {
-        vec!["Identity", "Linear", "Impulse", "PPR", "Monomial", "VarMonomial", "Chebyshev", "Jacobi", "FAGNN", "FiGURe"]
+        vec![
+            "Identity",
+            "Linear",
+            "Impulse",
+            "PPR",
+            "Monomial",
+            "VarMonomial",
+            "Chebyshev",
+            "Jacobi",
+            "FAGNN",
+            "FiGURe",
+        ]
     }
 }
 

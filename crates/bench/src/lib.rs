@@ -7,6 +7,7 @@
 //! comparison.
 
 pub mod exp_ablation;
+pub mod exp_fig10;
 pub mod exp_fig2;
 pub mod exp_fig3;
 pub mod exp_fig4;
@@ -15,7 +16,6 @@ pub mod exp_fig6;
 pub mod exp_fig7;
 pub mod exp_fig8;
 pub mod exp_fig9;
-pub mod exp_fig10;
 pub mod exp_table1;
 pub mod exp_table3;
 pub mod exp_table5;

@@ -47,7 +47,11 @@ impl Favard {
         vals.push(s[0] as f64);
         for k in 1..=self.hops {
             let prev = vals[k - 1];
-            let prev2 = if k >= 2 { vals[k - 2] / s[k - 1] as f64 } else { 0.0 };
+            let prev2 = if k >= 2 {
+                vals[k - 2] / s[k - 1] as f64
+            } else {
+                0.0
+            };
             vals.push(s[k] as f64 * (t * prev - beta[k] as f64 * prev - prev2));
         }
         vals
@@ -65,7 +69,9 @@ impl SpectralFilter for Favard {
         self.hops
     }
     fn spec(&self, _f: usize) -> FilterSpec {
-        let mut spec = FilterSpec::single(ThetaSpec::Learnable { init: impulse_init(self.hops) });
+        let mut spec = FilterSpec::single(ThetaSpec::Learnable {
+            init: impulse_init(self.hops),
+        });
         spec.extra.push(ExtraParamSpec {
             name: "scale",
             init: DMat::filled(self.hops + 1, 1, 1.0),
@@ -136,7 +142,11 @@ impl SpectralFilter for Favard {
         let s = params.extra.first().map(Vec::as_slice).unwrap_or(&ones);
         let b = params.extra.get(1).map(Vec::as_slice).unwrap_or(&zeros);
         let vals = self.scalar_terms(s, b, 1.0 - lambda);
-        params.theta[0].iter().zip(&vals).map(|(&t, &v)| t as f64 * v).sum()
+        params.theta[0]
+            .iter()
+            .zip(&vals)
+            .map(|(&t, &v)| t as f64 * v)
+            .sum()
     }
 }
 
@@ -161,7 +171,10 @@ pub struct OptBasis {
 
 impl OptBasis {
     pub fn new(hops: usize) -> Self {
-        Self { hops, saved: Mutex::new(None) }
+        Self {
+            hops,
+            saved: Mutex::new(None),
+        }
     }
 
     fn forward_terms(&self, ctx: &PropCtx<'_>, x: &DMat) -> Vec<DMat> {
@@ -176,7 +189,15 @@ impl OptBasis {
                     *acc += v as f64 * v as f64;
                 }
             }
-            n2.iter().map(|&s| if s > 0.0 { (1.0 / s.sqrt()) as f32 } else { 0.0 }).collect()
+            n2.iter()
+                .map(|&s| {
+                    if s > 0.0 {
+                        (1.0 / s.sqrt()) as f32
+                    } else {
+                        0.0
+                    }
+                })
+                .collect()
         };
         let col_dots = |a: &DMat, b: &DMat| -> Vec<f32> {
             let mut d = vec![0.0f64; a.cols()];
@@ -358,7 +379,11 @@ mod tests {
             },
             1e-3,
         );
-        assert!(report.max_rel_err < 1e-2, "max rel err {}", report.max_rel_err);
+        assert!(
+            report.max_rel_err < 1e-2,
+            "max rel err {}",
+            report.max_rel_err
+        );
     }
 
     #[test]
@@ -376,10 +401,7 @@ mod tests {
                         .map(|r| a.get(r, col) as f64 * b.get(r, col) as f64)
                         .sum();
                     let want = if i == j { 1.0 } else { 0.0 };
-                    assert!(
-                        (dot - want).abs() < 1e-3,
-                        "col {col}: ⟨T{i}, T{j}⟩ = {dot}"
-                    );
+                    assert!((dot - want).abs() < 1e-3, "col {col}: ⟨T{i}, T{j}⟩ = {dot}");
                 }
             }
         }
@@ -404,10 +426,12 @@ mod tests {
         for k in 0..=3 {
             // Per-column adjoint check.
             for c in 0..2 {
-                let lhs: f64 =
-                    (0..n).map(|r| fwd[0][k].get(r, c) as f64 * y.get(r, c) as f64).sum();
-                let rhs: f64 =
-                    (0..n).map(|r| x.get(r, c) as f64 * adj[0][k].get(r, c) as f64).sum();
+                let lhs: f64 = (0..n)
+                    .map(|r| fwd[0][k].get(r, c) as f64 * y.get(r, c) as f64)
+                    .sum();
+                let rhs: f64 = (0..n)
+                    .map(|r| x.get(r, c) as f64 * adj[0][k].get(r, c) as f64)
+                    .sum();
                 assert!((lhs - rhs).abs() < 1e-3, "k={k} c={c}: {lhs} vs {rhs}");
             }
         }

@@ -16,7 +16,10 @@ use sgnn_sparse::PropMatrix;
 
 use crate::filter::{ResponseParams, SpectralFilter};
 use crate::op::ParamHandles;
-use crate::poly::{affine_power, affine_power_sum, affine_power_terms, bernstein_terms, binomial, cheb_t, chebyshev_terms};
+use crate::poly::{
+    affine_power, affine_power_sum, affine_power_terms, bernstein_terms, binomial, cheb_t,
+    chebyshev_terms,
+};
 use crate::spec::{ChannelSpec, ExtraParamSpec, FilterSpec, Fusion, PropCtx, ThetaSpec};
 use crate::taxonomy::FilterKind;
 
@@ -124,7 +127,11 @@ fn hp_fixed(ctx: &PropCtx<'_>, x: &DMat, hops: usize) -> DMat {
 
 fn lp_response(hops: usize, k: usize, lambda: f64, fixed: bool) -> f64 {
     if fixed {
-        uniform(hops).iter().enumerate().map(|(i, &c)| c as f64 * (1.0 - lambda).powi(i as i32)).sum()
+        uniform(hops)
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| c as f64 * (1.0 - lambda).powi(i as i32))
+            .sum()
     } else {
         (1.0 - lambda).powi(k as i32)
     }
@@ -132,7 +139,11 @@ fn lp_response(hops: usize, k: usize, lambda: f64, fixed: bool) -> f64 {
 
 fn hp_response(hops: usize, k: usize, lambda: f64, fixed: bool) -> f64 {
     if fixed {
-        uniform(hops).iter().enumerate().map(|(i, &c)| c as f64 * lambda.powi(i as i32)).sum()
+        uniform(hops)
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| c as f64 * lambda.powi(i as i32))
+            .sum()
     } else {
         lambda.powi(k as i32)
     }
@@ -157,15 +168,24 @@ impl SpectralFilter for FbGnnI {
     fn spec(&self, _f: usize) -> FilterSpec {
         FilterSpec {
             channels: vec![
-                ChannelSpec { name: "lp", theta: ThetaSpec::Fixed(vec![1.0]) },
-                ChannelSpec { name: "hp", theta: ThetaSpec::Fixed(vec![1.0]) },
+                ChannelSpec {
+                    name: "lp",
+                    theta: ThetaSpec::Fixed(vec![1.0]),
+                },
+                ChannelSpec {
+                    name: "hp",
+                    theta: ThetaSpec::Fixed(vec![1.0]),
+                },
             ],
             fusion: Fusion::LearnableSum(vec![0.5, 0.5]),
             extra: Vec::new(),
         }
     }
     fn propagate(&self, ctx: &PropCtx<'_>, x: &DMat) -> Vec<Vec<DMat>> {
-        vec![vec![lp_fixed(ctx, x, self.hops)], vec![hp_fixed(ctx, x, self.hops)]]
+        vec![
+            vec![lp_fixed(ctx, x, self.hops)],
+            vec![hp_fixed(ctx, x, self.hops)],
+        ]
     }
     fn basis_value(&self, q: usize, k: usize, lambda: f64) -> f64 {
         if q == 0 {
@@ -199,8 +219,18 @@ impl SpectralFilter for FbGnnII {
     fn spec(&self, _f: usize) -> FilterSpec {
         FilterSpec {
             channels: vec![
-                ChannelSpec { name: "lp", theta: ThetaSpec::Learnable { init: uniform(self.hops) } },
-                ChannelSpec { name: "hp", theta: ThetaSpec::Learnable { init: uniform(self.hops) } },
+                ChannelSpec {
+                    name: "lp",
+                    theta: ThetaSpec::Learnable {
+                        init: uniform(self.hops),
+                    },
+                },
+                ChannelSpec {
+                    name: "hp",
+                    theta: ThetaSpec::Learnable {
+                        init: uniform(self.hops),
+                    },
+                },
             ],
             fusion: Fusion::LearnableSum(vec![0.5, 0.5]),
             extra: Vec::new(),
@@ -245,16 +275,29 @@ impl SpectralFilter for AcmGnnI {
         let third = 1.0 / 3.0;
         FilterSpec {
             channels: vec![
-                ChannelSpec { name: "lp", theta: ThetaSpec::Fixed(vec![1.0]) },
-                ChannelSpec { name: "hp", theta: ThetaSpec::Fixed(vec![1.0]) },
-                ChannelSpec { name: "id", theta: ThetaSpec::Fixed(vec![1.0]) },
+                ChannelSpec {
+                    name: "lp",
+                    theta: ThetaSpec::Fixed(vec![1.0]),
+                },
+                ChannelSpec {
+                    name: "hp",
+                    theta: ThetaSpec::Fixed(vec![1.0]),
+                },
+                ChannelSpec {
+                    name: "id",
+                    theta: ThetaSpec::Fixed(vec![1.0]),
+                },
             ],
             fusion: Fusion::LearnableSum(vec![third, third, third]),
             extra: Vec::new(),
         }
     }
     fn propagate(&self, ctx: &PropCtx<'_>, x: &DMat) -> Vec<Vec<DMat>> {
-        vec![vec![lp_fixed(ctx, x, self.hops)], vec![hp_fixed(ctx, x, self.hops)], vec![x.clone()]]
+        vec![
+            vec![lp_fixed(ctx, x, self.hops)],
+            vec![hp_fixed(ctx, x, self.hops)],
+            vec![x.clone()],
+        ]
     }
     fn basis_value(&self, q: usize, k: usize, lambda: f64) -> f64 {
         match q {
@@ -288,9 +331,22 @@ impl SpectralFilter for AcmGnnII {
     fn spec(&self, _f: usize) -> FilterSpec {
         FilterSpec {
             channels: vec![
-                ChannelSpec { name: "lp", theta: ThetaSpec::Learnable { init: uniform(self.hops) } },
-                ChannelSpec { name: "hp", theta: ThetaSpec::Learnable { init: uniform(self.hops) } },
-                ChannelSpec { name: "id", theta: ThetaSpec::Learnable { init: vec![1.0] } },
+                ChannelSpec {
+                    name: "lp",
+                    theta: ThetaSpec::Learnable {
+                        init: uniform(self.hops),
+                    },
+                },
+                ChannelSpec {
+                    name: "hp",
+                    theta: ThetaSpec::Learnable {
+                        init: uniform(self.hops),
+                    },
+                },
+                ChannelSpec {
+                    name: "id",
+                    theta: ThetaSpec::Learnable { init: vec![1.0] },
+                },
             ],
             fusion: Fusion::Concat,
             extra: Vec::new(),
@@ -337,8 +393,14 @@ impl SpectralFilter for FaGnn {
     fn spec(&self, _f: usize) -> FilterSpec {
         FilterSpec {
             channels: vec![
-                ChannelSpec { name: "lp", theta: ThetaSpec::Fixed(vec![1.0]) },
-                ChannelSpec { name: "hp", theta: ThetaSpec::Fixed(vec![1.0]) },
+                ChannelSpec {
+                    name: "lp",
+                    theta: ThetaSpec::Fixed(vec![1.0]),
+                },
+                ChannelSpec {
+                    name: "hp",
+                    theta: ThetaSpec::Fixed(vec![1.0]),
+                },
             ],
             fusion: Fusion::LearnableSum(vec![0.5, 0.5]),
             extra: Vec::new(),
@@ -408,8 +470,14 @@ impl SpectralFilter for G2Cn {
     fn spec(&self, _f: usize) -> FilterSpec {
         FilterSpec {
             channels: vec![
-                ChannelSpec { name: "low", theta: ThetaSpec::Fixed(vec![1.0]) },
-                ChannelSpec { name: "high", theta: ThetaSpec::Fixed(vec![1.0]) },
+                ChannelSpec {
+                    name: "low",
+                    theta: ThetaSpec::Fixed(vec![1.0]),
+                },
+                ChannelSpec {
+                    name: "high",
+                    theta: ThetaSpec::Fixed(vec![1.0]),
+                },
             ],
             fusion: Fusion::LearnableSum(vec![0.5, 0.5]),
             extra: Vec::new(),
@@ -442,7 +510,9 @@ pub struct GnnLfHf {
 
 impl GnnLfHf {
     fn ppr_coeffs(&self) -> Vec<f32> {
-        (0..=self.hops).map(|k| self.alpha * (1.0 - self.alpha).powi(k as i32)).collect()
+        (0..=self.hops)
+            .map(|k| self.alpha * (1.0 - self.alpha).powi(k as i32))
+            .collect()
     }
 
     fn ppr_response(&self, lambda: f64) -> f64 {
@@ -467,8 +537,14 @@ impl SpectralFilter for GnnLfHf {
     fn spec(&self, _f: usize) -> FilterSpec {
         FilterSpec {
             channels: vec![
-                ChannelSpec { name: "lf", theta: ThetaSpec::Fixed(vec![1.0]) },
-                ChannelSpec { name: "hf", theta: ThetaSpec::Fixed(vec![1.0]) },
+                ChannelSpec {
+                    name: "lf",
+                    theta: ThetaSpec::Fixed(vec![1.0]),
+                },
+                ChannelSpec {
+                    name: "hf",
+                    theta: ThetaSpec::Fixed(vec![1.0]),
+                },
             ],
             fusion: Fusion::LearnableSum(vec![0.5, 0.5]),
             extra: Vec::new(),
@@ -512,10 +588,28 @@ impl SpectralFilter for FiGURe {
     fn spec(&self, _f: usize) -> FilterSpec {
         FilterSpec {
             channels: vec![
-                ChannelSpec { name: "id", theta: ThetaSpec::Learnable { init: vec![1.0] } },
-                ChannelSpec { name: "mono", theta: ThetaSpec::Learnable { init: uniform(self.hops) } },
-                ChannelSpec { name: "cheb", theta: ThetaSpec::Learnable { init: impulse_init(self.hops) } },
-                ChannelSpec { name: "bern", theta: ThetaSpec::Learnable { init: vec![1.0; self.hops + 1] } },
+                ChannelSpec {
+                    name: "id",
+                    theta: ThetaSpec::Learnable { init: vec![1.0] },
+                },
+                ChannelSpec {
+                    name: "mono",
+                    theta: ThetaSpec::Learnable {
+                        init: uniform(self.hops),
+                    },
+                },
+                ChannelSpec {
+                    name: "cheb",
+                    theta: ThetaSpec::Learnable {
+                        init: impulse_init(self.hops),
+                    },
+                },
+                ChannelSpec {
+                    name: "bern",
+                    theta: ThetaSpec::Learnable {
+                        init: vec![1.0; self.hops + 1],
+                    },
+                },
             ],
             fusion: Fusion::LearnableSum(vec![0.25; 4]),
             extra: Vec::new(),
@@ -535,7 +629,8 @@ impl SpectralFilter for FiGURe {
             1 => (1.0 - lambda).powi(k as i32),
             2 => cheb_t(k, lambda - 1.0),
             _ => {
-                binomial(self.hops, k) * 0.5f64.powi(self.hops as i32)
+                binomial(self.hops, k)
+                    * 0.5f64.powi(self.hops as i32)
                     * (2.0 - lambda).powi((self.hops - k) as i32)
                     * lambda.powi(k as i32)
             }
@@ -551,14 +646,27 @@ mod tests {
     #[test]
     fn bank_filters_match_exact_spectral_filtering() {
         let filters: Vec<Box<dyn SpectralFilter>> = vec![
-            Box::new(AdaGnn { hops: 4, init_gate: 0.5, features: 3 }),
+            Box::new(AdaGnn {
+                hops: 4,
+                init_gate: 0.5,
+                features: 3,
+            }),
             Box::new(FbGnnI { hops: 5 }),
             Box::new(FbGnnII { hops: 5 }),
             Box::new(AcmGnnI { hops: 5 }),
             Box::new(AcmGnnII { hops: 4 }),
             Box::new(FaGnn { hops: 4, beta: 0.3 }),
-            Box::new(G2Cn { hops: 6, alpha_low: 1.0, alpha_high: 1.0 }),
-            Box::new(GnnLfHf { hops: 6, alpha: 0.2, beta_lf: 0.4, beta_hf: 0.4 }),
+            Box::new(G2Cn {
+                hops: 6,
+                alpha_low: 1.0,
+                alpha_high: 1.0,
+            }),
+            Box::new(GnnLfHf {
+                hops: 6,
+                alpha: 0.2,
+                beta_lf: 0.4,
+                beta_hf: 0.4,
+            }),
             Box::new(FiGURe { hops: 4 }),
         ];
         for f in &filters {
@@ -576,7 +684,11 @@ mod tests {
 
     #[test]
     fn g2cn_channels_concentrate_at_their_centers() {
-        let f = G2Cn { hops: 10, alpha_low: 1.5, alpha_high: 1.5 };
+        let f = G2Cn {
+            hops: 10,
+            alpha_low: 1.5,
+            alpha_high: 1.5,
+        };
         assert!(f.basis_value(0, 0, 0.0) > f.basis_value(0, 0, 1.5).abs());
         assert!(f.basis_value(1, 0, 2.0) > f.basis_value(1, 0, 0.5).abs());
     }
@@ -588,8 +700,11 @@ mod tests {
         use sgnn_sparse::Graph;
         let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
         let pm = Arc::new(PropMatrix::new(&g, 0.5));
-        let filter: Arc<dyn SpectralFilter> =
-            Arc::new(AdaGnn { hops: 3, init_gate: 0.5, features: 2 });
+        let filter: Arc<dyn SpectralFilter> = Arc::new(AdaGnn {
+            hops: 3,
+            init_gate: 0.5,
+            features: 2,
+        });
         let mut store = ParamStore::new();
         let module = FilterModule::new(Arc::clone(&filter), 2, &mut store);
         let gates = module.handles().extra[0];
@@ -614,7 +729,11 @@ mod tests {
             },
             1e-3,
         );
-        assert!(report.max_rel_err < 5e-3, "max rel err {}", report.max_rel_err);
+        assert!(
+            report.max_rel_err < 5e-3,
+            "max rel err {}",
+            report.max_rel_err
+        );
     }
 
     #[test]

@@ -31,9 +31,17 @@ impl ResponseParams {
             Fusion::FixedSum(w) | Fusion::LearnableSum(w) => w.clone(),
             Fusion::Concat => vec![1.0; spec.channels.len()],
         };
-        let theta = spec.channels.iter().map(|c| c.theta.initial_coefficients()).collect();
+        let theta = spec
+            .channels
+            .iter()
+            .map(|c| c.theta.initial_coefficients())
+            .collect();
         let extra = spec.extra.iter().map(|e| e.init.data().to_vec()).collect();
-        Self { gamma, theta, extra }
+        Self {
+            gamma,
+            theta,
+            extra,
+        }
     }
 }
 
@@ -160,8 +168,14 @@ mod tests {
         fn spec(&self, _f: usize) -> FilterSpec {
             FilterSpec {
                 channels: vec![
-                    ChannelSpec { name: "a", theta: ThetaSpec::Fixed(vec![1.0, 2.0]) },
-                    ChannelSpec { name: "b", theta: ThetaSpec::Fixed(vec![3.0]) },
+                    ChannelSpec {
+                        name: "a",
+                        theta: ThetaSpec::Fixed(vec![1.0, 2.0]),
+                    },
+                    ChannelSpec {
+                        name: "b",
+                        theta: ThetaSpec::Fixed(vec![3.0]),
+                    },
                 ],
                 fusion: Fusion::FixedSum(vec![1.0, 0.5]),
                 extra: Vec::new(),

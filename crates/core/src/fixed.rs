@@ -122,7 +122,11 @@ impl SpectralFilter for Monomial {
         vec![vec![affine_power_sum(ctx, x, 1.0, 0.0, &self.coeffs())]]
     }
     fn basis_value(&self, _q: usize, _k: usize, lambda: f64) -> f64 {
-        self.coeffs().iter().enumerate().map(|(k, &c)| c as f64 * (1.0 - lambda).powi(k as i32)).sum()
+        self.coeffs()
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| c as f64 * (1.0 - lambda).powi(k as i32))
+            .sum()
     }
 }
 
@@ -137,7 +141,9 @@ pub struct Ppr {
 
 impl Ppr {
     fn coeffs(&self) -> Vec<f32> {
-        (0..=self.hops).map(|k| self.alpha * (1.0 - self.alpha).powi(k as i32)).collect()
+        (0..=self.hops)
+            .map(|k| self.alpha * (1.0 - self.alpha).powi(k as i32))
+            .collect()
     }
 }
 
@@ -158,7 +164,11 @@ impl SpectralFilter for Ppr {
         vec![vec![affine_power_sum(ctx, x, 1.0, 0.0, &self.coeffs())]]
     }
     fn basis_value(&self, _q: usize, _k: usize, lambda: f64) -> f64 {
-        self.coeffs().iter().enumerate().map(|(k, &c)| c as f64 * (1.0 - lambda).powi(k as i32)).sum()
+        self.coeffs()
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| c as f64 * (1.0 - lambda).powi(k as i32))
+            .sum()
     }
 }
 
@@ -199,7 +209,11 @@ impl SpectralFilter for HeatKernel {
         vec![vec![affine_power_sum(ctx, x, 1.0, 0.0, &self.coeffs())]]
     }
     fn basis_value(&self, _q: usize, _k: usize, lambda: f64) -> f64 {
-        self.coeffs().iter().enumerate().map(|(k, &c)| c as f64 * (1.0 - lambda).powi(k as i32)).sum()
+        self.coeffs()
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| c as f64 * (1.0 - lambda).powi(k as i32))
+            .sum()
     }
 }
 
@@ -267,9 +281,19 @@ mod tests {
             Box::new(Linear),
             Box::new(Impulse { hops: 4 }),
             Box::new(Monomial { hops: 5 }),
-            Box::new(Ppr { hops: 8, alpha: 0.2 }),
-            Box::new(HeatKernel { hops: 8, alpha: 1.0 }),
-            Box::new(Gaussian { hops: 6, alpha: 1.0, center: 0.0 }),
+            Box::new(Ppr {
+                hops: 8,
+                alpha: 0.2,
+            }),
+            Box::new(HeatKernel {
+                hops: 8,
+                alpha: 1.0,
+            }),
+            Box::new(Gaussian {
+                hops: 6,
+                alpha: 1.0,
+                center: 0.0,
+            }),
         ];
         for f in &filters {
             check_filter_matches_spectral(f.as_ref(), 2e-3);
@@ -278,7 +302,10 @@ mod tests {
 
     #[test]
     fn ppr_coefficients_decay_geometrically() {
-        let p = Ppr { hops: 4, alpha: 0.3 };
+        let p = Ppr {
+            hops: 4,
+            alpha: 0.3,
+        };
         let c = p.coeffs();
         assert!((c[0] - 0.3).abs() < 1e-6);
         for w in c.windows(2) {
@@ -288,29 +315,53 @@ mod tests {
 
     #[test]
     fn hk_coefficients_sum_below_one() {
-        let h = HeatKernel { hops: 20, alpha: 2.0 };
+        let h = HeatKernel {
+            hops: 20,
+            alpha: 2.0,
+        };
         let s: f32 = h.coeffs().iter().sum();
         assert!(s <= 1.0 + 1e-5);
-        assert!(s > 0.99, "K=20 truncation should nearly exhaust e^-a a^k/k!");
+        assert!(
+            s > 0.99,
+            "K=20 truncation should nearly exhaust e^-a a^k/k!"
+        );
     }
 
     #[test]
     fn low_pass_filters_attenuate_high_frequencies() {
         for f in [
-            Box::new(Ppr { hops: 10, alpha: 0.2 }) as Box<dyn SpectralFilter>,
-            Box::new(HeatKernel { hops: 10, alpha: 1.0 }),
-            Box::new(Gaussian { hops: 10, alpha: 1.0, center: 0.0 }),
+            Box::new(Ppr {
+                hops: 10,
+                alpha: 0.2,
+            }) as Box<dyn SpectralFilter>,
+            Box::new(HeatKernel {
+                hops: 10,
+                alpha: 1.0,
+            }),
+            Box::new(Gaussian {
+                hops: 10,
+                alpha: 1.0,
+                center: 0.0,
+            }),
             Box::new(Monomial { hops: 10 }),
         ] {
             let low = f.initial_response(0.0, 1);
             let high = f.initial_response(1.8, 1);
-            assert!(low > high.abs(), "{} must be low-pass: g(0)={low} g(1.8)={high}", f.name());
+            assert!(
+                low > high.abs(),
+                "{} must be low-pass: g(0)={low} g(1.8)={high}",
+                f.name()
+            );
         }
     }
 
     #[test]
     fn high_centered_gaussian_is_high_pass() {
-        let g = Gaussian { hops: 10, alpha: 1.0, center: 2.0 };
+        let g = Gaussian {
+            hops: 10,
+            alpha: 1.0,
+            center: 2.0,
+        };
         assert!(g.initial_response(2.0, 1) > g.initial_response(0.2, 1).abs());
     }
 
@@ -329,10 +380,19 @@ mod tests {
         let (pm, _) = small_graph_pm();
         let x = drng::randn_mat(pm.n(), 2, 1.0, &mut drng::seeded(1));
         let ctx = PropCtx::forward(&pm);
-        let _ = Ppr { hops: 7, alpha: 0.1 }.propagate(&ctx, &x);
+        let _ = Ppr {
+            hops: 7,
+            alpha: 0.1,
+        }
+        .propagate(&ctx, &x);
         assert_eq!(ctx.hops_used(), 7);
         let ctx2 = PropCtx::forward(&pm);
-        let _ = Gaussian { hops: 6, alpha: 1.0, center: 0.0 }.propagate(&ctx2, &x);
+        let _ = Gaussian {
+            hops: 6,
+            alpha: 1.0,
+            center: 0.0,
+        }
+        .propagate(&ctx2, &x);
         assert_eq!(ctx2.hops_used(), 6);
     }
 }

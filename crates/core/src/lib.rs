@@ -28,9 +28,9 @@ pub mod op;
 pub mod poly;
 pub mod registry;
 pub mod spec;
+pub mod taxonomy;
 #[cfg(test)]
 pub(crate) mod testutil;
-pub mod taxonomy;
 pub mod variable;
 
 pub use filter::{ResponseParams, SpectralFilter};

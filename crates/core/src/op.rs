@@ -21,8 +21,9 @@
 
 use std::sync::Arc;
 
-use sgnn_autograd::{CustomOp, NodeId, ParamId, ParamStore, Tape};
 use sgnn_autograd::param::ParamGroup;
+use sgnn_autograd::{CustomOp, NodeId, ParamId, ParamStore, Tape};
+use sgnn_dense::runtime::run_map;
 use sgnn_dense::{matmul, DMat};
 use sgnn_sparse::PropMatrix;
 
@@ -73,11 +74,17 @@ impl CoeffValues {
                 ThetaValues::Shared(v) => v.clone(),
                 ThetaValues::PerFeature(m) => {
                     let f = m.cols().max(1);
-                    (0..m.rows()).map(|k| m.row(k).iter().sum::<f32>() / f as f32).collect()
+                    (0..m.rows())
+                        .map(|k| m.row(k).iter().sum::<f32>() / f as f32)
+                        .collect()
                 }
             })
             .collect();
-        ResponseParams { gamma: self.gamma.clone(), theta, extra: Vec::new() }
+        ResponseParams {
+            gamma: self.gamma.clone(),
+            theta,
+            extra: Vec::new(),
+        }
     }
 }
 
@@ -111,10 +118,16 @@ pub fn combine_channel(terms: &[DMat], theta: &ThetaValues) -> DMat {
 }
 
 /// Eagerly combines all channels' terms into the filter output.
+///
+/// Channels are independent, so multi-channel filter banks combine across
+/// the worker pool (single-channel filters take the serial fallback).
 pub fn combine_eager(spec: &FilterSpec, terms: &[Vec<DMat>], cv: &CoeffValues) -> DMat {
-    assert_eq!(terms.len(), spec.channels.len(), "one term group per channel");
-    let outs: Vec<DMat> =
-        terms.iter().zip(&cv.theta).map(|(t, th)| combine_channel(t, th)).collect();
+    assert_eq!(
+        terms.len(),
+        spec.channels.len(),
+        "one term group per channel"
+    );
+    let outs: Vec<DMat> = run_map(terms.len(), |q| combine_channel(&terms[q], &cv.theta[q]));
     match &spec.fusion {
         Fusion::FixedSum(_) | Fusion::LearnableSum(_) => {
             let mut acc = outs[0].scaled(cv.gamma[0]);
@@ -152,18 +165,24 @@ pub struct FilterModule {
 impl FilterModule {
     /// Creates the filter's parameters in `store` for input width
     /// `in_features` and returns the bound module.
-    pub fn new(filter: Arc<dyn SpectralFilter>, in_features: usize, store: &mut ParamStore) -> Self {
+    pub fn new(
+        filter: Arc<dyn SpectralFilter>,
+        in_features: usize,
+        store: &mut ParamStore,
+    ) -> Self {
         let spec = filter.spec(in_features);
         spec.validate();
         let mut theta = Vec::with_capacity(spec.channels.len());
         for ch in &spec.channels {
             let id = match &ch.theta {
                 ThetaSpec::Fixed(_) => None,
-                ThetaSpec::Learnable { init } | ThetaSpec::Transformed { init, .. } => Some(store.add(
-                    format!("{}.{}.theta", filter.name(), ch.name),
-                    DMat::from_vec(init.len(), 1, init.clone()),
-                    ParamGroup::Filter,
-                )),
+                ThetaSpec::Learnable { init } | ThetaSpec::Transformed { init, .. } => {
+                    Some(store.add(
+                        format!("{}.{}.theta", filter.name(), ch.name),
+                        DMat::from_vec(init.len(), 1, init.clone()),
+                        ParamGroup::Filter,
+                    ))
+                }
                 ThetaSpec::PerFeature { init } => Some(store.add(
                     format!("{}.{}.theta", filter.name(), ch.name),
                     init.clone(),
@@ -184,10 +203,22 @@ impl FilterModule {
             .extra
             .iter()
             .map(|e| {
-                store.add(format!("{}.{}", filter.name(), e.name), e.init.clone(), ParamGroup::Filter)
+                store.add(
+                    format!("{}.{}", filter.name(), e.name),
+                    e.init.clone(),
+                    ParamGroup::Filter,
+                )
             })
             .collect();
-        Self { filter, spec, handles: ParamHandles { theta, gamma, extra } }
+        Self {
+            filter,
+            spec,
+            handles: ParamHandles {
+                theta,
+                gamma,
+                extra,
+            },
+        }
     }
 
     /// The wrapped filter.
@@ -239,8 +270,12 @@ impl FilterModule {
     /// trained filter).
     pub fn response_params(&self, store: &ParamStore) -> ResponseParams {
         let mut rp = self.coeff_values(store).to_response_params();
-        rp.extra =
-            self.handles.extra.iter().map(|&id| store.value(id).data().to_vec()).collect();
+        rp.extra = self
+            .handles
+            .extra
+            .iter()
+            .map(|&id| store.value(id).data().to_vec())
+            .collect();
         rp
     }
 
@@ -262,7 +297,10 @@ impl FilterModule {
         x: NodeId,
         store: &ParamStore,
     ) -> NodeId {
-        if let Some(node) = self.filter.apply_symbolic(tape, pm, x, &self.handles, store) {
+        if let Some(node) = self
+            .filter
+            .apply_symbolic(tape, pm, x, &self.handles, store)
+        {
             return node;
         }
         debug_assert!(
@@ -321,13 +359,20 @@ impl FilterModule {
         batch_terms: &[Vec<DMat>],
         store: &ParamStore,
     ) -> NodeId {
-        assert_eq!(batch_terms.len(), self.spec.channels.len(), "terms/channels mismatch");
+        assert_eq!(
+            batch_terms.len(),
+            self.spec.channels.len(),
+            "terms/channels mismatch"
+        );
         let mut channel_outs = Vec::with_capacity(batch_terms.len());
-        for ((ch, terms), theta_id) in
-            self.spec.channels.iter().zip(batch_terms).zip(&self.handles.theta)
+        for ((ch, terms), theta_id) in self
+            .spec
+            .channels
+            .iter()
+            .zip(batch_terms)
+            .zip(&self.handles.theta)
         {
-            let term_nodes: Vec<NodeId> =
-                terms.iter().map(|t| tape.constant(t.clone())).collect();
+            let term_nodes: Vec<NodeId> = terms.iter().map(|t| tape.constant(t.clone())).collect();
             let out = match (&ch.theta, theta_id) {
                 (ThetaSpec::Fixed(c), _) => {
                     let coeffs = tape.constant(DMat::from_vec(c.len(), 1, c.clone()));
@@ -420,7 +465,9 @@ impl FbFilterOp {
                 (ThetaSpec::Transformed { transform, .. }, Some(s)) => {
                     ThetaValues::Shared(matmul::matmul(transform, inputs[*s]).into_vec())
                 }
-                (ThetaSpec::PerFeature { .. }, Some(s)) => ThetaValues::PerFeature(inputs[*s].clone()),
+                (ThetaSpec::PerFeature { .. }, Some(s)) => {
+                    ThetaValues::PerFeature(inputs[*s].clone())
+                }
                 _ => unreachable!(),
             })
             .collect();
@@ -441,7 +488,8 @@ impl FbFilterOp {
                 let fw = gout.cols() / self.spec.channels.len();
                 let mut g = DMat::zeros(gout.rows(), fw);
                 for r in 0..gout.rows() {
-                    g.row_mut(r).copy_from_slice(&gout.row(r)[q * fw..(q + 1) * fw]);
+                    g.row_mut(r)
+                        .copy_from_slice(&gout.row(r)[q * fw..(q + 1) * fw]);
                 }
                 g
             }
@@ -474,8 +522,13 @@ impl CustomOp for FbFilterOp {
         }
 
         // θ gradients.
-        for (q, ((ch, slot), terms)) in
-            self.spec.channels.iter().zip(&self.theta_slots).zip(&self.terms).enumerate()
+        for (q, ((ch, slot), terms)) in self
+            .spec
+            .channels
+            .iter()
+            .zip(&self.theta_slots)
+            .zip(&self.terms)
+            .enumerate()
         {
             let Some(s) = slot else { continue };
             let gq = self.channel_gout(q, gout);
@@ -519,17 +572,20 @@ impl CustomOp for FbFilterOp {
         let ctx = PropCtx::adjoint(&self.pm);
         let dx = match self.spec.fusion {
             Fusion::Concat => {
-                let mut acc: Option<DMat> = None;
-                for q in 0..self.spec.channels.len() {
+                // Each channel re-runs the adjoint propagation on its own
+                // gradient block — independent work, fanned out over the
+                // pool; the final sum keeps the serial accumulation order.
+                let parts = run_map(self.spec.channels.len(), |q| {
                     let gq = self.channel_gout(q, gout);
                     let adj = self.filter.propagate(&ctx, &gq);
-                    let part = combine_channel(&adj[q], &cv.theta[q]);
-                    match &mut acc {
-                        None => acc = Some(part),
-                        Some(a) => a.add_assign_mat(&part),
-                    }
+                    combine_channel(&adj[q], &cv.theta[q])
+                });
+                let mut parts = parts.into_iter();
+                let mut acc = parts.next().expect("at least one channel");
+                for part in parts {
+                    acc.add_assign_mat(&part);
                 }
-                acc.expect("at least one channel")
+                acc
             }
             _ => {
                 let adj = self.filter.propagate(&ctx, gout);
@@ -552,7 +608,18 @@ mod tests {
     fn setup() -> (Arc<PropMatrix>, DMat) {
         let g = Graph::from_edges(
             8,
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 0), (0, 4), (2, 6)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 0),
+                (0, 4),
+                (2, 6),
+            ],
         );
         let pm = Arc::new(PropMatrix::new(&g, 0.5));
         let x = drng::randn_mat(8, 3, 1.0, &mut drng::seeded(3));
@@ -563,7 +630,10 @@ mod tests {
     fn fb_and_mb_paths_agree_at_init() {
         let (pm, x) = setup();
         for filter in [
-            Arc::new(Ppr { hops: 4, alpha: 0.3 }) as Arc<dyn SpectralFilter>,
+            Arc::new(Ppr {
+                hops: 4,
+                alpha: 0.3,
+            }) as Arc<dyn SpectralFilter>,
             Arc::new(Chebyshev { hops: 4 }),
         ] {
             let mut store = ParamStore::new();
@@ -589,7 +659,11 @@ mod tests {
         let (pm, x) = setup();
         let filter: Arc<dyn SpectralFilter> = Arc::new(Chebyshev { hops: 3 });
         let mut store = ParamStore::new();
-        let w = store.add("w", drng::glorot(3, 3, &mut drng::seeded(9)), ParamGroup::Network);
+        let w = store.add(
+            "w",
+            drng::glorot(3, 3, &mut drng::seeded(9)),
+            ParamGroup::Network,
+        );
         let module = FilterModule::new(Arc::clone(&filter), 3, &mut store);
         let theta = module.handles().theta[0].unwrap();
         let target = drng::randn_mat(8, 3, 1.0, &mut drng::seeded(4));
@@ -615,7 +689,11 @@ mod tests {
             },
             1e-3,
         );
-        assert!(report.max_rel_err < 5e-3, "max rel err {}", report.max_rel_err);
+        assert!(
+            report.max_rel_err < 5e-3,
+            "max rel err {}",
+            report.max_rel_err
+        );
     }
 
     #[test]
@@ -623,7 +701,11 @@ mod tests {
         let (pm, x) = setup();
         let filter: Arc<dyn SpectralFilter> = Arc::new(Linear);
         let mut store = ParamStore::new();
-        let w = store.add("w", drng::glorot(3, 2, &mut drng::seeded(1)), ParamGroup::Network);
+        let w = store.add(
+            "w",
+            drng::glorot(3, 2, &mut drng::seeded(1)),
+            ParamGroup::Network,
+        );
         let module = FilterModule::new(Arc::clone(&filter), 2, &mut store);
         let mut tape = Tape::new(false, 0);
         let xn = tape.constant(x.clone());
@@ -632,6 +714,9 @@ mod tests {
         let f = module.apply_fb(&mut tape, &pm, h, &store);
         let loss = tape.sum(f);
         tape.backward(loss, &mut store);
-        assert!(store.grad(w).norm() > 0.0, "gradient must pass through the fixed filter");
+        assert!(
+            store.grad(w).norm() > 0.0,
+            "gradient must pass through the fixed filter"
+        );
     }
 }

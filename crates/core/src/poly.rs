@@ -155,8 +155,10 @@ pub fn jacobi_p(k: usize, alpha: f64, beta: f64, t: f64) -> f64 {
         let jf = j as f64;
         let c = 2.0 * jf + alpha + beta;
         let d1 = (c * (c - 1.0)) / (2.0 * jf * (jf + alpha + beta));
-        let d2 = ((c - 1.0) * (alpha * alpha - beta * beta)) / (2.0 * jf * (jf + alpha + beta) * (c - 2.0));
-        let d3 = ((jf + alpha - 1.0) * (jf + beta - 1.0) * c) / (jf * (jf + alpha + beta) * (c - 2.0));
+        let d2 = ((c - 1.0) * (alpha * alpha - beta * beta))
+            / (2.0 * jf * (jf + alpha + beta) * (c - 2.0));
+        let d3 =
+            ((jf + alpha - 1.0) * (jf + beta - 1.0) * c) / (jf * (jf + alpha + beta) * (c - 2.0));
         let p2 = (d1 * t + d2) * p1 - d3 * p0;
         p0 = p1;
         p1 = p2;

@@ -7,7 +7,9 @@ use crate::adaptive::{Favard, OptBasis};
 use crate::bank::{AcmGnnI, AcmGnnII, AdaGnn, FaGnn, FbGnnI, FbGnnII, FiGURe, G2Cn, GnnLfHf};
 use crate::filter::SpectralFilter;
 use crate::fixed::{Gaussian, HeatKernel, Identity, Impulse, Linear, Monomial, Ppr};
-use crate::variable::{Bernstein, ChebInterp, Chebyshev, Clenshaw, Horner, Jacobi, Legendre, VarLinear, VarMonomial};
+use crate::variable::{
+    Bernstein, ChebInterp, Chebyshev, Clenshaw, Horner, Jacobi, Legendre, VarLinear, VarMonomial,
+};
 
 /// All 27 canonical filter names, in Table-1 order.
 pub fn all_filter_names() -> Vec<&'static str> {
@@ -62,26 +64,50 @@ pub fn make_filter(name: &str, hops: usize) -> Option<Arc<dyn SpectralFilter>> {
         "Monomial" => Arc::new(Monomial { hops }),
         "PPR" => Arc::new(Ppr { hops, alpha: 0.15 }),
         "HK" => Arc::new(HeatKernel { hops, alpha: 1.0 }),
-        "Gaussian" => Arc::new(Gaussian { hops, alpha: 1.0, center: 0.0 }),
+        "Gaussian" => Arc::new(Gaussian {
+            hops,
+            alpha: 1.0,
+            center: 0.0,
+        }),
         "VarLinear" => Arc::new(VarLinear { hops }),
-        "VarMonomial" => Arc::new(VarMonomial { hops, init_alpha: 0.15 }),
+        "VarMonomial" => Arc::new(VarMonomial {
+            hops,
+            init_alpha: 0.15,
+        }),
         "Horner" => Arc::new(Horner { hops }),
         "Chebyshev" => Arc::new(Chebyshev { hops }),
         "Clenshaw" => Arc::new(Clenshaw { hops }),
         "ChebInterp" => Arc::new(ChebInterp { hops }),
         "Bernstein" => Arc::new(Bernstein { hops }),
         "Legendre" => Arc::new(Legendre { hops }),
-        "Jacobi" => Arc::new(Jacobi { hops, a: 1.0, b: 1.0 }),
+        "Jacobi" => Arc::new(Jacobi {
+            hops,
+            a: 1.0,
+            b: 1.0,
+        }),
         "Favard" => Arc::new(Favard { hops }),
         "OptBasis" => Arc::new(OptBasis::new(hops)),
-        "AdaGNN" => Arc::new(AdaGnn { hops, init_gate: 0.5, features: 0 }),
+        "AdaGNN" => Arc::new(AdaGnn {
+            hops,
+            init_gate: 0.5,
+            features: 0,
+        }),
         "FBGNNI" => Arc::new(FbGnnI { hops }),
         "FBGNNII" => Arc::new(FbGnnII { hops }),
         "ACMGNNI" => Arc::new(AcmGnnI { hops }),
         "ACMGNNII" => Arc::new(AcmGnnII { hops }),
         "FAGNN" => Arc::new(FaGnn { hops, beta: 0.3 }),
-        "G2CN" => Arc::new(G2Cn { hops, alpha_low: 1.0, alpha_high: 1.0 }),
-        "GNN-LF/HF" => Arc::new(GnnLfHf { hops, alpha: 0.15, beta_lf: 0.4, beta_hf: 0.4 }),
+        "G2CN" => Arc::new(G2Cn {
+            hops,
+            alpha_low: 1.0,
+            alpha_high: 1.0,
+        }),
+        "GNN-LF/HF" => Arc::new(GnnLfHf {
+            hops,
+            alpha: 0.15,
+            beta_lf: 0.4,
+            beta_hf: 0.4,
+        }),
         "FiGURe" => Arc::new(FiGURe { hops }),
         _ => return None,
     };
@@ -122,7 +148,9 @@ mod tests {
     #[test]
     fn mb_compatibility_matches_table_10() {
         // Filters absent from Table 10 (mini-batch results) in the paper.
-        let fb_only = ["Favard", "AdaGNN", "FBGNNI", "FBGNNII", "ACMGNNI", "ACMGNNII"];
+        let fb_only = [
+            "Favard", "AdaGNN", "FBGNNI", "FBGNNII", "ACMGNNI", "ACMGNNII",
+        ];
         for name in all_filter_names() {
             let f = make_filter(name, 4).unwrap();
             assert_eq!(

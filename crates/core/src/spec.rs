@@ -7,7 +7,7 @@
 //! filter's *propagation* then materializes those basis terms against a
 //! concrete graph through a [`PropCtx`].
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use sgnn_dense::DMat;
 use sgnn_sparse::PropMatrix;
@@ -122,7 +122,10 @@ impl FilterSpec {
     /// Single-channel spec with no extra parameters.
     pub fn single(theta: ThetaSpec) -> Self {
         Self {
-            channels: vec![ChannelSpec { name: "main", theta }],
+            channels: vec![ChannelSpec {
+                name: "main",
+                theta,
+            }],
             fusion: Fusion::FixedSum(vec![1.0]),
             extra: Vec::new(),
         }
@@ -141,30 +144,48 @@ impl FilterSpec {
     /// Sanity-checks internal consistency (fusion arity vs. channel count).
     pub fn validate(&self) {
         if let Some(q) = self.fusion.arity() {
-            assert_eq!(q, self.channels.len(), "fusion weight count must match channels");
+            assert_eq!(
+                q,
+                self.channels.len(),
+                "fusion weight count must match channels"
+            );
         }
-        assert!(!self.channels.is_empty(), "a filter needs at least one channel");
+        assert!(
+            !self.channels.is_empty(),
+            "a filter needs at least one channel"
+        );
     }
 }
 
 /// Propagation context: wraps the graph operator, selects forward vs.
 /// adjoint application, and counts propagation hops (the `O(KmF)` cost
 /// driver reported by the efficiency experiments).
+///
+/// The hop counter is atomic so one context can be shared by worker-pool
+/// tasks propagating independent channels concurrently.
 pub struct PropCtx<'a> {
     pm: &'a PropMatrix,
     adjoint: bool,
-    hops: Cell<usize>,
+    hops: AtomicUsize,
 }
 
 impl<'a> PropCtx<'a> {
     /// Forward context (`Ã`).
     pub fn forward(pm: &'a PropMatrix) -> Self {
-        Self { pm, adjoint: false, hops: Cell::new(0) }
+        Self {
+            pm,
+            adjoint: false,
+            hops: AtomicUsize::new(0),
+        }
     }
 
     /// Adjoint context (`Ãᵀ`) used during backpropagation.
     pub fn adjoint(pm: &'a PropMatrix) -> Self {
-        Self { pm, adjoint: true, hops: Cell::new(0) }
+        Self {
+            pm,
+            adjoint: true,
+            hops: AtomicUsize::new(0),
+        }
     }
 
     /// Whether this context applies the transposed operator.
@@ -184,7 +205,7 @@ impl<'a> PropCtx<'a> {
 
     /// One hop: `a·Ã·x + b·x` (or `Ãᵀ` in adjoint mode).
     pub fn prop(&self, a: f32, b: f32, x: &DMat) -> DMat {
-        self.hops.set(self.hops.get() + 1);
+        self.hops.fetch_add(1, Ordering::Relaxed);
         if self.adjoint {
             self.pm.prop_t(a, b, x)
         } else {
@@ -194,7 +215,7 @@ impl<'a> PropCtx<'a> {
 
     /// Hops executed through this context so far.
     pub fn hops_used(&self) -> usize {
-        self.hops.get()
+        self.hops.load(Ordering::Relaxed)
     }
 }
 
@@ -206,17 +227,25 @@ mod tests {
     fn theta_spec_term_counts() {
         assert_eq!(ThetaSpec::Fixed(vec![1.0]).num_terms(), 1);
         assert_eq!(ThetaSpec::Learnable { init: vec![0.0; 5] }.num_terms(), 5);
-        let t = ThetaSpec::Transformed { init: vec![1.0; 3], transform: DMat::zeros(6, 3) };
+        let t = ThetaSpec::Transformed {
+            init: vec![1.0; 3],
+            transform: DMat::zeros(6, 3),
+        };
         assert_eq!(t.num_terms(), 6);
         assert!(t.is_learnable());
-        let p = ThetaSpec::PerFeature { init: DMat::zeros(4, 7) };
+        let p = ThetaSpec::PerFeature {
+            init: DMat::zeros(4, 7),
+        };
         assert_eq!(p.num_terms(), 4);
     }
 
     #[test]
     fn transformed_initial_coefficients_apply_matrix() {
         let transform = DMat::from_vec(2, 1, vec![2.0, -1.0]);
-        let t = ThetaSpec::Transformed { init: vec![3.0], transform };
+        let t = ThetaSpec::Transformed {
+            init: vec![3.0],
+            transform,
+        };
         assert_eq!(t.initial_coefficients(), vec![6.0, -3.0]);
     }
 
@@ -239,7 +268,10 @@ mod tests {
     #[should_panic(expected = "fusion weight count")]
     fn spec_validation_catches_arity_mismatch() {
         let spec = FilterSpec {
-            channels: vec![ChannelSpec { name: "a", theta: ThetaSpec::Fixed(vec![1.0]) }],
+            channels: vec![ChannelSpec {
+                name: "a",
+                theta: ThetaSpec::Fixed(vec![1.0]),
+            }],
             fusion: Fusion::LearnableSum(vec![0.5, 0.5]),
             extra: Vec::new(),
         };

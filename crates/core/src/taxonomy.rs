@@ -48,33 +48,276 @@ pub struct TaxonomyRow {
 pub fn taxonomy() -> Vec<TaxonomyRow> {
     use FilterKind::*;
     vec![
-        TaxonomyRow { filter: "Identity", kind: Fixed, function: "I", params: "/", hyper: "/", time: "O(KnF)", memory: "O(nF)", models: "MLP" },
-        TaxonomyRow { filter: "Linear", kind: Fixed, function: "2I - L", params: "/", hyper: "/", time: "O(KmF)", memory: "O(nF)", models: "GCN" },
-        TaxonomyRow { filter: "Impulse", kind: Fixed, function: "(I - L)^K", params: "/", hyper: "/", time: "O(KmF)", memory: "O(nF)", models: "SGC, gfNN, GZoom, GRAND+" },
-        TaxonomyRow { filter: "Monomial", kind: Fixed, function: "1/(K+1) Σ (I - L)^k", params: "/", hyper: "/", time: "O(KmF)", memory: "O(nF)", models: "S2GC, AGP, GRAND+" },
-        TaxonomyRow { filter: "PPR", kind: Fixed, function: "Σ a(1-a)^k (I - L)^k", params: "/", hyper: "a", time: "O(KmF)", memory: "O(nF)", models: "GLP, GCNII, APPNP, GDC, AGP, GRAND+" },
-        TaxonomyRow { filter: "HK", kind: Fixed, function: "Σ e^-a a^k/k! (I - L)^k", params: "/", hyper: "a", time: "O(KmF)", memory: "O(nF)", models: "GDC, AGP, DGC" },
-        TaxonomyRow { filter: "Gaussian", kind: Fixed, function: "exp(-a/2 L^2)", params: "/", hyper: "a", time: "O(KmF)", memory: "O(nF)", models: "G2CN" },
-        TaxonomyRow { filter: "VarLinear", kind: Variable, function: "Π ((1+t_j)I - L)", params: "t_j", hyper: "/", time: "O(KmF)", memory: "O(nF)", models: "GIN, AKGNN" },
-        TaxonomyRow { filter: "VarMonomial", kind: Variable, function: "Σ t_k (I - L)^k", params: "t_k", hyper: "/", time: "O(KmF)", memory: "O(nF)", models: "DAGNN, GPRGNN" },
-        TaxonomyRow { filter: "Horner", kind: Variable, function: "Σ t_k Σ_{i<=k} (I - L)^i", params: "t_k", hyper: "/", time: "O(KmF)", memory: "O(2nF)", models: "ARMAGNN, HornerGCN" },
-        TaxonomyRow { filter: "Chebyshev", kind: Variable, function: "Σ t_k T_cheb^k(L - I)", params: "t_k", hyper: "/", time: "O(KmF)", memory: "O(2nF)", models: "ChebNet, ChebBase" },
-        TaxonomyRow { filter: "ChebInterp", kind: Variable, function: "2/(K+1) ΣΣ t_κ T^k(x_κ) T^k(L - I)", params: "t_κ", hyper: "/", time: "O(KmF + K^2 nF)", memory: "O(2nF)", models: "ChebNetII" },
-        TaxonomyRow { filter: "Clenshaw", kind: Variable, function: "Σ t_k U_cheb^k(L - I)", params: "t_k", hyper: "/", time: "O(KmF)", memory: "O(3nF)", models: "ClenshawGCN" },
-        TaxonomyRow { filter: "Bernstein", kind: Variable, function: "Σ t_k/2^K C(K,k) (2I - L)^{K-k} L^k", params: "t_k", hyper: "/", time: "O(K^2 mF)", memory: "O(nF)", models: "BernNet" },
-        TaxonomyRow { filter: "Legendre", kind: Variable, function: "Σ t_k P_leg^k(L - I)", params: "t_k", hyper: "/", time: "O(KmF)", memory: "O(2nF)", models: "LegendreNet" },
-        TaxonomyRow { filter: "Jacobi", kind: Variable, function: "Σ t_k P_jac^k(I - L)", params: "t_k", hyper: "a, b", time: "O(KmF)", memory: "O(2nF)", models: "JacobiConv" },
-        TaxonomyRow { filter: "Favard", kind: Variable, function: "Σ t_k T_favard^k(I - L)", params: "t_k, s_k, b_k", hyper: "/", time: "O(KmF + KnF)", memory: "O(2nF)", models: "FavardGNN" },
-        TaxonomyRow { filter: "OptBasis", kind: Variable, function: "Σ t_k T_opt^k(I - L)", params: "t_k", hyper: "/", time: "O(KmF + KnF^2)", memory: "O(2nF)", models: "OptBasisGNN" },
-        TaxonomyRow { filter: "AdaGNN", kind: Bank, function: "Π_j (I - Γ_j L) channel-wise", params: "Γ_j", hyper: "/", time: "O(KmF)", memory: "O(nF)", models: "AdaGNN" },
-        TaxonomyRow { filter: "FBGNNI", kind: Bank, function: "γ1 LP + γ2 HP (fixed channels)", params: "γ_q", hyper: "/", time: "O(QKmF + QKnF)", memory: "O(QnF)", models: "FBGCN-I" },
-        TaxonomyRow { filter: "FBGNNII", kind: Bank, function: "γ1 LP + γ2 HP (variable channels)", params: "γ_q, t_qk", hyper: "/", time: "O(QKmF + QKnF)", memory: "O(QnF)", models: "FBGCN-II" },
-        TaxonomyRow { filter: "ACMGNNI", kind: Bank, function: "γ1 LP + γ2 HP + γ3 ID (fixed)", params: "γ_q", hyper: "/", time: "O(QKmF + QKnF)", memory: "O(QnF)", models: "ACMGNN-I" },
-        TaxonomyRow { filter: "ACMGNNII", kind: Bank, function: "LP ‖ HP ‖ ID (variable, concat)", params: "γ_q, t_qk", hyper: "/", time: "O(QKmF + QKnF)", memory: "O(QnF)", models: "ACMGNN-II" },
-        TaxonomyRow { filter: "FAGNN", kind: Bank, function: "γ1((β+1)I-L)^K + γ2((β-1)I+L)^K", params: "γ_q", hyper: "β", time: "O(QKmF)", memory: "O(QnF)", models: "FAGCN" },
-        TaxonomyRow { filter: "G2CN", kind: Bank, function: "Σ_q γ_q exp(-a_q (L - μ_q I)^2)", params: "γ_q", hyper: "a_q, μ_q", time: "O(QKmF)", memory: "O(QnF)", models: "G2CN" },
-        TaxonomyRow { filter: "GNN-LF/HF", kind: Bank, function: "Σ_q γ_q (I ∓ β_q L) PPR", params: "γ_q", hyper: "a_q, β_q", time: "O(QKmF)", memory: "O(QnF)", models: "GNN-LF/HF" },
-        TaxonomyRow { filter: "FiGURe", kind: Bank, function: "Σ_q γ_q Σ_k t_qk T_q^k(L)", params: "γ_q, t_qk", hyper: "/", time: "O(QKmF)", memory: "O(QnF)", models: "FiGURe" },
+        TaxonomyRow {
+            filter: "Identity",
+            kind: Fixed,
+            function: "I",
+            params: "/",
+            hyper: "/",
+            time: "O(KnF)",
+            memory: "O(nF)",
+            models: "MLP",
+        },
+        TaxonomyRow {
+            filter: "Linear",
+            kind: Fixed,
+            function: "2I - L",
+            params: "/",
+            hyper: "/",
+            time: "O(KmF)",
+            memory: "O(nF)",
+            models: "GCN",
+        },
+        TaxonomyRow {
+            filter: "Impulse",
+            kind: Fixed,
+            function: "(I - L)^K",
+            params: "/",
+            hyper: "/",
+            time: "O(KmF)",
+            memory: "O(nF)",
+            models: "SGC, gfNN, GZoom, GRAND+",
+        },
+        TaxonomyRow {
+            filter: "Monomial",
+            kind: Fixed,
+            function: "1/(K+1) Σ (I - L)^k",
+            params: "/",
+            hyper: "/",
+            time: "O(KmF)",
+            memory: "O(nF)",
+            models: "S2GC, AGP, GRAND+",
+        },
+        TaxonomyRow {
+            filter: "PPR",
+            kind: Fixed,
+            function: "Σ a(1-a)^k (I - L)^k",
+            params: "/",
+            hyper: "a",
+            time: "O(KmF)",
+            memory: "O(nF)",
+            models: "GLP, GCNII, APPNP, GDC, AGP, GRAND+",
+        },
+        TaxonomyRow {
+            filter: "HK",
+            kind: Fixed,
+            function: "Σ e^-a a^k/k! (I - L)^k",
+            params: "/",
+            hyper: "a",
+            time: "O(KmF)",
+            memory: "O(nF)",
+            models: "GDC, AGP, DGC",
+        },
+        TaxonomyRow {
+            filter: "Gaussian",
+            kind: Fixed,
+            function: "exp(-a/2 L^2)",
+            params: "/",
+            hyper: "a",
+            time: "O(KmF)",
+            memory: "O(nF)",
+            models: "G2CN",
+        },
+        TaxonomyRow {
+            filter: "VarLinear",
+            kind: Variable,
+            function: "Π ((1+t_j)I - L)",
+            params: "t_j",
+            hyper: "/",
+            time: "O(KmF)",
+            memory: "O(nF)",
+            models: "GIN, AKGNN",
+        },
+        TaxonomyRow {
+            filter: "VarMonomial",
+            kind: Variable,
+            function: "Σ t_k (I - L)^k",
+            params: "t_k",
+            hyper: "/",
+            time: "O(KmF)",
+            memory: "O(nF)",
+            models: "DAGNN, GPRGNN",
+        },
+        TaxonomyRow {
+            filter: "Horner",
+            kind: Variable,
+            function: "Σ t_k Σ_{i<=k} (I - L)^i",
+            params: "t_k",
+            hyper: "/",
+            time: "O(KmF)",
+            memory: "O(2nF)",
+            models: "ARMAGNN, HornerGCN",
+        },
+        TaxonomyRow {
+            filter: "Chebyshev",
+            kind: Variable,
+            function: "Σ t_k T_cheb^k(L - I)",
+            params: "t_k",
+            hyper: "/",
+            time: "O(KmF)",
+            memory: "O(2nF)",
+            models: "ChebNet, ChebBase",
+        },
+        TaxonomyRow {
+            filter: "ChebInterp",
+            kind: Variable,
+            function: "2/(K+1) ΣΣ t_κ T^k(x_κ) T^k(L - I)",
+            params: "t_κ",
+            hyper: "/",
+            time: "O(KmF + K^2 nF)",
+            memory: "O(2nF)",
+            models: "ChebNetII",
+        },
+        TaxonomyRow {
+            filter: "Clenshaw",
+            kind: Variable,
+            function: "Σ t_k U_cheb^k(L - I)",
+            params: "t_k",
+            hyper: "/",
+            time: "O(KmF)",
+            memory: "O(3nF)",
+            models: "ClenshawGCN",
+        },
+        TaxonomyRow {
+            filter: "Bernstein",
+            kind: Variable,
+            function: "Σ t_k/2^K C(K,k) (2I - L)^{K-k} L^k",
+            params: "t_k",
+            hyper: "/",
+            time: "O(K^2 mF)",
+            memory: "O(nF)",
+            models: "BernNet",
+        },
+        TaxonomyRow {
+            filter: "Legendre",
+            kind: Variable,
+            function: "Σ t_k P_leg^k(L - I)",
+            params: "t_k",
+            hyper: "/",
+            time: "O(KmF)",
+            memory: "O(2nF)",
+            models: "LegendreNet",
+        },
+        TaxonomyRow {
+            filter: "Jacobi",
+            kind: Variable,
+            function: "Σ t_k P_jac^k(I - L)",
+            params: "t_k",
+            hyper: "a, b",
+            time: "O(KmF)",
+            memory: "O(2nF)",
+            models: "JacobiConv",
+        },
+        TaxonomyRow {
+            filter: "Favard",
+            kind: Variable,
+            function: "Σ t_k T_favard^k(I - L)",
+            params: "t_k, s_k, b_k",
+            hyper: "/",
+            time: "O(KmF + KnF)",
+            memory: "O(2nF)",
+            models: "FavardGNN",
+        },
+        TaxonomyRow {
+            filter: "OptBasis",
+            kind: Variable,
+            function: "Σ t_k T_opt^k(I - L)",
+            params: "t_k",
+            hyper: "/",
+            time: "O(KmF + KnF^2)",
+            memory: "O(2nF)",
+            models: "OptBasisGNN",
+        },
+        TaxonomyRow {
+            filter: "AdaGNN",
+            kind: Bank,
+            function: "Π_j (I - Γ_j L) channel-wise",
+            params: "Γ_j",
+            hyper: "/",
+            time: "O(KmF)",
+            memory: "O(nF)",
+            models: "AdaGNN",
+        },
+        TaxonomyRow {
+            filter: "FBGNNI",
+            kind: Bank,
+            function: "γ1 LP + γ2 HP (fixed channels)",
+            params: "γ_q",
+            hyper: "/",
+            time: "O(QKmF + QKnF)",
+            memory: "O(QnF)",
+            models: "FBGCN-I",
+        },
+        TaxonomyRow {
+            filter: "FBGNNII",
+            kind: Bank,
+            function: "γ1 LP + γ2 HP (variable channels)",
+            params: "γ_q, t_qk",
+            hyper: "/",
+            time: "O(QKmF + QKnF)",
+            memory: "O(QnF)",
+            models: "FBGCN-II",
+        },
+        TaxonomyRow {
+            filter: "ACMGNNI",
+            kind: Bank,
+            function: "γ1 LP + γ2 HP + γ3 ID (fixed)",
+            params: "γ_q",
+            hyper: "/",
+            time: "O(QKmF + QKnF)",
+            memory: "O(QnF)",
+            models: "ACMGNN-I",
+        },
+        TaxonomyRow {
+            filter: "ACMGNNII",
+            kind: Bank,
+            function: "LP ‖ HP ‖ ID (variable, concat)",
+            params: "γ_q, t_qk",
+            hyper: "/",
+            time: "O(QKmF + QKnF)",
+            memory: "O(QnF)",
+            models: "ACMGNN-II",
+        },
+        TaxonomyRow {
+            filter: "FAGNN",
+            kind: Bank,
+            function: "γ1((β+1)I-L)^K + γ2((β-1)I+L)^K",
+            params: "γ_q",
+            hyper: "β",
+            time: "O(QKmF)",
+            memory: "O(QnF)",
+            models: "FAGCN",
+        },
+        TaxonomyRow {
+            filter: "G2CN",
+            kind: Bank,
+            function: "Σ_q γ_q exp(-a_q (L - μ_q I)^2)",
+            params: "γ_q",
+            hyper: "a_q, μ_q",
+            time: "O(QKmF)",
+            memory: "O(QnF)",
+            models: "G2CN",
+        },
+        TaxonomyRow {
+            filter: "GNN-LF/HF",
+            kind: Bank,
+            function: "Σ_q γ_q (I ∓ β_q L) PPR",
+            params: "γ_q",
+            hyper: "a_q, β_q",
+            time: "O(QKmF)",
+            memory: "O(QnF)",
+            models: "GNN-LF/HF",
+        },
+        TaxonomyRow {
+            filter: "FiGURe",
+            kind: Bank,
+            function: "Σ_q γ_q Σ_k t_qk T_q^k(L)",
+            params: "γ_q, t_qk",
+            hyper: "/",
+            time: "O(QKmF)",
+            memory: "O(QnF)",
+            models: "FiGURe",
+        },
     ]
 }
 
@@ -86,9 +329,20 @@ mod tests {
     fn taxonomy_has_27_filters() {
         let rows = taxonomy();
         assert_eq!(rows.len(), 27);
-        assert_eq!(rows.iter().filter(|r| r.kind == FilterKind::Fixed).count(), 7);
-        assert_eq!(rows.iter().filter(|r| r.kind == FilterKind::Variable).count(), 11);
-        assert_eq!(rows.iter().filter(|r| r.kind == FilterKind::Bank).count(), 9);
+        assert_eq!(
+            rows.iter().filter(|r| r.kind == FilterKind::Fixed).count(),
+            7
+        );
+        assert_eq!(
+            rows.iter()
+                .filter(|r| r.kind == FilterKind::Variable)
+                .count(),
+            11
+        );
+        assert_eq!(
+            rows.iter().filter(|r| r.kind == FilterKind::Bank).count(),
+            9
+        );
     }
 
     #[test]

@@ -67,7 +67,12 @@ pub fn check_filter_matches_spectral(filter: &dyn SpectralFilter, tol: f64) {
 
     let ctx = PropCtx::forward(&pm);
     let terms = filter.propagate(&ctx, &x);
-    assert_eq!(terms.len(), spec.channels.len(), "{}: channel count", filter.name());
+    assert_eq!(
+        terms.len(),
+        spec.channels.len(),
+        "{}: channel count",
+        filter.name()
+    );
     for (ch, t) in spec.channels.iter().zip(&terms) {
         assert_eq!(
             t.len(),
@@ -113,5 +118,8 @@ fn assert_close(name: &str, got: &DMat, want: &DMat, tol: f64) {
     let mut diff = got.clone();
     diff.sub_assign_mat(want);
     let rel = diff.norm() / scale;
-    assert!(rel < tol, "{name}: relative spectral mismatch {rel:.3e} (tol {tol:.1e})");
+    assert!(
+        rel < tol,
+        "{name}: relative spectral mismatch {rel:.3e} (tol {tol:.1e})"
+    );
 }

@@ -53,7 +53,10 @@ impl SpectralFilter for VarLinear {
     }
     fn spec(&self, _f: usize) -> FilterSpec {
         let mut spec = FilterSpec::single(ThetaSpec::Fixed(vec![1.0]));
-        spec.extra.push(ExtraParamSpec { name: "theta_layers", init: DMat::zeros(self.hops, 1) });
+        spec.extra.push(ExtraParamSpec {
+            name: "theta_layers",
+            init: DMat::zeros(self.hops, 1),
+        });
         spec
     }
     fn propagate(&self, ctx: &PropCtx<'_>, x: &DMat) -> Vec<Vec<DMat>> {
@@ -111,7 +114,9 @@ impl SpectralFilter for VarMonomial {
     }
     fn spec(&self, _f: usize) -> FilterSpec {
         let a = self.init_alpha;
-        let init = (0..=self.hops).map(|k| a * (1.0 - a).powi(k as i32)).collect();
+        let init = (0..=self.hops)
+            .map(|k| a * (1.0 - a).powi(k as i32))
+            .collect();
         FilterSpec::single(ThetaSpec::Learnable { init })
     }
     fn propagate(&self, ctx: &PropCtx<'_>, x: &DMat) -> Vec<Vec<DMat>> {
@@ -178,7 +183,9 @@ impl SpectralFilter for Chebyshev {
         self.hops
     }
     fn spec(&self, _f: usize) -> FilterSpec {
-        FilterSpec::single(ThetaSpec::Learnable { init: impulse_init(self.hops) })
+        FilterSpec::single(ThetaSpec::Learnable {
+            init: impulse_init(self.hops),
+        })
     }
     fn propagate(&self, ctx: &PropCtx<'_>, x: &DMat) -> Vec<Vec<DMat>> {
         vec![chebyshev_terms(ctx, x, self.hops)]
@@ -206,7 +213,9 @@ impl SpectralFilter for Clenshaw {
         self.hops
     }
     fn spec(&self, _f: usize) -> FilterSpec {
-        FilterSpec::single(ThetaSpec::Learnable { init: impulse_init(self.hops) })
+        FilterSpec::single(ThetaSpec::Learnable {
+            init: impulse_init(self.hops),
+        })
     }
     fn propagate(&self, ctx: &PropCtx<'_>, x: &DMat) -> Vec<Vec<DMat>> {
         let mut terms = Vec::with_capacity(self.hops + 1);
@@ -292,13 +301,16 @@ impl SpectralFilter for Bernstein {
     }
     fn spec(&self, _f: usize) -> FilterSpec {
         // All-ones θ makes the Bernstein sum telescope to the constant 1.
-        FilterSpec::single(ThetaSpec::Learnable { init: vec![1.0; self.hops + 1] })
+        FilterSpec::single(ThetaSpec::Learnable {
+            init: vec![1.0; self.hops + 1],
+        })
     }
     fn propagate(&self, ctx: &PropCtx<'_>, x: &DMat) -> Vec<Vec<DMat>> {
         vec![bernstein_terms(ctx, x, self.hops)]
     }
     fn basis_value(&self, _q: usize, k: usize, lambda: f64) -> f64 {
-        binomial(self.hops, k) * 0.5f64.powi(self.hops as i32)
+        binomial(self.hops, k)
+            * 0.5f64.powi(self.hops as i32)
             * (2.0 - lambda).powi((self.hops - k) as i32)
             * lambda.powi(k as i32)
     }
@@ -321,7 +333,9 @@ impl SpectralFilter for Legendre {
         self.hops
     }
     fn spec(&self, _f: usize) -> FilterSpec {
-        FilterSpec::single(ThetaSpec::Learnable { init: impulse_init(self.hops) })
+        FilterSpec::single(ThetaSpec::Learnable {
+            init: impulse_init(self.hops),
+        })
     }
     fn propagate(&self, ctx: &PropCtx<'_>, x: &DMat) -> Vec<Vec<DMat>> {
         let mut terms = Vec::with_capacity(self.hops + 1);
@@ -364,7 +378,9 @@ impl SpectralFilter for Jacobi {
         self.hops
     }
     fn spec(&self, _f: usize) -> FilterSpec {
-        FilterSpec::single(ThetaSpec::Learnable { init: impulse_init(self.hops) })
+        FilterSpec::single(ThetaSpec::Learnable {
+            init: impulse_init(self.hops),
+        })
     }
     fn propagate(&self, ctx: &PropCtx<'_>, x: &DMat) -> Vec<Vec<DMat>> {
         let (a, b) = (self.a, self.b);
@@ -402,14 +418,21 @@ mod tests {
     fn variable_filters_match_exact_spectral_filtering() {
         let filters: Vec<Box<dyn SpectralFilter>> = vec![
             Box::new(VarLinear { hops: 4 }),
-            Box::new(VarMonomial { hops: 5, init_alpha: 0.3 }),
+            Box::new(VarMonomial {
+                hops: 5,
+                init_alpha: 0.3,
+            }),
             Box::new(Horner { hops: 5 }),
             Box::new(Chebyshev { hops: 6 }),
             Box::new(Clenshaw { hops: 6 }),
             Box::new(ChebInterp { hops: 6 }),
             Box::new(Bernstein { hops: 5 }),
             Box::new(Legendre { hops: 6 }),
-            Box::new(Jacobi { hops: 5, a: 1.0, b: 1.0 }),
+            Box::new(Jacobi {
+                hops: 5,
+                a: 1.0,
+                b: 1.0,
+            }),
         ];
         for f in &filters {
             check_filter_matches_spectral(f.as_ref(), 2e-3);
@@ -495,6 +518,10 @@ mod tests {
             },
             1e-3,
         );
-        assert!(report.max_rel_err < 5e-3, "max rel err {}", report.max_rel_err);
+        assert!(
+            report.max_rel_err < 5e-3,
+            "max rel err {}",
+            report.max_rel_err
+        );
     }
 }

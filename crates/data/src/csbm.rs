@@ -134,7 +134,10 @@ impl ClassSampler {
 /// Generates a dataset from the block-model parameters.
 pub fn generate(name: &str, params: &CsbmParams, metric: Metric, seed: u64) -> Dataset {
     assert!(params.classes >= 2, "need at least two classes");
-    assert!((0.0..=1.0).contains(&params.homophily), "homophily must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&params.homophily),
+        "homophily must be in [0, 1]"
+    );
     let mut rng = drng::seeded(seed);
     let n = params.nodes;
     let c = params.classes;

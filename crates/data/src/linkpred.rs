@@ -91,7 +91,12 @@ mod tests {
 
     #[test]
     fn splits_cover_all_positives_once() {
-        let g = Graph::from_edges(30, &(0..29).map(|i| (i as u32, i as u32 + 1)).collect::<Vec<_>>());
+        let g = Graph::from_edges(
+            30,
+            &(0..29)
+                .map(|i| (i as u32, i as u32 + 1))
+                .collect::<Vec<_>>(),
+        );
         let s = link_splits(&g, 2, 1);
         let pos_total = [&s.train, &s.valid, &s.test]
             .iter()
@@ -99,12 +104,20 @@ mod tests {
             .sum::<usize>();
         assert_eq!(pos_total, 29);
         // κ = 1 + neg_ratio samples per positive.
-        assert_eq!(s.train.len(), s.train.labels.iter().filter(|&&l| l == 1.0).count() * 3);
+        assert_eq!(
+            s.train.len(),
+            s.train.labels.iter().filter(|&&l| l == 1.0).count() * 3
+        );
     }
 
     #[test]
     fn negatives_outnumber_positives_by_ratio() {
-        let g = Graph::from_edges(50, &(0..49).map(|i| (i as u32, i as u32 + 1)).collect::<Vec<_>>());
+        let g = Graph::from_edges(
+            50,
+            &(0..49)
+                .map(|i| (i as u32, i as u32 + 1))
+                .collect::<Vec<_>>(),
+        );
         let s = link_splits(&g, 5, 2);
         let pos = s.test.labels.iter().filter(|&&l| l == 1.0).count();
         let neg = s.test.labels.iter().filter(|&&l| l == 0.0).count();

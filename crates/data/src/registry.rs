@@ -108,45 +108,191 @@ impl DatasetSpec {
 pub fn all_datasets() -> Vec<DatasetSpec> {
     use Metric::*;
     use SizeClass::*;
-    let s = |name, nodes, edges, homophily, feature_dim, classes, metric, size, homophilous, signal| DatasetSpec {
-        name,
-        nodes,
-        edges,
-        homophily,
-        feature_dim,
-        classes,
-        metric,
-        size,
-        homophilous,
-        signal,
-    };
+    let s =
+        |name, nodes, edges, homophily, feature_dim, classes, metric, size, homophilous, signal| {
+            DatasetSpec {
+                name,
+                nodes,
+                edges,
+                homophily,
+                feature_dim,
+                classes,
+                metric,
+                size,
+                homophilous,
+                signal,
+            }
+        };
     vec![
         // --- small, homophilous -------------------------------------------
-        s("cora", 2708, 10_556, 0.83, 1433, 7, Accuracy, Small, true, 0.8),
-        s("citeseer", 3327, 9_104, 0.72, 3703, 6, Accuracy, Small, true, 1.0),
-        s("pubmed", 19_717, 88_648, 0.79, 500, 3, Accuracy, Small, true, 1.0),
-        s("minesweeper", 10_000, 78_804, 0.68, 7, 2, RocAuc, Small, true, 0.05),
-        s("questions", 48_921, 307_080, 0.90, 301, 2, RocAuc, Small, true, 1.2),
-        s("tolokers", 11_758, 1_038_000, 0.63, 10, 2, RocAuc, Small, true, 0.5),
+        s(
+            "cora", 2708, 10_556, 0.83, 1433, 7, Accuracy, Small, true, 0.8,
+        ),
+        s(
+            "citeseer", 3327, 9_104, 0.72, 3703, 6, Accuracy, Small, true, 1.0,
+        ),
+        s(
+            "pubmed", 19_717, 88_648, 0.79, 500, 3, Accuracy, Small, true, 1.0,
+        ),
+        s(
+            "minesweeper",
+            10_000,
+            78_804,
+            0.68,
+            7,
+            2,
+            RocAuc,
+            Small,
+            true,
+            0.05,
+        ),
+        s(
+            "questions",
+            48_921,
+            307_080,
+            0.90,
+            301,
+            2,
+            RocAuc,
+            Small,
+            true,
+            1.2,
+        ),
+        s(
+            "tolokers", 11_758, 1_038_000, 0.63, 10, 2, RocAuc, Small, true, 0.5,
+        ),
         // --- small, heterophilous -----------------------------------------
-        s("chameleon", 890, 17_708, 0.24, 2325, 5, Accuracy, Small, false, 0.3),
-        s("squirrel", 2223, 93_996, 0.19, 2089, 5, Accuracy, Small, false, 0.3),
-        s("actor", 7600, 30_019, 0.22, 932, 5, Accuracy, Small, false, 1.2),
-        s("roman-empire", 22_662, 65_854, 0.05, 300, 18, Accuracy, Small, false, 0.8),
-        s("amazon-ratings", 24_492, 186_100, 0.38, 300, 5, Accuracy, Small, false, 0.6),
+        s(
+            "chameleon",
+            890,
+            17_708,
+            0.24,
+            2325,
+            5,
+            Accuracy,
+            Small,
+            false,
+            0.3,
+        ),
+        s(
+            "squirrel", 2223, 93_996, 0.19, 2089, 5, Accuracy, Small, false, 0.3,
+        ),
+        s(
+            "actor", 7600, 30_019, 0.22, 932, 5, Accuracy, Small, false, 1.2,
+        ),
+        s(
+            "roman-empire",
+            22_662,
+            65_854,
+            0.05,
+            300,
+            18,
+            Accuracy,
+            Small,
+            false,
+            0.8,
+        ),
+        s(
+            "amazon-ratings",
+            24_492,
+            186_100,
+            0.38,
+            300,
+            5,
+            Accuracy,
+            Small,
+            false,
+            0.6,
+        ),
         // --- medium --------------------------------------------------------
-        s("flickr", 89_250, 899_756, 0.32, 500, 7, Accuracy, Medium, true, 0.5),
-        s("ogbn-arxiv", 169_343, 1_166_243, 0.63, 128, 40, Accuracy, Medium, true, 0.7),
-        s("arxiv-year", 169_343, 1_166_243, 0.31, 128, 5, Accuracy, Medium, false, 0.4),
-        s("penn94", 41_554, 2_724_458, 0.48, 4814, 2, Accuracy, Medium, false, 0.7),
-        s("genius", 421_961, 984_979, 0.08, 12, 2, RocAuc, Medium, false, 1.5),
-        s("twitch-gamer", 168_114, 6_797_557, 0.10, 7, 2, Accuracy, Medium, false, 1.5),
+        s(
+            "flickr", 89_250, 899_756, 0.32, 500, 7, Accuracy, Medium, true, 0.5,
+        ),
+        s(
+            "ogbn-arxiv",
+            169_343,
+            1_166_243,
+            0.63,
+            128,
+            40,
+            Accuracy,
+            Medium,
+            true,
+            0.7,
+        ),
+        s(
+            "arxiv-year",
+            169_343,
+            1_166_243,
+            0.31,
+            128,
+            5,
+            Accuracy,
+            Medium,
+            false,
+            0.4,
+        ),
+        s(
+            "penn94", 41_554, 2_724_458, 0.48, 4814, 2, Accuracy, Medium, false, 0.7,
+        ),
+        s(
+            "genius", 421_961, 984_979, 0.08, 12, 2, RocAuc, Medium, false, 1.5,
+        ),
+        s(
+            "twitch-gamer",
+            168_114,
+            6_797_557,
+            0.10,
+            7,
+            2,
+            Accuracy,
+            Medium,
+            false,
+            1.5,
+        ),
         // --- large ----------------------------------------------------------
-        s("ogbn-mag", 736_389, 5_416_271, 0.31, 128, 349, Accuracy, Large, true, 0.5),
-        s("ogbn-products", 2_449_029, 123_718_280, 0.83, 100, 47, Accuracy, Large, true, 0.8),
-        s("pokec", 1_632_803, 30_622_564, 0.43, 65, 2, Accuracy, Large, false, 0.6),
-        s("snap-patents", 2_923_922, 13_972_555, 0.22, 269, 5, Accuracy, Large, false, 0.5),
-        s("wiki", 1_925_342, 303_434_860, 0.28, 600, 5, Accuracy, Large, false, 0.4),
+        s(
+            "ogbn-mag", 736_389, 5_416_271, 0.31, 128, 349, Accuracy, Large, true, 0.5,
+        ),
+        s(
+            "ogbn-products",
+            2_449_029,
+            123_718_280,
+            0.83,
+            100,
+            47,
+            Accuracy,
+            Large,
+            true,
+            0.8,
+        ),
+        s(
+            "pokec", 1_632_803, 30_622_564, 0.43, 65, 2, Accuracy, Large, false, 0.6,
+        ),
+        s(
+            "snap-patents",
+            2_923_922,
+            13_972_555,
+            0.22,
+            269,
+            5,
+            Accuracy,
+            Large,
+            false,
+            0.5,
+        ),
+        s(
+            "wiki",
+            1_925_342,
+            303_434_860,
+            0.28,
+            600,
+            5,
+            Accuracy,
+            Large,
+            false,
+            0.4,
+        ),
     ]
 }
 
@@ -172,9 +318,18 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), 22);
-        assert_eq!(specs.iter().filter(|s| s.size == SizeClass::Small).count(), 11);
-        assert_eq!(specs.iter().filter(|s| s.size == SizeClass::Medium).count(), 6);
-        assert_eq!(specs.iter().filter(|s| s.size == SizeClass::Large).count(), 5);
+        assert_eq!(
+            specs.iter().filter(|s| s.size == SizeClass::Small).count(),
+            11
+        );
+        assert_eq!(
+            specs.iter().filter(|s| s.size == SizeClass::Medium).count(),
+            6
+        );
+        assert_eq!(
+            specs.iter().filter(|s| s.size == SizeClass::Large).count(),
+            5
+        );
     }
 
     #[test]

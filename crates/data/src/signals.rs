@@ -29,7 +29,13 @@ pub enum Signal {
 impl Signal {
     /// All five signals in Table-7 column order.
     pub fn all() -> [Signal; 5] {
-        [Signal::Band, Signal::Comb, Signal::High, Signal::Low, Signal::Reject]
+        [
+            Signal::Band,
+            Signal::Comb,
+            Signal::High,
+            Signal::Low,
+            Signal::Reject,
+        ]
     }
 
     /// Display name.
@@ -92,11 +98,20 @@ pub struct RegressionTask {
 
 /// Builds the Table-7 regression task for one signal on one graph: the input
 /// is a random Gaussian signal, the target its exact filtered response.
-pub fn regression_task(pm: &PropMatrix, signal: Signal, columns: usize, seed: u64) -> RegressionTask {
+pub fn regression_task(
+    pm: &PropMatrix,
+    signal: Signal,
+    columns: usize,
+    seed: u64,
+) -> RegressionTask {
     let mut rng = sgnn_dense::rng::seeded(seed);
     let input = sgnn_dense::rng::randn_mat(pm.n(), columns, 1.0, &mut rng);
     let target = apply_scalar_filter(pm, |l| signal.eval(l), &input, 96);
-    RegressionTask { signal, input, target }
+    RegressionTask {
+        signal,
+        input,
+        target,
+    }
 }
 
 #[cfg(test)]

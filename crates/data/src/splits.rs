@@ -18,7 +18,12 @@ pub struct Splits {
 impl Splits {
     /// Stratified split with the given train/valid fractions (the rest is
     /// test). Within every class, nodes are shuffled and sliced.
-    pub fn stratified(labels: &[u32], train_frac: f64, valid_frac: f64, rng: &mut SmallRng) -> Self {
+    pub fn stratified(
+        labels: &[u32],
+        train_frac: f64,
+        valid_frac: f64,
+        rng: &mut SmallRng,
+    ) -> Self {
         assert!(train_frac > 0.0 && valid_frac >= 0.0 && train_frac + valid_frac < 1.0);
         let classes = labels.iter().copied().max().map_or(0, |m| m as usize + 1);
         let mut by_class = vec![Vec::new(); classes];
@@ -31,8 +36,10 @@ impl Splits {
             let nt = ((members.len() as f64) * train_frac).round() as usize;
             let nv = ((members.len() as f64) * valid_frac).round() as usize;
             let nv_end = (nt + nv).min(members.len());
-            out.train.extend_from_slice(&members[..nt.min(members.len())]);
-            out.valid.extend_from_slice(&members[nt.min(members.len())..nv_end]);
+            out.train
+                .extend_from_slice(&members[..nt.min(members.len())]);
+            out.valid
+                .extend_from_slice(&members[nt.min(members.len())..nv_end]);
             out.test.extend_from_slice(&members[nv_end..]);
         }
         // Deterministic downstream iteration order.
@@ -54,7 +61,13 @@ mod tests {
         assert_eq!(s.train.len() + s.valid.len() + s.test.len(), 1000);
         assert!((s.train.len() as f64 - 600.0).abs() <= 4.0);
         assert!((s.valid.len() as f64 - 200.0).abs() <= 4.0);
-        let mut all: Vec<u32> = s.train.iter().chain(&s.valid).chain(&s.test).copied().collect();
+        let mut all: Vec<u32> = s
+            .train
+            .iter()
+            .chain(&s.valid)
+            .chain(&s.test)
+            .copied()
+            .collect();
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), 1000, "splits must be disjoint");
@@ -65,7 +78,10 @@ mod tests {
         let labels: Vec<u32> = (0..90).map(|i| (i % 9) as u32).collect();
         let s = Splits::stratified(&labels, 0.6, 0.2, &mut drng::seeded(3));
         for c in 0..9u32 {
-            assert!(s.train.iter().any(|&i| labels[i as usize] == c), "class {c} missing");
+            assert!(
+                s.train.iter().any(|&i| labels[i as usize] == c),
+                "class {c} missing"
+            );
         }
     }
 }

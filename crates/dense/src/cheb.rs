@@ -37,7 +37,11 @@ impl ChebApprox {
             for (j, &fx) in samples.iter().enumerate() {
                 s += fx * (std::f64::consts::PI * k as f64 * (j as f64 + 0.5) / n as f64).cos();
             }
-            let norm = if k == 0 { 1.0 / n as f64 } else { 2.0 / n as f64 };
+            let norm = if k == 0 {
+                1.0 / n as f64
+            } else {
+                2.0 / n as f64
+            };
             coeffs.push(norm * s);
         }
         Self { coeffs, a, b }

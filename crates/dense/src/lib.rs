@@ -11,7 +11,10 @@
 //! * [Chebyshev approximation](cheb::ChebApprox) of scalar functions on an
 //!   interval, used to synthesize exact spectral-filter targets without an
 //!   eigendecomposition,
-//! * seeded [random helpers](rng) (Box–Muller normals, permutations).
+//! * seeded [random helpers](rng) (Box–Muller normals, permutations),
+//! * the persistent worker-pool [`runtime`] that backs every parallel
+//!   kernel in the workspace (row-chunked dispatch, indexed fan-out,
+//!   collected maps, `SGNN_THREADS` control).
 //!
 //! Values are `f32` (matching the single-precision training of the original
 //! study); reductions accumulate in `f64` to keep metrics stable.
@@ -22,6 +25,7 @@ pub mod mat;
 pub mod matmul;
 pub mod parallel;
 pub mod rng;
+pub mod runtime;
 pub mod stats;
 
 pub use cheb::ChebApprox;

@@ -38,12 +38,20 @@ impl fmt::Debug for DMat {
 impl DMat {
     /// An `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// An `rows × cols` matrix with every entry set to `value`.
     pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Builds a matrix from an existing row-major buffer.
@@ -232,7 +240,11 @@ impl DMat {
 
     /// Frobenius norm.
     pub fn norm(&self) -> f64 {
-        self.data.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt()
+        self.data
+            .iter()
+            .map(|&x| (x as f64) * (x as f64))
+            .sum::<f64>()
+            .sqrt()
     }
 
     /// Largest absolute entry.
@@ -306,7 +318,10 @@ impl DMat {
     pub fn vcat(parts: &[&DMat]) -> DMat {
         assert!(!parts.is_empty(), "vcat of zero matrices");
         let cols = parts[0].cols;
-        assert!(parts.iter().all(|p| p.cols == cols), "column mismatch in vcat");
+        assert!(
+            parts.iter().all(|p| p.cols == cols),
+            "column mismatch in vcat"
+        );
         let rows: usize = parts.iter().map(|p| p.rows).sum();
         let mut data = Vec::with_capacity(rows * cols);
         for p in parts {
@@ -319,7 +334,11 @@ impl DMat {
     pub fn l2_normalize_rows(&mut self) {
         for r in 0..self.rows {
             let row = self.row_mut(r);
-            let n = row.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt();
+            let n = row
+                .iter()
+                .map(|&x| (x as f64) * (x as f64))
+                .sum::<f64>()
+                .sqrt();
             if n > 0.0 {
                 let inv = (1.0 / n) as f32;
                 row.iter_mut().for_each(|x| *x *= inv);

@@ -3,11 +3,11 @@
 //! The transformation stage of every model reduces to `H · W` (activations ×
 //! weights) plus the two transposed products needed by backprop. Kernels are
 //! written k-outer/j-inner so the inner loop is a contiguous axpy the
-//! compiler auto-vectorizes, and output rows are distributed across worker
-//! threads (see [`crate::parallel`]).
+//! compiler auto-vectorizes, and output rows are distributed across the
+//! persistent worker pool (see [`crate::runtime`]).
 
 use crate::mat::DMat;
-use crate::parallel::par_row_chunks;
+use crate::runtime::run_chunks;
 
 /// `A (m×k) · B (k×n) -> (m×n)`.
 pub fn matmul(a: &DMat, b: &DMat) -> DMat {
@@ -23,7 +23,7 @@ pub fn matmul(a: &DMat, b: &DMat) -> DMat {
     let mut out = DMat::zeros(m, n);
     let bdat = b.data();
     let adat = a.data();
-    par_row_chunks(out.data_mut(), m, n.max(1), |first, chunk| {
+    run_chunks(out.data_mut(), m, n.max(1), |first, chunk| {
         for (local_r, orow) in chunk.chunks_exact_mut(n.max(1)).enumerate() {
             let r = first + local_r;
             let arow = &adat[r * k..(r + 1) * k];
@@ -75,7 +75,7 @@ pub fn matmul_a_bt(a: &DMat, b: &DMat) -> DMat {
     let mut out = DMat::zeros(m, n);
     let adat = a.data();
     let bdat = b.data();
-    par_row_chunks(out.data_mut(), m, n.max(1), |first, chunk| {
+    run_chunks(out.data_mut(), m, n.max(1), |first, chunk| {
         for (local_r, orow) in chunk.chunks_exact_mut(n.max(1)).enumerate() {
             let r = first + local_r;
             let arow = &adat[r * k..(r + 1) * k];

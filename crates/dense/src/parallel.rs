@@ -1,110 +1,42 @@
-//! Minimal data-parallel helpers built on `crossbeam` scoped threads.
+//! Back-compat shims over the persistent worker-pool [`runtime`].
 //!
-//! The benchmark's two hot kernels (dense matmul and sparse SpMM) are both
-//! row-parallel: output rows are independent, so the output buffer is split
-//! into contiguous chunks of whole rows and each chunk is processed by one
-//! scoped thread. Thread count defaults to the machine parallelism and can be
-//! pinned with the `SGNN_THREADS` environment variable (used by the Figure-5
-//! hardware-sensitivity experiment).
+//! The original parallel layer spawned scoped threads per call; kernels now
+//! dispatch onto long-lived pool workers (see [`crate::runtime`] for the
+//! model). These free functions keep the historical names and exact
+//! semantics so older call sites and out-of-tree users keep compiling —
+//! new code should call the `runtime` API directly.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
-
-/// Pins the number of worker threads (0 restores the default).
-///
-/// The Figure-5 experiment uses this to emulate hosts with slower/faster
-/// CPU-side propagation.
-pub fn set_threads(n: usize) {
-    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
-}
-
-/// Number of worker threads used by the parallel kernels.
-pub fn num_threads() -> usize {
-    let pinned = THREAD_OVERRIDE.load(Ordering::Relaxed);
-    if pinned > 0 {
-        return pinned;
-    }
-    if let Ok(v) = std::env::var("SGNN_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-}
+pub use crate::runtime::{num_threads, set_threads};
 
 /// Runs `f(first_row, chunk)` over contiguous chunks of whole rows of `data`.
 ///
-/// `data` must have length `rows * cols`; each invocation receives the index
-/// of its first row and a mutable slice covering complete rows. Falls back to
-/// a single in-thread call when only one worker is available or the work is
-/// tiny.
+/// Thin wrapper over [`crate::runtime::run_chunks`].
 pub fn par_row_chunks<F>(data: &mut [f32], rows: usize, cols: usize, f: F)
 where
     F: Fn(usize, &mut [f32]) + Sync,
 {
-    assert_eq!(data.len(), rows * cols, "buffer must cover rows*cols");
-    let threads = num_threads().min(rows.max(1));
-    // Tiny problems are faster single-threaded than paying thread spawn cost.
-    if threads <= 1 || rows * cols < 1 << 14 {
-        f(0, data);
-        return;
-    }
-    let rows_per = rows.div_ceil(threads);
-    crossbeam::scope(|s| {
-        let mut rest = data;
-        let mut first = 0usize;
-        while !rest.is_empty() {
-            let take = (rows_per * cols).min(rest.len());
-            let (chunk, tail) = rest.split_at_mut(take);
-            let fr = first;
-            let fref = &f;
-            s.spawn(move |_| fref(fr, chunk));
-            first += take / cols;
-            rest = tail;
-        }
-    })
-    .expect("worker thread panicked");
+    crate::runtime::run_chunks(data, rows, cols, f);
 }
 
-/// Runs `f(i)` for `i` in `0..n` across the worker pool, interleaved.
+/// Runs `f(i)` for `i` in `0..n` across the worker pool, each index once.
 ///
-/// Used where per-item work is coarse (e.g. one filter per task).
+/// Thin wrapper over [`crate::runtime::run_indexed`].
 pub fn par_for<F>(n: usize, f: F)
 where
     F: Fn(usize) + Sync,
 {
-    let threads = num_threads().min(n.max(1));
-    if threads <= 1 {
-        for i in 0..n {
-            f(i);
-        }
-        return;
-    }
-    crossbeam::scope(|s| {
-        for t in 0..threads {
-            let fref = &f;
-            s.spawn(move |_| {
-                let mut i = t;
-                while i < n {
-                    fref(i);
-                    i += threads;
-                }
-            });
-        }
-    })
-    .expect("worker thread panicked");
+    crate::runtime::run_indexed(n, f);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+    use crate::runtime::test_lock::pin_threads;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]
     fn chunks_cover_all_rows_once() {
+        let _g = pin_threads(4);
         let rows = 997;
         let cols = 33;
         let mut data = vec![0.0f32; rows * cols];
@@ -122,6 +54,7 @@ mod tests {
 
     #[test]
     fn par_for_visits_every_index() {
+        let _g = pin_threads(4);
         let sum = AtomicU64::new(0);
         par_for(1000, |i| {
             sum.fetch_add(i as u64, Ordering::Relaxed);
@@ -131,7 +64,7 @@ mod tests {
 
     #[test]
     fn thread_override_round_trip() {
-        set_threads(2);
+        let _g = pin_threads(2);
         assert_eq!(num_threads(), 2);
         set_threads(0);
         assert!(num_threads() >= 1);

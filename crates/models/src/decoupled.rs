@@ -37,19 +37,34 @@ pub struct DecoupledConfig {
 
 impl Default for DecoupledConfig {
     fn default() -> Self {
-        Self { hidden: 64, phi0_layers: 1, phi1_layers: 1, dropout: 0.5 }
+        Self {
+            hidden: 64,
+            phi0_layers: 1,
+            phi1_layers: 1,
+            dropout: 0.5,
+        }
     }
 }
 
 impl DecoupledConfig {
     /// The paper's full-batch default: `φ0 = φ1 = 1` layer.
     pub fn full_batch(hidden: usize) -> Self {
-        Self { hidden, phi0_layers: 1, phi1_layers: 1, dropout: 0.5 }
+        Self {
+            hidden,
+            phi0_layers: 1,
+            phi1_layers: 1,
+            dropout: 0.5,
+        }
     }
 
     /// The paper's mini-batch default: `φ0 = 0`, `φ1 = 2` layers.
     pub fn mini_batch(hidden: usize) -> Self {
-        Self { hidden, phi0_layers: 0, phi1_layers: 2, dropout: 0.5 }
+        Self {
+            hidden,
+            phi0_layers: 0,
+            phi1_layers: 2,
+            dropout: 0.5,
+        }
     }
 }
 
@@ -77,15 +92,26 @@ impl DecoupledModel {
         } else {
             let mut dims = vec![in_dim];
             dims.extend(std::iter::repeat_n(config.hidden, config.phi0_layers));
-            (Some(Mlp::new("phi0", &dims, config.dropout, store, rng)), config.hidden)
+            (
+                Some(Mlp::new("phi0", &dims, config.dropout, store, rng)),
+                config.hidden,
+            )
         };
         let module = FilterModule::new(filter, filter_in, store);
         let phi1_in = module.out_features(filter_in);
         let mut dims = vec![phi1_in];
-        dims.extend(std::iter::repeat_n(config.hidden, config.phi1_layers.saturating_sub(1)));
+        dims.extend(std::iter::repeat_n(
+            config.hidden,
+            config.phi1_layers.saturating_sub(1),
+        ));
         dims.push(out_dim);
         let phi1 = Mlp::new("phi1", &dims, config.dropout, store, rng);
-        Self { config, phi0, filter: module, phi1 }
+        Self {
+            config,
+            phi0,
+            filter: module,
+            phi1,
+        }
     }
 
     /// Full-batch forward: raw attributes to logits, filter on the tape.
@@ -110,7 +136,10 @@ impl DecoupledModel {
     /// Mini-batch precompute: basis terms over raw attributes
     /// (`φ0` must be empty).
     pub fn precompute_mb(&self, pm: &PropMatrix, x: &DMat) -> Vec<Vec<DMat>> {
-        assert!(self.phi0.is_none(), "mini-batch requires φ0 = 0 layers (Table 4)");
+        assert!(
+            self.phi0.is_none(),
+            "mini-batch requires φ0 = 0 layers (Table 4)"
+        );
         self.filter.precompute(pm, x)
     }
 
@@ -128,8 +157,13 @@ impl DecoupledModel {
 
 /// Gathers the given rows of every precomputed term (the mini-batch slicing
 /// step, performed on "CPU" before the batch moves to the device).
+///
+/// Channels slice independently, so multi-channel filter banks gather
+/// across the worker pool.
 pub fn gather_terms(terms: &[Vec<DMat>], idx: &[u32]) -> Vec<Vec<DMat>> {
-    terms.iter().map(|ch| ch.iter().map(|t| t.gather_rows(idx)).collect()).collect()
+    sgnn_dense::runtime::run_map(terms.len(), |q| {
+        terms[q].iter().map(|t| t.gather_rows(idx)).collect()
+    })
 }
 
 #[cfg(test)]
@@ -160,7 +194,12 @@ mod tests {
             filter,
             data.features.cols(),
             data.num_classes,
-            DecoupledConfig { hidden: 32, phi0_layers: 1, phi1_layers: 1, dropout: 0.3 },
+            DecoupledConfig {
+                hidden: 32,
+                phi0_layers: 1,
+                phi1_layers: 1,
+                dropout: 0.3,
+            },
             &mut store,
             &mut rng,
         );
@@ -194,7 +233,12 @@ mod tests {
             filter,
             data.features.cols(),
             data.num_classes,
-            DecoupledConfig { hidden: 32, phi0_layers: 0, phi1_layers: 2, dropout: 0.3 },
+            DecoupledConfig {
+                hidden: 32,
+                phi0_layers: 0,
+                phi1_layers: 2,
+                dropout: 0.3,
+            },
             &mut store,
             &mut rng,
         );
@@ -207,8 +251,7 @@ mod tests {
             for (b, chunk) in train.chunks(batch).enumerate() {
                 store.zero_grads();
                 let batch_terms = gather_terms(&terms, chunk);
-                let y: Vec<u32> =
-                    chunk.iter().map(|&i| data.labels[i as usize]).collect();
+                let y: Vec<u32> = chunk.iter().map(|&i| data.labels[i as usize]).collect();
                 let mut tape = Tape::new(true, epoch * 1000 + b as u64);
                 let logits = model.forward_mb(&mut tape, &batch_terms, &store);
                 let loss = tape.softmax_cross_entropy(logits, Arc::new(y));

@@ -29,7 +29,9 @@ impl LinkPredictor {
         store: &mut ParamStore,
         rng: &mut SmallRng,
     ) -> Self {
-        Self { mlp: Mlp::new("linkpred", &[embed_dim, hidden, 1], dropout, store, rng) }
+        Self {
+            mlp: Mlp::new("linkpred", &[embed_dim, hidden, 1], dropout, store, rng),
+        }
     }
 
     /// Scores a batch of pairs against precomputed embeddings `z`;
@@ -118,6 +120,9 @@ mod tests {
                 nn += 1;
             }
         }
-        assert!(pos / np as f64 > neg / nn as f64 + 0.05, "positives must score higher");
+        assert!(
+            pos / np as f64 > neg / nn as f64 + 0.05,
+            "positives must score higher"
+        );
     }
 }

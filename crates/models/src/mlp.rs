@@ -33,12 +33,19 @@ impl Mlp {
                     drng::glorot(w[0], w[1], rng),
                     ParamGroup::Network,
                 );
-                let bias =
-                    store.add(format!("{name}.b{i}"), DMat::zeros(1, w[1]), ParamGroup::Network);
+                let bias = store.add(
+                    format!("{name}.b{i}"),
+                    DMat::zeros(1, w[1]),
+                    ParamGroup::Network,
+                );
                 (weight, bias)
             })
             .collect();
-        Self { layers, dims: dims.to_vec(), dropout }
+        Self {
+            layers,
+            dims: dims.to_vec(),
+            dropout,
+        }
     }
 
     /// Number of layers.

@@ -40,11 +40,26 @@ impl NagphormerLite {
         store: &mut ParamStore,
         rng: &mut SmallRng,
     ) -> Self {
-        let proj = store.add("nag.proj", drng::glorot(in_dim, dim, rng), ParamGroup::Network);
+        let proj = store.add(
+            "nag.proj",
+            drng::glorot(in_dim, dim, rng),
+            ParamGroup::Network,
+        );
         let query = store.add("nag.query", drng::glorot(dim, 1, rng), ParamGroup::Network);
-        let value = store.add("nag.value", drng::glorot(dim, dim, rng), ParamGroup::Network);
+        let value = store.add(
+            "nag.value",
+            drng::glorot(dim, dim, rng),
+            ParamGroup::Network,
+        );
         let head = Mlp::new("nag.head", &[dim, dim, out_dim], dropout, store, rng);
-        Self { hops, dim, proj, query, value, head }
+        Self {
+            hops,
+            dim,
+            proj,
+            query,
+            value,
+            head,
+        }
     }
 
     /// Precomputation: hop-aggregated token matrices `Ã^k X`, `k = 0..=K`.
@@ -87,7 +102,8 @@ impl NagphormerLite {
                 Some(acc) => tape.add(acc, weighted),
             });
         }
-        self.head.apply(tape, readout.expect("at least one hop token"), store)
+        self.head
+            .apply(tape, readout.expect("at least one hop token"), store)
     }
 }
 
@@ -112,8 +128,20 @@ impl GtSample {
         let wq = store.add("gt.wq", drng::glorot(in_dim, dim, rng), ParamGroup::Network);
         let wk = store.add("gt.wk", drng::glorot(in_dim, dim, rng), ParamGroup::Network);
         let wv = store.add("gt.wv", drng::glorot(in_dim, dim, rng), ParamGroup::Network);
-        let head = Mlp::new("gt.head", &[dim + in_dim, dim, out_dim], dropout, store, rng);
-        Self { dim, wq, wk, wv, head }
+        let head = Mlp::new(
+            "gt.head",
+            &[dim + in_dim, dim, out_dim],
+            dropout,
+            store,
+            rng,
+        );
+        Self {
+            dim,
+            wq,
+            wk,
+            wv,
+            head,
+        }
     }
 
     /// Forward: every row of `x` attends over the `anchors` rows.
@@ -133,7 +161,7 @@ impl GtSample {
         let q = tape.matmul(xn, wq); // n × d
         let k = tape.matmul(xsn, wk); // s × d
         let v = tape.matmul(xsn, wv); // s × d
-        // scores[i, j] = ⟨q_i, k_j⟩ / √d — sampled global attention.
+                                      // scores[i, j] = ⟨q_i, k_j⟩ / √d — sampled global attention.
         let scores = tape.matmul_bt(q, k);
         let scores = tape.scale(scores, 1.0 / (self.dim as f32).sqrt());
         let attn = tape.softmax_rows(scores); // n × s
@@ -201,8 +229,14 @@ mod tests {
         let data = dataset_spec("cora").unwrap().generate(GenScale::Tiny, 10);
         let mut rng = drng::seeded(10);
         let mut store = ParamStore::new();
-        let model =
-            GtSample::new(data.features.cols(), 16, data.num_classes, 0.2, &mut store, &mut rng);
+        let model = GtSample::new(
+            data.features.cols(),
+            16,
+            data.num_classes,
+            0.2,
+            &mut store,
+            &mut rng,
+        );
         let anchors: Vec<u32> = (0..16).map(|i| i * 7 % data.nodes() as u32).collect();
         let mut opt = Adam::new(0.01, 1e-4);
         let targets = Arc::new(data.targets_of(&data.splits.train));

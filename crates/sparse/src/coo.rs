@@ -18,12 +18,20 @@ pub struct Coo {
 impl Coo {
     /// An empty `rows × cols` builder.
     pub fn new(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, entries: Vec::new() }
+        Self {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
     }
 
     /// An empty builder with reserved capacity for `cap` triplets.
     pub fn with_capacity(rows: usize, cols: usize, cap: usize) -> Self {
-        Self { rows, cols, entries: Vec::with_capacity(cap) }
+        Self {
+            rows,
+            cols,
+            entries: Vec::with_capacity(cap),
+        }
     }
 
     /// Number of triplets currently stored (duplicates included).
@@ -71,10 +79,13 @@ impl Coo {
 
     /// Sorts triplets row-major and sums duplicates.
     pub fn coalesce(&mut self) {
-        self.entries.sort_unstable_by_key(|&(r, c, _)| ((r as u64) << 32) | c as u64);
+        self.entries
+            .sort_unstable_by_key(|&(r, c, _)| ((r as u64) << 32) | c as u64);
         let mut w = 0usize;
         for i in 0..self.entries.len() {
-            if w > 0 && self.entries[w - 1].0 == self.entries[i].0 && self.entries[w - 1].1 == self.entries[i].1
+            if w > 0
+                && self.entries[w - 1].0 == self.entries[i].0
+                && self.entries[w - 1].1 == self.entries[i].1
             {
                 self.entries[w - 1].2 += self.entries[i].2;
             } else {

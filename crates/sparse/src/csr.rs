@@ -1,12 +1,13 @@
 //! Compressed-sparse-row matrix with a parallel SpMM kernel.
 //!
 //! This is the benchmark's "SP" propagation backend: `O(m)` storage, and each
-//! `Ã · X` costs `O(mF)` with output rows distributed over worker threads.
+//! `Ã · X` costs `O(mF)` with output rows distributed over the persistent
+//! worker pool.
 //! Column indices are `u32` (graphs beyond 4B nodes are out of scope) and
 //! values `f32`, which matches the memory footprint assumptions in the
 //! paper's complexity table.
 
-use sgnn_dense::parallel::par_row_chunks;
+use sgnn_dense::runtime::run_chunks;
 use sgnn_dense::DMat;
 
 /// A sparse matrix in CSR form.
@@ -33,16 +34,42 @@ impl CsrMat {
         values: Vec<f32>,
     ) -> Self {
         assert_eq!(indptr.len(), rows + 1, "indptr must have rows+1 entries");
-        assert_eq!(indices.len(), values.len(), "indices/values length mismatch");
-        assert_eq!(*indptr.last().unwrap(), indices.len(), "indptr must end at nnz");
-        assert!(indptr.windows(2).all(|w| w[0] <= w[1]), "indptr must be monotone");
-        assert!(indices.iter().all(|&c| (c as usize) < cols), "column index out of range");
-        Self { rows, cols, indptr, indices, values }
+        assert_eq!(
+            indices.len(),
+            values.len(),
+            "indices/values length mismatch"
+        );
+        assert_eq!(
+            *indptr.last().unwrap(),
+            indices.len(),
+            "indptr must end at nnz"
+        );
+        assert!(
+            indptr.windows(2).all(|w| w[0] <= w[1]),
+            "indptr must be monotone"
+        );
+        assert!(
+            indices.iter().all(|&c| (c as usize) < cols),
+            "column index out of range"
+        );
+        Self {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// An all-zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, indptr: vec![0; rows + 1], indices: Vec::new(), values: Vec::new() }
+        Self {
+            rows,
+            cols,
+            indptr: vec![0; rows + 1],
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// The `n × n` identity.
@@ -92,7 +119,10 @@ impl CsrMat {
     /// Value at `(r, c)` — linear scan of the row; for tests and debugging.
     pub fn get(&self, r: usize, c: usize) -> f32 {
         let (idx, val) = self.row(r);
-        idx.iter().position(|&j| j as usize == c).map(|p| val[p]).unwrap_or(0.0)
+        idx.iter()
+            .position(|&j| j as usize == c)
+            .map(|p| val[p])
+            .unwrap_or(0.0)
     }
 
     /// Applies `f` to every stored value.
@@ -145,7 +175,13 @@ impl CsrMat {
                 next[c as usize] += 1;
             }
         }
-        CsrMat { rows: self.cols, cols: self.rows, indptr, indices, values }
+        CsrMat {
+            rows: self.cols,
+            cols: self.rows,
+            indptr,
+            indices,
+            values,
+        }
     }
 
     /// Parallel SpMM: `self (r×c) · x (c×F) -> (r×F)`.
@@ -154,7 +190,7 @@ impl CsrMat {
         let f = x.cols();
         let mut out = DMat::zeros(self.rows, f);
         let xdat = x.data();
-        par_row_chunks(out.data_mut(), self.rows, f.max(1), |first, chunk| {
+        run_chunks(out.data_mut(), self.rows, f.max(1), |first, chunk| {
             for (local, orow) in chunk.chunks_exact_mut(f.max(1)).enumerate() {
                 let r = first + local;
                 let (idx, val) = self.row(r);
@@ -172,12 +208,15 @@ impl CsrMat {
     /// Fused affine propagation: `a·(self·x) + b·x`, the primitive every
     /// polynomial basis reduces to (e.g. `L̃x = -Ãx + x` is `a=-1, b=1`).
     pub fn affine_spmm(&self, a: f32, b: f32, x: &DMat) -> DMat {
-        assert_eq!(self.rows, self.cols, "affine propagation requires square operator");
+        assert_eq!(
+            self.rows, self.cols,
+            "affine propagation requires square operator"
+        );
         assert_eq!(self.cols, x.rows(), "spmm dimension mismatch");
         let f = x.cols();
         let mut out = DMat::zeros(self.rows, f);
         let xdat = x.data();
-        par_row_chunks(out.data_mut(), self.rows, f.max(1), |first, chunk| {
+        run_chunks(out.data_mut(), self.rows, f.max(1), |first, chunk| {
             for (local, orow) in chunk.chunks_exact_mut(f.max(1)).enumerate() {
                 let r = first + local;
                 let (idx, val) = self.row(r);

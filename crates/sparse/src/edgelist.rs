@@ -9,6 +9,7 @@
 //! re-run.
 
 use crate::csr::CsrMat;
+use sgnn_dense::runtime::run_chunks;
 use sgnn_dense::DMat;
 
 /// A weighted directed edge list `dst[e] <- w[e] * src[e]`.
@@ -23,7 +24,11 @@ pub struct EdgeList {
 impl EdgeList {
     /// Extracts the edge list of a square CSR operator.
     pub fn from_csr(csr: &CsrMat) -> Self {
-        assert_eq!(csr.rows(), csr.cols(), "edge list requires a square operator");
+        assert_eq!(
+            csr.rows(),
+            csr.cols(),
+            "edge list requires a square operator"
+        );
         let mut src = Vec::with_capacity(csr.nnz());
         let mut dst = Vec::with_capacity(csr.nnz());
         let mut w = Vec::with_capacity(csr.nnz());
@@ -32,7 +37,12 @@ impl EdgeList {
             src.push(c);
             w.push(v);
         }
-        Self { n: csr.rows(), src, dst, w }
+        Self {
+            n: csr.rows(),
+            src,
+            dst,
+            w,
+        }
     }
 
     /// Number of nodes.
@@ -63,14 +73,22 @@ impl EdgeList {
     pub fn propagate(&self, x: &DMat) -> DMat {
         assert_eq!(x.rows(), self.n, "feature rows must match node count");
         let f = x.cols();
-        // Stage 1: gather + weight — the materialized message tensor.
+        // Stage 1: gather + weight — the materialized message tensor. Each
+        // message row is independent, so the gather runs over the pool.
         let mut messages = DMat::zeros(self.len(), f);
-        for (e, (&s, &wv)) in self.src.iter().zip(&self.w).enumerate() {
-            let m = messages.row_mut(e);
-            m.copy_from_slice(x.row(s as usize));
-            m.iter_mut().for_each(|v| *v *= wv);
-        }
-        // Stage 2: scatter-add into destinations.
+        let (src, w) = (&self.src, &self.w);
+        run_chunks(messages.data_mut(), self.len(), f.max(1), |first, chunk| {
+            for (local, m) in chunk.chunks_exact_mut(f.max(1)).enumerate() {
+                let e = first + local;
+                let wv = w[e];
+                m.copy_from_slice(x.row(src[e] as usize));
+                m.iter_mut().for_each(|v| *v *= wv);
+            }
+        });
+        // Stage 2: scatter-add into destinations. Stays serial: multiple
+        // edges target the same output row, so parallel writes would race
+        // (PyG pays for this with atomics; the comparison only needs the
+        // memory behaviour to be faithful).
         let mut out = DMat::zeros(self.n, f);
         for (e, &d) in self.dst.iter().enumerate() {
             let orow = out.row_mut(d as usize);

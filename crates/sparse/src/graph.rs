@@ -67,7 +67,9 @@ impl Graph {
 
     /// Node degrees (neighbor counts, self-loops excluded).
     pub fn degrees(&self) -> Vec<u32> {
-        (0..self.n).map(|r| self.adj.row(r).0.len() as u32).collect()
+        (0..self.n)
+            .map(|r| self.adj.row(r).0.len() as u32)
+            .collect()
     }
 
     /// Neighbor list of node `u`.

@@ -72,18 +72,33 @@ impl PropMatrix {
         }
         // Degrees of Ā (weighted row sums; symmetric, so row == col degrees).
         let deg = base.row_sums();
-        let row_scale: Vec<f32> =
-            deg.iter().map(|&d| if d > 0.0 { d.powf(rho - 1.0) } else { 0.0 }).collect();
-        let col_scale: Vec<f32> =
-            deg.iter().map(|&d| if d > 0.0 { d.powf(-rho) } else { 0.0 }).collect();
+        let row_scale: Vec<f32> = deg
+            .iter()
+            .map(|&d| if d > 0.0 { d.powf(rho - 1.0) } else { 0.0 })
+            .collect();
+        let col_scale: Vec<f32> = deg
+            .iter()
+            .map(|&d| if d > 0.0 { d.powf(-rho) } else { 0.0 })
+            .collect();
         let adj = base.scale_rows_cols(&row_scale, &col_scale);
         let symmetric = (rho - 0.5).abs() < 1e-9;
-        let adj_t = if symmetric { None } else { Some(adj.transpose()) };
+        let adj_t = if symmetric {
+            None
+        } else {
+            Some(adj.transpose())
+        };
         let edges = match backend {
             Backend::Csr => None,
             Backend::EdgeList => Some(EdgeList::from_csr(&adj)),
         };
-        Self { adj, adj_t, edges, backend, rho, self_loops }
+        Self {
+            adj,
+            adj_t,
+            edges,
+            backend,
+            rho,
+            self_loops,
+        }
     }
 
     /// Number of nodes.

@@ -17,7 +17,10 @@ pub fn node_homophily(graph: &Graph, labels: &[u32]) -> f64 {
         if nbrs.is_empty() {
             continue;
         }
-        let same = nbrs.iter().filter(|&&v| labels[v as usize] == labels[u]).count();
+        let same = nbrs
+            .iter()
+            .filter(|&&v| labels[v as usize] == labels[u])
+            .count();
         total += same as f64 / nbrs.len() as f64;
         counted += 1;
     }
@@ -60,7 +63,12 @@ pub struct DegreeSummary {
 pub fn degree_summary(graph: &Graph) -> DegreeSummary {
     let mut deg = graph.degrees();
     if deg.is_empty() {
-        return DegreeSummary { min: 0, max: 0, mean: 0.0, median: 0 };
+        return DegreeSummary {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            median: 0,
+        };
     }
     deg.sort_unstable();
     DegreeSummary {

@@ -50,7 +50,14 @@ impl Default for TrainConfig {
 impl TrainConfig {
     /// Quick configuration for unit tests.
     pub fn fast_test(seed: u64) -> Self {
-        Self { hops: 4, hidden: 32, epochs: 40, patience: 0, seed, ..Self::default() }
+        Self {
+            hops: 4,
+            hidden: 32,
+            epochs: 40,
+            patience: 0,
+            seed,
+            ..Self::default()
+        }
     }
 }
 

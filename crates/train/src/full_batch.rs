@@ -64,8 +64,14 @@ pub fn train_full_batch_model(
         &mut rng,
     );
     let mut opt = Adam::with_groups(
-        GroupHyper { lr: cfg.lr, weight_decay: cfg.weight_decay },
-        GroupHyper { lr: cfg.lr_filter, weight_decay: cfg.weight_decay_filter },
+        GroupHyper {
+            lr: cfg.lr,
+            weight_decay: cfg.weight_decay,
+        },
+        GroupHyper {
+            lr: cfg.lr_filter,
+            weight_decay: cfg.weight_decay_filter,
+        },
     );
 
     let train_idx = Arc::new(data.splits.train.clone());
@@ -177,7 +183,9 @@ mod tests {
     fn heterophily_favors_high_frequency_filters() {
         // On a strongly heterophilous graph the pure low-pass Impulse filter
         // must not beat the identity-capable Monomial-variable filter.
-        let data = dataset_spec("roman-empire").unwrap().generate(GenScale::Tiny, 1);
+        let data = dataset_spec("roman-empire")
+            .unwrap()
+            .generate(GenScale::Tiny, 1);
         let cfg = TrainConfig::fast_test(1);
         let lp = train_full_batch(make_filter("Impulse", cfg.hops).unwrap(), &data, &cfg);
         let var = train_full_batch(make_filter("VarMonomial", cfg.hops).unwrap(), &data, &cfg);
@@ -191,7 +199,9 @@ mod tests {
 
     #[test]
     fn roc_auc_dataset_reports_sane_metric() {
-        let data = dataset_spec("minesweeper").unwrap().generate(GenScale::Tiny, 2);
+        let data = dataset_spec("minesweeper")
+            .unwrap()
+            .generate(GenScale::Tiny, 2);
         let cfg = TrainConfig::fast_test(2);
         let report = train_full_batch(make_filter("Linear", cfg.hops).unwrap(), &data, &cfg);
         assert!((0.0..=1.0).contains(&report.test_metric));

@@ -28,12 +28,20 @@ pub struct HardwareProfile {
 impl HardwareProfile {
     /// The paper's reference server S1 (2.4 GHz Xeon + A30).
     pub fn s1() -> Self {
-        Self { cpu_speed: 1.0, device_speed: 1.0, name: "S1" }
+        Self {
+            cpu_speed: 1.0,
+            device_speed: 1.0,
+            name: "S1",
+        }
     }
 
     /// The paper's comparison server S2: slower CPU, faster GPU.
     pub fn s2() -> Self {
-        Self { cpu_speed: 0.85, device_speed: 1.6, name: "S2" }
+        Self {
+            cpu_speed: 0.85,
+            device_speed: 1.6,
+            name: "S2",
+        }
     }
 
     /// Rescales a measured report's stage timings under this profile.
@@ -44,7 +52,9 @@ impl HardwareProfile {
     pub fn rescale(&self, report: &TrainReport, cpu_fraction: f64) -> TrainReport {
         assert!((0.0..=1.0).contains(&cpu_fraction));
         let mut out = report.clone();
-        let split = |t: f64| t * cpu_fraction / self.cpu_speed + t * (1.0 - cpu_fraction) / self.device_speed;
+        let split = |t: f64| {
+            t * cpu_fraction / self.cpu_speed + t * (1.0 - cpu_fraction) / self.device_speed
+        };
         out.precompute_s = report.precompute_s / self.cpu_speed;
         out.train_epoch_s = split(report.train_epoch_s);
         out.train_total_s = split(report.train_total_s);
@@ -53,12 +63,13 @@ impl HardwareProfile {
     }
 }
 
-/// Runs `f` with the parallel worker pool pinned to `threads`, restoring the
-/// default afterwards.
+/// Runs `f` with the worker pool pinned to `threads`, restoring the default
+/// afterwards. Resizing is logical: pool threads persist, but dispatches
+/// inside `f` use at most `threads` lanes.
 pub fn with_threads<T>(threads: usize, f: impl FnOnce() -> T) -> T {
-    sgnn_dense::parallel::set_threads(threads);
+    sgnn_dense::runtime::set_threads(threads);
     let out = f();
-    sgnn_dense::parallel::set_threads(0);
+    sgnn_dense::runtime::set_threads(0);
     out
 }
 
@@ -91,8 +102,8 @@ mod tests {
 
     #[test]
     fn with_threads_restores_default() {
-        let t = with_threads(1, sgnn_dense::parallel::num_threads);
+        let t = with_threads(1, sgnn_dense::runtime::num_threads);
         assert_eq!(t, 1);
-        assert!(sgnn_dense::parallel::num_threads() >= 1);
+        assert!(sgnn_dense::runtime::num_threads() >= 1);
     }
 }

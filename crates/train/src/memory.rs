@@ -70,7 +70,13 @@ impl DeviceMeter {
     /// Records one training/inference step: tape residency + parameters +
     /// optimizer state + anything permanently device-resident (`fixed`,
     /// e.g. the graph operator under full-batch training).
-    pub fn record_step(&mut self, tape: &Tape, store: &ParamStore, opt: Option<&dyn Optimizer>, fixed: usize) {
+    pub fn record_step(
+        &mut self,
+        tape: &Tape,
+        store: &ParamStore,
+        opt: Option<&dyn Optimizer>,
+        fixed: usize,
+    ) {
         let bytes =
             tape.resident_bytes() + store.nbytes() + opt.map_or(0, |o| o.state_bytes()) + fixed;
         self.peak = self.peak.max(bytes);
@@ -107,8 +113,11 @@ mod tests {
         assert_eq!(meter.peak(), 10 * 10 * 4 + 100);
         meter.record_bytes(50);
         assert_eq!(meter.peak(), 10 * 10 * 4 + 100, "peak must not shrink");
-        let _ =
-            store.add("w", DMat::zeros(4, 4), sgnn_autograd::param::ParamGroup::Network);
+        let _ = store.add(
+            "w",
+            DMat::zeros(4, 4),
+            sgnn_autograd::param::ParamGroup::Network,
+        );
         meter.record_step(&tape, &store, None, 100);
         assert_eq!(meter.peak(), 10 * 10 * 4 + 100 + 2 * 4 * 4 * 4);
     }

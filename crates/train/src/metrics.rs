@@ -19,8 +19,10 @@ pub fn accuracy(logits: &DMat, labels: &[u32], idx: &[u32]) -> f64 {
 /// Binary ROC AUC from per-node scores (higher = class 1), restricted to
 /// `idx`. Ties are handled by midranks.
 pub fn roc_auc(scores: &[f64], labels: &[u32], idx: &[u32]) -> f64 {
-    let pairs: Vec<(f64, u32)> =
-        idx.iter().map(|&i| (scores[i as usize], labels[i as usize])).collect();
+    let pairs: Vec<(f64, u32)> = idx
+        .iter()
+        .map(|&i| (scores[i as usize], labels[i as usize]))
+        .collect();
     auc_from_pairs(pairs)
 }
 
@@ -28,8 +30,11 @@ pub fn roc_auc(scores: &[f64], labels: &[u32], idx: &[u32]) -> f64 {
 /// used by link prediction.
 pub fn roc_auc_pairs(scores: &[f64], labels: &[f32]) -> f64 {
     assert_eq!(scores.len(), labels.len(), "one label per score");
-    let pairs: Vec<(f64, u32)> =
-        scores.iter().zip(labels).map(|(&s, &l)| (s, u32::from(l > 0.5))).collect();
+    let pairs: Vec<(f64, u32)> = scores
+        .iter()
+        .zip(labels)
+        .map(|(&s, &l)| (s, u32::from(l > 0.5)))
+        .collect();
     auc_from_pairs(pairs)
 }
 
@@ -63,7 +68,9 @@ fn auc_from_pairs(mut pairs: Vec<(f64, u32)>) -> f64 {
 /// the softmax probability of class 1).
 pub fn binary_scores(logits: &DMat) -> Vec<f64> {
     assert!(logits.cols() >= 2, "binary scores need two logits");
-    (0..logits.rows()).map(|r| (logits.get(r, 1) - logits.get(r, 0)) as f64).collect()
+    (0..logits.rows())
+        .map(|r| (logits.get(r, 1) - logits.get(r, 0)) as f64)
+        .collect()
 }
 
 /// Macro-averaged F1 over all classes, restricted to `idx`.
@@ -85,7 +92,11 @@ pub fn macro_f1(logits: &DMat, labels: &[u32], idx: &[u32], classes: usize) -> f
     for c in 0..classes {
         let p = tp[c] as f64 / (tp[c] + fp[c]).max(1) as f64;
         let r = tp[c] as f64 / (tp[c] + fneg[c]).max(1) as f64;
-        sum += if p + r > 0.0 { 2.0 * p * r / (p + r) } else { 0.0 };
+        sum += if p + r > 0.0 {
+            2.0 * p * r / (p + r)
+        } else {
+            0.0
+        };
     }
     sum / classes as f64
 }

@@ -56,8 +56,14 @@ pub fn train_mini_batch(
         &mut rng,
     );
     let mut opt = Adam::with_groups(
-        GroupHyper { lr: cfg.lr, weight_decay: cfg.weight_decay },
-        GroupHyper { lr: cfg.lr_filter, weight_decay: cfg.weight_decay_filter },
+        GroupHyper {
+            lr: cfg.lr,
+            weight_decay: cfg.weight_decay,
+        },
+        GroupHyper {
+            lr: cfg.lr_filter,
+            weight_decay: cfg.weight_decay_filter,
+        },
     );
 
     // Stage 1: CPU precomputation.
@@ -78,8 +84,10 @@ pub fn train_mini_batch(
     for epoch in 0..cfg.epochs {
         epochs_run = epoch + 1;
         drng::shuffle(&mut train_idx, &mut rng);
-        let chunks: Vec<Vec<u32>> =
-            train_idx.chunks(cfg.batch_size).map(|c| c.to_vec()).collect();
+        let chunks: Vec<Vec<u32>> = train_idx
+            .chunks(cfg.batch_size)
+            .map(|c| c.to_vec())
+            .collect();
         train_timer.time(|| {
             for (b, chunk) in chunks.iter().enumerate() {
                 store.zero_grads();
@@ -161,7 +169,9 @@ pub fn infer_mb(
         let val = tape.value(out);
         let logits = logits.get_or_insert_with(|| DMat::zeros(n, val.cols()));
         for (local, &node) in chunk.iter().enumerate() {
-            logits.row_mut(node as usize).copy_from_slice(val.row(local));
+            logits
+                .row_mut(node as usize)
+                .copy_from_slice(val.row(local));
         }
     }
     logits.expect("graph has at least one node")

@@ -44,10 +44,20 @@ pub fn fit_signal(
     let module = FilterModule::new(filter, task.input.cols(), &mut store);
     // Global output scale: gives fixed filters one trainable knob (the
     // paper instead tunes their hyperparameters per signal).
-    let scale = store.add("out_scale", DMat::from_vec(1, 1, vec![1.0]), ParamGroup::Filter);
+    let scale = store.add(
+        "out_scale",
+        DMat::from_vec(1, 1, vec![1.0]),
+        ParamGroup::Filter,
+    );
     let mut opt = Adam::with_groups(
-        GroupHyper { lr, weight_decay: 0.0 },
-        GroupHyper { lr, weight_decay: 0.0 },
+        GroupHyper {
+            lr,
+            weight_decay: 0.0,
+        },
+        GroupHyper {
+            lr,
+            weight_decay: 0.0,
+        },
     );
 
     let forward = |tape: &mut Tape, store: &ParamStore| {
@@ -71,7 +81,12 @@ pub fn fit_signal(
             best_r2 = best_r2.max(r2_score(eval.value(out), &task.target));
         }
     }
-    RegressionReport { filter: name, signal: task.signal.name(), r2: best_r2, epochs }
+    RegressionReport {
+        filter: name,
+        signal: task.signal.name(),
+        r2: best_r2,
+        epochs,
+    }
 }
 
 #[cfg(test)]
@@ -85,8 +100,16 @@ mod tests {
         // A ring with chords: a broad, well-spread Laplacian spectrum.
         let edges: Vec<(u32, u32)> = (0..80u32)
             .map(|i| (i, (i + 1) % 80))
-            .chain((0..80u32).filter(|i| i % 3 == 0).map(|i| (i, (i + 11) % 80)))
-            .chain((0..80u32).filter(|i| i % 7 == 0).map(|i| (i, (i + 29) % 80)))
+            .chain(
+                (0..80u32)
+                    .filter(|i| i % 3 == 0)
+                    .map(|i| (i, (i + 11) % 80)),
+            )
+            .chain(
+                (0..80u32)
+                    .filter(|i| i % 7 == 0)
+                    .map(|i| (i, (i + 29) % 80)),
+            )
             .collect();
         Arc::new(PropMatrix::new(&Graph::from_edges(80, &edges), 0.5))
     }
@@ -95,7 +118,14 @@ mod tests {
     fn variable_filter_fits_low_pass_well() {
         let pm = ring_pm();
         let task = regression_task(&pm, Signal::Low, 2, 0);
-        let rep = fit_signal(make_filter("Chebyshev", 8).unwrap(), &pm, &task, 150, 0.05, 0);
+        let rep = fit_signal(
+            make_filter("Chebyshev", 8).unwrap(),
+            &pm,
+            &task,
+            150,
+            0.05,
+            0,
+        );
         assert!(rep.r2 > 0.8, "Chebyshev on LOW: R² = {}", rep.r2);
     }
 
@@ -121,15 +151,38 @@ mod tests {
     }
 
     pub(crate) fn gaussian_sharp() -> sgnn_core::fixed::Gaussian {
-        sgnn_core::fixed::Gaussian { hops: 16, alpha: 6.0, center: 0.0 }
+        sgnn_core::fixed::Gaussian {
+            hops: 16,
+            alpha: 6.0,
+            center: 0.0,
+        }
     }
 
     #[test]
     fn band_signal_separates_filters_with_band_capability() {
         let pm = ring_pm();
         let band = regression_task(&pm, Signal::Band, 2, 2);
-        let cheb = fit_signal(make_filter("Chebyshev", 10).unwrap(), &pm, &band, 200, 0.05, 2);
-        let imp = fit_signal(make_filter("Impulse", 10).unwrap(), &pm, &band, 200, 0.05, 2);
-        assert!(cheb.r2 > imp.r2, "Chebyshev {} vs Impulse {}", cheb.r2, imp.r2);
+        let cheb = fit_signal(
+            make_filter("Chebyshev", 10).unwrap(),
+            &pm,
+            &band,
+            200,
+            0.05,
+            2,
+        );
+        let imp = fit_signal(
+            make_filter("Impulse", 10).unwrap(),
+            &pm,
+            &band,
+            200,
+            0.05,
+            2,
+        );
+        assert!(
+            cheb.r2 > imp.r2,
+            "Chebyshev {} vs Impulse {}",
+            cheb.r2,
+            imp.r2
+        );
     }
 }

@@ -24,13 +24,23 @@ fn main() {
         homophily: 0.0, // set below
     };
     let filters = ["Impulse", "PPR", "VarMonomial", "Jacobi", "FAGNN"];
-    let cfg = TrainConfig { epochs: 80, hops: 8, ..TrainConfig::default() };
+    let cfg = TrainConfig {
+        epochs: 80,
+        hops: 8,
+        ..TrainConfig::default()
+    };
 
-    println!("{:<14} {:>12} {:>12}", "filter", "homophilous", "heterophilous");
+    println!(
+        "{:<14} {:>12} {:>12}",
+        "filter", "homophilous", "heterophilous"
+    );
     for fname in filters {
         let mut row = format!("{fname:<14}");
         for h in [0.85f64, 0.10] {
-            let params = CsbmParams { homophily: h, ..base.clone() };
+            let params = CsbmParams {
+                homophily: h,
+                ..base.clone()
+            };
             let data = csbm::generate(&format!("csbm-h{h:.2}"), &params, Metric::Accuracy, 7);
             let report = train_full_batch(make_filter(fname, cfg.hops).unwrap(), &data, &cfg);
             row += &format!(" {:>11.1}%", report.test_metric * 100.0);

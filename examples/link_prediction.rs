@@ -64,5 +64,8 @@ fn main() {
         let logits = head.score(&mut tape, &z, chunk, &store);
         scores.extend((0..chunk.len()).map(|i| tape.value(logits).get(i, 0) as f64));
     }
-    println!("test ROC AUC = {:.4}", roc_auc_pairs(&scores, &splits.test.labels));
+    println!(
+        "test ROC AUC = {:.4}",
+        roc_auc_pairs(&scores, &splits.test.labels)
+    );
 }

@@ -15,9 +15,19 @@ use spectral_gnn::train::{train_full_batch, train_mini_batch, TrainConfig};
 
 fn main() {
     let data = dataset_spec("flickr").unwrap().generate(GenScale::Bench, 0);
-    println!("dataset {} at bench scale: n = {}, m = {}", data.name, data.nodes(), data.edges());
+    println!(
+        "dataset {} at bench scale: n = {}, m = {}",
+        data.name,
+        data.nodes(),
+        data.edges()
+    );
 
-    let cfg = TrainConfig { epochs: 25, patience: 0, hops: 10, ..TrainConfig::default() };
+    let cfg = TrainConfig {
+        epochs: 25,
+        patience: 0,
+        hops: 10,
+        ..TrainConfig::default()
+    };
     println!(
         "\n{:<12} {:<3} {:>8} {:>10} {:>11} {:>12} {:>12}",
         "filter", "sch", "metric", "pre(s)", "epoch(s)", "device", "ram"

@@ -10,7 +10,9 @@ use spectral_gnn::train::{train_full_batch, TrainConfig};
 
 fn main() {
     // 1. A cora-like attributed graph (2708 nodes, homophily 0.83).
-    let data = dataset_spec("cora").expect("registered dataset").generate(GenScale::Bench, 0);
+    let data = dataset_spec("cora")
+        .expect("registered dataset")
+        .generate(GenScale::Bench, 0);
     println!(
         "dataset {:?}: n = {}, m = {}, measured homophily = {:.2}",
         data.name,
@@ -30,7 +32,10 @@ fn main() {
     }
 
     // 3. Full-batch training of φ1(g(L̃)·φ0(X)) with Adam.
-    let cfg = TrainConfig { epochs: 100, ..TrainConfig::default() };
+    let cfg = TrainConfig {
+        epochs: 100,
+        ..TrainConfig::default()
+    };
     let report = train_full_batch(filter, &data, &cfg);
 
     // 4. The report carries both efficacy and the efficiency breakdown.

@@ -27,7 +27,15 @@ fn main() {
     );
 
     println!("\n{:<12} {:>8}", "filter", "R²×100");
-    for fname in ["Impulse", "HK", "Monomial", "Horner", "Chebyshev", "Bernstein", "OptBasis"] {
+    for fname in [
+        "Impulse",
+        "HK",
+        "Monomial",
+        "Horner",
+        "Chebyshev",
+        "Bernstein",
+        "OptBasis",
+    ] {
         let filter = make_filter(fname, 10).unwrap();
         let rep = fit_signal(filter, &pm, &task, 200, 0.05, 0);
         println!("{:<12} {:>8.2}", fname, rep.r2.max(0.0) * 100.0);

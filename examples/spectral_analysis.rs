@@ -30,7 +30,10 @@ fn main() {
 
     println!("label-signal energy per frequency band (λ ∈ [0,2], {bands} bands):");
     for h in [0.85f64, 0.10] {
-        let params = CsbmParams { homophily: h, ..base.clone() };
+        let params = CsbmParams {
+            homophily: h,
+            ..base.clone()
+        };
         let data = csbm::generate("g", &params, Metric::Accuracy, 0);
         let pm = PropMatrix::new(&data.graph, 0.5);
         let eig = laplacian_spectrum(&pm);
@@ -43,7 +46,10 @@ fn main() {
             })
             .collect::<Vec<_>>()
             .join("\n    ");
-        println!("\n  homophily {h:.2} (measured {:.2}):\n    {bar}", data.node_homophily());
+        println!(
+            "\n  homophily {h:.2} (measured {:.2}):\n    {bar}",
+            data.node_homophily()
+        );
     }
 
     println!("\nfilter responses g(λ) sampled on [0, 2]:");
@@ -51,8 +57,10 @@ fn main() {
         let filter = make_filter(name, 10).unwrap();
         let rp = ResponseParams::initial(&filter.spec(16));
         let samples = sample_response(filter.as_ref(), &rp, 9);
-        let line: Vec<String> =
-            samples.iter().map(|(l, g)| format!("g({l:.2})={g:+.3}")).collect();
+        let line: Vec<String> = samples
+            .iter()
+            .map(|(l, g)| format!("g({l:.2})={g:+.3}"))
+            .collect();
         println!("  {:<8} {}", name, line.join(" "));
     }
     println!(

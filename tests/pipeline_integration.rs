@@ -72,8 +72,15 @@ fn all_27_filters_train_full_batch_without_panicking() {
     cfg.patience = 0;
     for name in spectral_gnn::core::all_filter_names() {
         let r = train_full_batch(make_filter(name, cfg.hops).unwrap(), &data, &cfg);
-        assert!(r.test_metric.is_finite(), "{name} produced non-finite metric");
-        assert!(r.test_metric >= 0.0 && r.test_metric <= 1.0, "{name}: {}", r.test_metric);
+        assert!(
+            r.test_metric.is_finite(),
+            "{name} produced non-finite metric"
+        );
+        assert!(
+            r.test_metric >= 0.0 && r.test_metric <= 1.0,
+            "{name}: {}",
+            r.test_metric
+        );
     }
 }
 
@@ -91,16 +98,24 @@ fn all_mb_compatible_filters_train_mini_batch() {
         }
         let r = train_mini_batch(filter, &data, &cfg);
         assert!(r.test_metric.is_finite(), "{name}");
-        assert!(r.precompute_s > 0.0 || name == "Identity", "{name} skipped precompute");
+        assert!(
+            r.precompute_s > 0.0 || name == "Identity",
+            "{name} skipped precompute"
+        );
     }
 }
 
 #[test]
 fn deterministic_given_seed() {
-    let data = dataset_spec("citeseer").unwrap().generate(GenScale::Tiny, 5);
+    let data = dataset_spec("citeseer")
+        .unwrap()
+        .generate(GenScale::Tiny, 5);
     let mut cfg = TrainConfig::fast_test(5);
     cfg.epochs = 10;
     let a = train_full_batch(make_filter("VarMonomial", cfg.hops).unwrap(), &data, &cfg);
     let b = train_full_batch(make_filter("VarMonomial", cfg.hops).unwrap(), &data, &cfg);
-    assert_eq!(a.test_metric, b.test_metric, "same seed must reproduce exactly");
+    assert_eq!(
+        a.test_metric, b.test_metric,
+        "same seed must reproduce exactly"
+    );
 }

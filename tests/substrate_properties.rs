@@ -2,8 +2,8 @@
 //! engine — the invariants everything above relies on.
 
 use proptest::prelude::*;
-use spectral_gnn::autograd::{gradcheck::check_grads, ParamStore, Tape};
 use spectral_gnn::autograd::param::ParamGroup;
+use spectral_gnn::autograd::{gradcheck::check_grads, ParamStore, Tape};
 use spectral_gnn::dense::{matmul, rng as drng, DMat};
 use spectral_gnn::sparse::{coo::Coo, Graph, PropMatrix};
 use std::sync::Arc;
