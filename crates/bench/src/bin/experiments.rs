@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! experiments <target> [flags]
+//! experiments trace-summary <trace.jsonl> [--require span1,span2]
 //!
 //! targets: table1 table3 table5 table6 table7 table9 table10 table11
 //!          fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10   all
@@ -15,63 +16,15 @@
 //!   --datasets a,b,c            restrict datasets
 //!   --device-budget-mb N        modeled device memory budget (default 2048)
 //!   --json                      dump raw rows under results/
+//!   --trace PATH                stream a JSONL trace (SGNN_TRACE fallback)
 //! ```
 
-use sgnn_bench::harness::Opts;
+use sgnn_bench::harness::{parse_opts, progress, Opts};
 use sgnn_bench::*;
-use sgnn_data::GenScale;
 use sgnn_train::memory::TrackingAlloc;
 
 #[global_allocator]
 static ALLOC: TrackingAlloc = TrackingAlloc;
-
-fn parse_opts(args: &[String]) -> Result<Opts, String> {
-    let mut opts = Opts::default();
-    let mut i = 0;
-    while i < args.len() {
-        let flag = args[i].as_str();
-        let take = |i: &mut usize| -> Result<String, String> {
-            *i += 1;
-            args.get(*i)
-                .cloned()
-                .ok_or_else(|| format!("{flag} needs a value"))
-        };
-        match flag {
-            "--scale" => {
-                opts.scale = match take(&mut i)?.as_str() {
-                    "tiny" => GenScale::Tiny,
-                    "bench" => GenScale::Bench,
-                    "full" => GenScale::Full,
-                    other => return Err(format!("unknown scale {other}")),
-                }
-            }
-            "--seeds" => opts.seeds = take(&mut i)?.parse().map_err(|e| format!("--seeds: {e}"))?,
-            "--epochs" => {
-                opts.epochs = take(&mut i)?
-                    .parse()
-                    .map_err(|e| format!("--epochs: {e}"))?
-            }
-            "--hops" => opts.hops = take(&mut i)?.parse().map_err(|e| format!("--hops: {e}"))?,
-            "--hidden" => {
-                opts.hidden = take(&mut i)?
-                    .parse()
-                    .map_err(|e| format!("--hidden: {e}"))?
-            }
-            "--filters" => opts.filters = take(&mut i)?.split(',').map(str::to_string).collect(),
-            "--datasets" => opts.datasets = take(&mut i)?.split(',').map(str::to_string).collect(),
-            "--device-budget-mb" => {
-                let mb: usize = take(&mut i)?
-                    .parse()
-                    .map_err(|e| format!("--device-budget-mb: {e}"))?;
-                opts.device_budget = mb << 20;
-            }
-            "--json" => opts.json = true,
-            other => return Err(format!("unknown flag {other}")),
-        }
-        i += 1;
-    }
-    Ok(opts)
-}
 
 fn dispatch(target: &str, opts: &Opts) -> Option<String> {
     let out = match target {
@@ -103,22 +56,61 @@ const ALL_TARGETS: &[&str] = &[
     "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation",
 ];
 
+/// `trace-summary <file.jsonl> [--require a,b,c]`: re-aggregate a recorded
+/// trace; exits nonzero on malformed lines or missing required spans.
+fn trace_summary(args: &[String]) -> Result<String, String> {
+    let Some(path) = args.first() else {
+        return Err("usage: experiments trace-summary <trace.jsonl> [--require a,b,c]".into());
+    };
+    let mut require: Vec<String> = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--require" => {
+                i += 1;
+                let list = args.get(i).ok_or("--require needs a value")?;
+                require.extend(list.split(',').map(str::to_string));
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    trace::summarize_file(std::path::Path::new(path), &require)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(target) = args.first().cloned() else {
-        eprintln!(
-            "usage: experiments <target> [flags]; targets: {} all",
+        progress(&format!(
+            "usage: experiments <target> [flags]; targets: {} all trace-summary",
             ALL_TARGETS.join(" ")
-        );
+        ));
         std::process::exit(2);
     };
+    if target == "trace-summary" {
+        match trace_summary(&args[1..]) {
+            Ok(out) => println!("{out}"),
+            Err(e) => {
+                progress(&format!("error: {e}"));
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     let opts = match parse_opts(&args[1..]) {
         Ok(o) => o,
         Err(e) => {
-            eprintln!("error: {e}");
+            progress(&format!("error: {e}"));
             std::process::exit(2);
         }
     };
+    if let Some(path) = opts.trace_path() {
+        if let Err(e) = sgnn_obs::init_trace(std::path::Path::new(&path)) {
+            progress(&format!("error: cannot open trace {path}: {e}"));
+            std::process::exit(2);
+        }
+        sgnn_train::memory::install_obs_sampler();
+    }
     let started = std::time::Instant::now();
     if target == "all" {
         for t in ALL_TARGETS {
@@ -128,17 +120,19 @@ fn main() {
         match dispatch(&target, &opts) {
             Some(out) => println!("{out}"),
             None => {
-                eprintln!(
-                    "unknown target {target}; targets: {} all",
+                progress(&format!(
+                    "unknown target {target}; targets: {} all trace-summary",
                     ALL_TARGETS.join(" ")
-                );
+                ));
                 std::process::exit(2);
             }
         }
     }
-    eprintln!(
+    progress(&format!(
         "[done in {:.1}s, peak RAM {}]",
         started.elapsed().as_secs_f64(),
         sgnn_train::memory::fmt_bytes(sgnn_train::memory::ram_peak())
-    );
+    ));
+    sgnn_obs::flush();
+    sgnn_obs::disable();
 }

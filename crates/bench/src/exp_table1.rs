@@ -5,6 +5,7 @@ use std::fmt::Write as _;
 
 use sgnn_core::{taxonomy::taxonomy, PropCtx};
 use sgnn_dense::rng as drng;
+use sgnn_obs as obs;
 use sgnn_sparse::PropMatrix;
 
 use crate::harness::Opts;
@@ -27,6 +28,7 @@ pub fn run(opts: &Opts) -> String {
         "filter", "type", "g(L)", "time", "memory", "hops", "terms"
     );
     for row in taxonomy() {
+        let _sp = obs::span!("cell", table = "table1", filter = row.filter);
         let filter = opts.build_filter(row.filter);
         let ctx = PropCtx::forward(&pm);
         let terms = filter.propagate(&ctx, &x);

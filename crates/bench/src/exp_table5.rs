@@ -1,6 +1,7 @@
 //! Tables 5 and 10: filter effectiveness under full-batch and mini-batch
 //! training across the dataset suite.
 
+use sgnn_obs as obs;
 use sgnn_train::{train_full_batch, train_mini_batch};
 
 use crate::harness::{
@@ -46,6 +47,13 @@ pub fn run_scheme(opts: &Opts, scheme: &str) -> String {
                 if oom[fi] {
                     continue;
                 }
+                let _sp = obs::span!(
+                    "cell",
+                    filter = fname.as_str(),
+                    dataset = dname.as_str(),
+                    scheme = scheme,
+                    seed = seed,
+                );
                 let filter = opts.build_filter(fname);
                 if scheme == "FB" {
                     let est = estimate_fb_device_bytes(

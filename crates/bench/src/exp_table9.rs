@@ -1,6 +1,7 @@
 //! Tables 9 and 11: time and memory efficiency of full-batch and mini-batch
 //! training on medium/large datasets.
 
+use sgnn_obs as obs;
 use sgnn_train::{train_full_batch, train_mini_batch};
 
 use crate::harness::{
@@ -32,6 +33,12 @@ pub fn run_scheme(opts: &Opts, scheme: &str) -> String {
     for dname in &datasets {
         let data = opts.load_dataset(dname, 0);
         for fname in &filters {
+            let _sp = obs::span!(
+                "cell",
+                filter = fname.as_str(),
+                dataset = dname.as_str(),
+                scheme = scheme,
+            );
             let filter = opts.build_filter(fname);
             if scheme == "FB" {
                 let est = estimate_fb_device_bytes(

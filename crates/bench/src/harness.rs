@@ -27,6 +27,8 @@ pub struct Opts {
     pub device_budget: usize,
     /// Write raw JSON rows under `results/`.
     pub json: bool,
+    /// Stream a JSONL trace to this path (`--trace`; `SGNN_TRACE` fallback).
+    pub trace: Option<String>,
 }
 
 impl Default for Opts {
@@ -41,6 +43,7 @@ impl Default for Opts {
             datasets: Vec::new(),
             device_budget: 2 << 30,
             json: false,
+            trace: None,
         }
     }
 }
@@ -99,6 +102,71 @@ impl Opts {
     pub fn build_filter(&self, name: &str) -> Arc<dyn SpectralFilter> {
         make_filter(name, self.hops).unwrap_or_else(|| panic!("unknown filter {name}"))
     }
+
+    /// The trace destination: `--trace` wins, then the `SGNN_TRACE`
+    /// environment variable, then none.
+    pub fn trace_path(&self) -> Option<String> {
+        self.trace
+            .clone()
+            .or_else(|| std::env::var("SGNN_TRACE").ok().filter(|p| !p.is_empty()))
+    }
+}
+
+/// Parses the shared experiment flags (everything after the target).
+pub fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let take = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag {
+            "--scale" => {
+                opts.scale = match take(&mut i)?.as_str() {
+                    "tiny" => GenScale::Tiny,
+                    "bench" => GenScale::Bench,
+                    "full" => GenScale::Full,
+                    other => return Err(format!("unknown scale {other}")),
+                }
+            }
+            "--seeds" => opts.seeds = take(&mut i)?.parse().map_err(|e| format!("--seeds: {e}"))?,
+            "--epochs" => {
+                opts.epochs = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--epochs: {e}"))?
+            }
+            "--hops" => opts.hops = take(&mut i)?.parse().map_err(|e| format!("--hops: {e}"))?,
+            "--hidden" => {
+                opts.hidden = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--hidden: {e}"))?
+            }
+            "--filters" => opts.filters = take(&mut i)?.split(',').map(str::to_string).collect(),
+            "--datasets" => opts.datasets = take(&mut i)?.split(',').map(str::to_string).collect(),
+            "--device-budget-mb" => {
+                let mb: usize = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--device-budget-mb: {e}"))?;
+                opts.device_budget = mb << 20;
+            }
+            "--json" => opts.json = true,
+            "--trace" => opts.trace = Some(take(&mut i)?),
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+/// Progress/diagnostic line: printed to stderr and mirrored into the trace
+/// (as a `msg` event) so offline analysis sees the run's milestones.
+pub fn progress(text: &str) {
+    eprintln!("{text}");
+    sgnn_obs::message("progress", text);
 }
 
 /// Mean ± std of the test metric over seeds, with efficiency means.
@@ -300,6 +368,57 @@ mod tests {
         let rows = vec![oom_row("OptBasis", "pokec", "FB")];
         let table = render_table("t", &rows, true);
         assert!(table.contains("(OOM)"));
+    }
+
+    #[test]
+    fn parse_opts_reads_all_flags() {
+        let args: Vec<String> = [
+            "--scale",
+            "tiny",
+            "--seeds",
+            "2",
+            "--epochs",
+            "7",
+            "--hops",
+            "3",
+            "--hidden",
+            "16",
+            "--filters",
+            "PPR,Chebyshev",
+            "--datasets",
+            "cora",
+            "--device-budget-mb",
+            "512",
+            "--json",
+            "--trace",
+            "/tmp/trace.jsonl",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let opts = parse_opts(&args).unwrap();
+        assert!(matches!(opts.scale, GenScale::Tiny));
+        assert_eq!(opts.seeds, 2);
+        assert_eq!(opts.epochs, 7);
+        assert_eq!(opts.hops, 3);
+        assert_eq!(opts.hidden, 16);
+        assert_eq!(opts.filters, vec!["PPR", "Chebyshev"]);
+        assert_eq!(opts.datasets, vec!["cora"]);
+        assert_eq!(opts.device_budget, 512 << 20);
+        assert!(opts.json);
+        assert_eq!(opts.trace.as_deref(), Some("/tmp/trace.jsonl"));
+        assert_eq!(opts.trace_path().as_deref(), Some("/tmp/trace.jsonl"));
+    }
+
+    #[test]
+    fn parse_opts_rejects_bad_input() {
+        let err = |args: &[&str]| {
+            parse_opts(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap_err()
+        };
+        assert!(err(&["--scale", "huge"]).contains("unknown scale"));
+        assert!(err(&["--seeds"]).contains("needs a value"));
+        assert!(err(&["--frobnicate"]).contains("unknown flag"));
+        assert!(err(&["--epochs", "many"]).contains("--epochs"));
     }
 
     #[test]

@@ -23,5 +23,6 @@ pub mod exp_table6;
 pub mod exp_table7;
 pub mod exp_table9;
 pub mod harness;
+pub mod trace;
 
 pub use harness::Opts;

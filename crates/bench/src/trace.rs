@@ -1,0 +1,191 @@
+//! Offline analysis of JSONL traces (`experiments trace-summary`).
+//!
+//! Reads a trace produced with `--trace`/`SGNN_TRACE`, re-aggregates the
+//! span events, and renders the top spans by total time, the counters and
+//! gauges from the final flush, pool utilization, and peak RAM per stage.
+//! Every line must parse; a malformed line or a missing required span name
+//! is an error (the CI smoke step relies on both).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use sgnn_obs::json::{self, Value};
+
+/// Aggregate of one span name reconstructed from the trace.
+#[derive(Clone, Copy, Debug, Default)]
+struct SpanAgg {
+    count: u64,
+    total_s: f64,
+    max_s: f64,
+    /// Largest `ram_peak` sampled at any close of this span (0 = no sampler).
+    ram_peak: u64,
+}
+
+/// Summarizes `path`, failing if any line is malformed or any name in
+/// `require` never closed as a span.
+pub fn summarize_file(path: &Path, require: &[String]) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read trace: {e}"))?;
+
+    let mut spans: BTreeMap<String, SpanAgg> = BTreeMap::new();
+    let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+    let mut gauges: BTreeMap<String, u64> = BTreeMap::new();
+    let mut messages = 0usize;
+    let mut lines = 0usize;
+
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        lines += 1;
+        let event = json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let kind = event
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("line {}: missing kind", lineno + 1))?;
+        let name = event
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("line {}: missing name", lineno + 1))?;
+        match kind {
+            "span" => {
+                let dur = event
+                    .get("dur_s")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("line {}: span without dur_s", lineno + 1))?;
+                let agg = spans.entry(name.to_string()).or_default();
+                agg.count += 1;
+                agg.total_s += dur;
+                agg.max_s = agg.max_s.max(dur);
+                if let Some(peak) = event.get("ram_peak").and_then(Value::as_u64) {
+                    agg.ram_peak = agg.ram_peak.max(peak);
+                }
+            }
+            // Counters/gauges are flushed cumulatively; the last event wins.
+            "counter" => {
+                let v = event.get("value").and_then(Value::as_u64).unwrap_or(0);
+                counters.insert(name.to_string(), v);
+            }
+            "gauge" => {
+                let v = event.get("value").and_then(Value::as_u64).unwrap_or(0);
+                gauges.insert(name.to_string(), v);
+            }
+            "msg" => messages += 1,
+            other => return Err(format!("line {}: unknown kind `{other}`", lineno + 1)),
+        }
+    }
+
+    for want in require {
+        if !spans.contains_key(want) {
+            return Err(format!(
+                "required span `{want}` absent from trace (have: {})",
+                spans.keys().cloned().collect::<Vec<_>>().join(", ")
+            ));
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "== trace summary: {} events ==", lines);
+    let mut by_total: Vec<(&String, &SpanAgg)> = spans.iter().collect();
+    by_total.sort_by(|a, b| b.1.total_s.total_cmp(&a.1.total_s).then(a.0.cmp(b.0)));
+    if !by_total.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:<24} {:>8} {:>12} {:>12} {:>12} {:>12}",
+            "span", "count", "total(s)", "mean(s)", "max(s)", "peak RAM"
+        );
+        for (name, agg) in &by_total {
+            let _ = writeln!(
+                out,
+                "{:<24} {:>8} {:>12.6} {:>12.6} {:>12.6} {:>12}",
+                name,
+                agg.count,
+                agg.total_s,
+                agg.total_s / agg.count.max(1) as f64,
+                agg.max_s,
+                if agg.ram_peak > 0 {
+                    sgnn_train::memory::fmt_bytes(agg.ram_peak as usize)
+                } else {
+                    "-".into()
+                }
+            );
+        }
+    }
+    if let Some(util) = pool_utilization(&counters) {
+        let _ = writeln!(
+            out,
+            "pool utilization: {:.1}% busy across {} dispatches",
+            util * 100.0,
+            counters.get("pool.dispatches").copied().unwrap_or(0)
+        );
+    }
+    for (name, v) in &counters {
+        let _ = writeln!(out, "counter {name:<28} {v}");
+    }
+    for (name, v) in &gauges {
+        let _ = writeln!(out, "gauge   {name:<28} {v}");
+    }
+    if messages > 0 {
+        let _ = writeln!(out, "({messages} progress messages)");
+    }
+    Ok(out)
+}
+
+/// Busy fraction of the pool's dispatch lanes, when the run dispatched.
+fn pool_utilization(counters: &BTreeMap<String, u64>) -> Option<f64> {
+    let busy = *counters.get("pool.busy_ns")?;
+    let lane = *counters.get("pool.lane_ns")?;
+    (lane > 0).then(|| busy as f64 / lane as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(name);
+        std::fs::write(&path, content).unwrap();
+        path
+    }
+
+    #[test]
+    fn summarizes_spans_counters_and_utilization() {
+        let path = write_temp(
+            "sgnn_trace_summary_ok.jsonl",
+            concat!(
+                "{\"ts_rel\":0.1,\"kind\":\"span\",\"name\":\"spmm.csr\",\"dur_s\":0.5,\"thread\":0,\"depth\":0,\"ram_peak\":2097152}\n",
+                "{\"ts_rel\":0.2,\"kind\":\"span\",\"name\":\"spmm.csr\",\"dur_s\":1.5,\"thread\":0,\"depth\":0}\n",
+                "{\"ts_rel\":0.3,\"kind\":\"msg\",\"name\":\"progress\",\"text\":\"done\"}\n",
+                "{\"ts_rel\":0.4,\"kind\":\"counter\",\"name\":\"pool.busy_ns\",\"value\":750}\n",
+                "{\"ts_rel\":0.4,\"kind\":\"counter\",\"name\":\"pool.lane_ns\",\"value\":1000}\n",
+                "{\"ts_rel\":0.4,\"kind\":\"gauge\",\"name\":\"device.peak_bytes\",\"value\":42}\n",
+            ),
+        );
+        let out = summarize_file(&path, &["spmm.csr".to_string()]).unwrap();
+        assert!(out.contains("spmm.csr"));
+        assert!(out.contains("pool utilization: 75.0%"));
+        assert!(out.contains("device.peak_bytes"));
+        assert!(out.contains("2.00 MiB"));
+        assert!(out.contains("(1 progress messages)"));
+    }
+
+    #[test]
+    fn missing_required_span_is_an_error() {
+        let path = write_temp(
+            "sgnn_trace_summary_missing.jsonl",
+            "{\"ts_rel\":0.1,\"kind\":\"span\",\"name\":\"a\",\"dur_s\":0.5}\n",
+        );
+        let err = summarize_file(&path, &["train".to_string()]).unwrap_err();
+        assert!(err.contains("required span `train`"), "{err}");
+    }
+
+    #[test]
+    fn malformed_line_is_an_error_with_line_number() {
+        let path = write_temp(
+            "sgnn_trace_summary_bad.jsonl",
+            "{\"ts_rel\":0.1,\"kind\":\"span\",\"name\":\"a\",\"dur_s\":0.5}\nnot json\n",
+        );
+        let err = summarize_file(&path, &[]).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+}

@@ -8,6 +8,11 @@
 
 use crate::mat::DMat;
 use crate::runtime::run_chunks;
+use sgnn_obs as obs;
+
+/// Multiply-accumulate count across all three kernels (2 flops each); the
+/// transformation-side twin of `spmm.flops`.
+static MATMUL_FLOPS: obs::Counter = obs::Counter::new("matmul.flops");
 
 /// `A (m×k) · B (k×n) -> (m×n)`.
 pub fn matmul(a: &DMat, b: &DMat) -> DMat {
@@ -20,6 +25,8 @@ pub fn matmul(a: &DMat, b: &DMat) -> DMat {
     );
     let (m, k) = a.shape();
     let n = b.cols();
+    let _sp = obs::span!("matmul", m = m, k = k, n = n);
+    MATMUL_FLOPS.add(2 * (m * k * n) as u64);
     let mut out = DMat::zeros(m, n);
     let bdat = b.data();
     let adat = a.data();
@@ -47,6 +54,8 @@ pub fn matmul_at_b(a: &DMat, b: &DMat) -> DMat {
     assert_eq!(a.rows(), b.rows(), "matmul_at_b leading dimension mismatch");
     let (k, m) = a.shape();
     let n = b.cols();
+    let _sp = obs::span!("matmul", m = m, k = k, n = n);
+    MATMUL_FLOPS.add(2 * (m * k * n) as u64);
     let mut out = DMat::zeros(m, n);
     // Serial accumulation over k keeps writes race-free; m and n are small
     // (both are feature dimensions), so this is never the hot path.
@@ -72,6 +81,8 @@ pub fn matmul_a_bt(a: &DMat, b: &DMat) -> DMat {
     assert_eq!(a.cols(), b.cols(), "matmul_a_bt inner dimension mismatch");
     let (m, k) = a.shape();
     let n = b.rows();
+    let _sp = obs::span!("matmul", m = m, k = k, n = n);
+    MATMUL_FLOPS.add(2 * (m * k * n) as u64);
     let mut out = DMat::zeros(m, n);
     let adat = a.data();
     let bdat = b.data();

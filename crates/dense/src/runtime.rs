@@ -45,8 +45,36 @@ use std::mem::ManuallyDrop;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+use sgnn_obs as obs;
 
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+// Pool observability (all no-ops unless `sgnn_obs` is enabled; see the
+// Observability section of DESIGN.md for the taxonomy). Utilization is
+// derived offline as `pool.busy_ns / pool.lane_ns`: busy is the time lanes
+// actually spent draining tasks, lane is dispatch wall-clock × lanes that
+// joined, so the gap is parked/steal-idle time.
+static DISPATCHES: obs::Counter = obs::Counter::new("pool.dispatches");
+static TASKS: obs::Counter = obs::Counter::new("pool.tasks");
+static SERIAL_INLINE: obs::Counter = obs::Counter::new("pool.serial_inline");
+static NESTED_INLINE: obs::Counter = obs::Counter::new("pool.nested_inline");
+static BUSY_NS: obs::Counter = obs::Counter::new("pool.busy_ns");
+static LANE_NS: obs::Counter = obs::Counter::new("pool.lane_ns");
+
+/// Counts a serial fallback: nested calls inside a pool task separately
+/// from width-1 / tiny-problem inlining.
+#[inline]
+fn count_inline_fallback() {
+    if obs::enabled() {
+        if in_worker() {
+            NESTED_INLINE.incr();
+        } else {
+            SERIAL_INLINE.incr();
+        }
+    }
+}
 
 /// Pins the number of worker threads (0 restores the default).
 ///
@@ -193,7 +221,11 @@ fn worker_loop(shared: Arc<Shared>) {
         // Admission: a shrunken thread count shows up as a small
         // `max_helpers`, leaving surplus workers parked.
         if job.joiners.fetch_add(1, Ordering::Relaxed) < job.max_helpers {
+            let busy_since = obs::enabled().then(Instant::now);
             run_tasks(&job, &shared);
+            if let Some(t) = busy_since {
+                BUSY_NS.add(t.elapsed().as_nanos() as u64);
+            }
         }
     }
 }
@@ -232,6 +264,10 @@ fn run_tasks(job: &Job, shared: &Shared) {
 /// works regardless, so total concurrency is at most `max_helpers + 1`.
 fn dispatch(n: usize, max_helpers: usize, task: &(dyn Fn(usize) + Sync)) {
     debug_assert!(n > 0 && max_helpers > 0);
+    let _span = obs::span!("pool.dispatch", tasks = n, helpers = max_helpers);
+    DISPATCHES.incr();
+    TASKS.add(n as u64);
+    let dispatched_at = obs::enabled().then(Instant::now);
     let shared = shared();
     let job = Job {
         task: erase(task),
@@ -263,7 +299,11 @@ fn dispatch(n: usize, max_helpers: usize, task: &(dyn Fn(usize) + Sync)) {
     // Participate: the posting thread is one of the `threads` lanes. Flag it
     // as a worker so nested parallel calls from inside tasks run inline.
     IN_WORKER.with(|f| f.set(true));
+    let busy_since = dispatched_at.map(|_| Instant::now());
     run_tasks(&job, shared);
+    if let Some(t) = busy_since {
+        BUSY_NS.add(t.elapsed().as_nanos() as u64);
+    }
     IN_WORKER.with(|f| f.set(false));
 
     let mut board = shared.board.lock().unwrap();
@@ -278,6 +318,12 @@ fn dispatch(n: usize, max_helpers: usize, task: &(dyn Fn(usize) + Sync)) {
         }
     }
     drop(board);
+
+    if let Some(t) = dispatched_at {
+        let wall = t.elapsed().as_nanos() as u64;
+        let lanes = job.joiners.load(Ordering::Relaxed).min(max_helpers) as u64 + 1;
+        LANE_NS.add(wall.saturating_mul(lanes));
+    }
 
     if job.panicked.load(Ordering::Relaxed) {
         panic!("worker thread panicked");
@@ -315,6 +361,7 @@ where
     let threads = num_threads().min(rows.max(1));
     // Tiny problems are faster single-threaded than paying dispatch cost.
     if threads <= 1 || rows * cols < 1 << 14 || in_worker() {
+        count_inline_fallback();
         f(0, data);
         return;
     }
@@ -342,6 +389,7 @@ where
 {
     let threads = num_threads().min(n.max(1));
     if threads <= 1 || in_worker() {
+        count_inline_fallback();
         for i in 0..n {
             f(i);
         }
@@ -359,6 +407,7 @@ where
 {
     let threads = num_threads().min(n.max(1));
     if threads <= 1 || in_worker() {
+        count_inline_fallback();
         return (0..n).map(f).collect();
     }
     let mut slots: Vec<std::mem::MaybeUninit<T>> = Vec::with_capacity(n);

@@ -18,6 +18,7 @@ use rand::rngs::SmallRng;
 use sgnn_autograd::{NodeId, ParamStore, Tape};
 use sgnn_core::{FilterModule, SpectralFilter};
 use sgnn_dense::DMat;
+use sgnn_obs as obs;
 use sgnn_sparse::PropMatrix;
 
 use crate::mlp::Mlp;
@@ -122,14 +123,24 @@ impl DecoupledModel {
         x: NodeId,
         store: &ParamStore,
     ) -> NodeId {
-        let h = match &self.phi0 {
-            Some(mlp) => {
-                let h = mlp.apply(tape, x, store);
-                tape.relu(h)
+        // The epoch.propagate / epoch.transform split below is the paper's
+        // propagation-vs-transformation cost decomposition (Figs 2-3); the
+        // tape executes ops eagerly, so each span bounds real kernel work.
+        let h = {
+            let _sp = obs::span!("epoch.transform", stage = "phi0");
+            match &self.phi0 {
+                Some(mlp) => {
+                    let h = mlp.apply(tape, x, store);
+                    tape.relu(h)
+                }
+                None => x,
             }
-            None => x,
         };
-        let filtered = self.filter.apply_fb(tape, pm, h, store);
+        let filtered = {
+            let _sp = obs::span!("epoch.propagate");
+            self.filter.apply_fb(tape, pm, h, store)
+        };
+        let _sp = obs::span!("epoch.transform", stage = "phi1");
         self.phi1.apply(tape, filtered, store)
     }
 
@@ -150,6 +161,7 @@ impl DecoupledModel {
         batch_terms: &[Vec<DMat>],
         store: &ParamStore,
     ) -> NodeId {
+        let _sp = obs::span!("epoch.transform", stage = "mb");
         let combined = self.filter.combine_batch(tape, batch_terms, store);
         self.phi1.apply(tape, combined, store)
     }
@@ -161,6 +173,7 @@ impl DecoupledModel {
 /// Channels slice independently, so multi-channel filter banks gather
 /// across the worker pool.
 pub fn gather_terms(terms: &[Vec<DMat>], idx: &[u32]) -> Vec<Vec<DMat>> {
+    let _sp = obs::span!("mb.gather", rows = idx.len(), channels = terms.len());
     sgnn_dense::runtime::run_map(terms.len(), |q| {
         terms[q].iter().map(|t| t.gather_rows(idx)).collect()
     })

@@ -1,0 +1,179 @@
+//! The JSONL event sink.
+//!
+//! One JSON object per line, written through a buffered writer behind a
+//! mutex (pool workers and the dispatcher all report). Event kinds:
+//!
+//! ```json
+//! {"ts_rel":0.01,"kind":"span","name":"spmm.csr","dur_s":1.2e-4,"thread":0,"depth":1,"ram_cur":1024,"ram_peak":4096,"attrs":{"nnz":52}}
+//! {"ts_rel":0.02,"kind":"counter","name":"pool.dispatches","value":17}
+//! {"ts_rel":0.02,"kind":"gauge","name":"device.peak_bytes","value":1048576}
+//! {"ts_rel":0.03,"kind":"msg","name":"progress","text":"table1 done"}
+//! ```
+//!
+//! `ram_cur`/`ram_peak` appear only when a memory sampler is installed
+//! (see [`crate::set_mem_sampler`]); `attrs` only when the span has any.
+
+use std::cell::Cell;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::AttrValue;
+
+fn writer() -> &'static Mutex<Option<BufWriter<File>>> {
+    static WRITER: OnceLock<Mutex<Option<BufWriter<File>>>> = OnceLock::new();
+    WRITER.get_or_init(|| Mutex::new(None))
+}
+
+pub(crate) fn open(path: &Path) -> std::io::Result<()> {
+    let file = File::create(path)?;
+    *writer().lock().unwrap() = Some(BufWriter::new(file));
+    Ok(())
+}
+
+pub(crate) fn flush() {
+    if let Some(w) = writer().lock().unwrap().as_mut() {
+        let _ = w.flush();
+    }
+}
+
+pub(crate) fn close() {
+    *writer().lock().unwrap() = None; // drop flushes
+}
+
+fn write_line(line: &str) {
+    if let Some(w) = writer().lock().unwrap().as_mut() {
+        let _ = writeln!(w, "{line}");
+    }
+}
+
+/// Small dense thread ids for the trace (`ThreadId` has no stable integer).
+fn thread_ord() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static ORD: Cell<Option<u64>> = const { Cell::new(None) };
+    }
+    ORD.with(|c| {
+        if let Some(v) = c.get() {
+            v
+        } else {
+            let v = NEXT.fetch_add(1, Ordering::Relaxed);
+            c.set(Some(v));
+            v
+        }
+    })
+}
+
+/// Writes a finite float as a JSON number (round-trip `Display`), or `null`
+/// for NaN/inf — both of which would corrupt the line otherwise.
+pub(crate) fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+        // `Display` omits the decimal point for integral floats; that is
+        // still a valid JSON number, so leave it.
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Escapes `s` into `out` per the JSON string grammar.
+pub(crate) fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn event_head(kind: &str, ts_rel: f64, name: &str) -> String {
+    let mut s = String::with_capacity(160);
+    s.push_str("{\"ts_rel\":");
+    push_f64(&mut s, ts_rel);
+    let _ = write!(s, ",\"kind\":\"{kind}\",\"name\":\"");
+    escape_into(&mut s, name);
+    s.push('"');
+    s
+}
+
+pub(crate) fn span_event(
+    ts_rel: f64,
+    name: &str,
+    dur_s: f64,
+    depth: u32,
+    attrs: &[(&'static str, AttrValue)],
+    mem: Option<(u64, u64)>,
+) {
+    let mut s = event_head("span", ts_rel, name);
+    s.push_str(",\"dur_s\":");
+    push_f64(&mut s, dur_s);
+    let _ = write!(s, ",\"thread\":{},\"depth\":{depth}", thread_ord());
+    if let Some((cur, peak)) = mem {
+        let _ = write!(s, ",\"ram_cur\":{cur},\"ram_peak\":{peak}");
+    }
+    if !attrs.is_empty() {
+        s.push_str(",\"attrs\":{");
+        for (i, (k, v)) in attrs.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{k}\":");
+            v.write_json(&mut s);
+        }
+        s.push('}');
+    }
+    s.push('}');
+    write_line(&s);
+}
+
+pub(crate) fn counter_event(ts_rel: f64, name: &str, value: u64) {
+    let mut s = event_head("counter", ts_rel, name);
+    let _ = write!(s, ",\"value\":{value}}}");
+    write_line(&s);
+}
+
+pub(crate) fn gauge_event(ts_rel: f64, name: &str, value: u64) {
+    let mut s = event_head("gauge", ts_rel, name);
+    let _ = write!(s, ",\"value\":{value}}}");
+    write_line(&s);
+}
+
+pub(crate) fn msg_event(ts_rel: f64, name: &str, text: &str) {
+    let mut s = event_head("msg", ts_rel, name);
+    s.push_str(",\"text\":\"");
+    escape_into(&mut s, text);
+    s.push_str("\"}");
+    write_line(&s);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_covers_quotes_and_controls() {
+        let mut out = String::new();
+        escape_into(&mut out, "a\"b\\c\nd\u{1}e");
+        assert_eq!(out, "a\\\"b\\\\c\\nd\\u0001e");
+    }
+
+    #[test]
+    fn push_f64_handles_non_finite() {
+        let mut out = String::new();
+        push_f64(&mut out, f64::NAN);
+        assert_eq!(out, "null");
+        out.clear();
+        push_f64(&mut out, 1.5e-7);
+        assert!(out.parse::<f64>().unwrap() == 1.5e-7, "{out}");
+    }
+}

@@ -9,6 +9,12 @@
 
 use sgnn_dense::runtime::run_chunks;
 use sgnn_dense::DMat;
+use sgnn_obs as obs;
+
+/// Stored entries visited across all CSR propagations (one per edge·hop).
+static SPMM_NNZ: obs::Counter = obs::Counter::new("spmm.nnz");
+/// Multiply-accumulate work of CSR propagation (2 flops per nnz per column).
+static SPMM_FLOPS: obs::Counter = obs::Counter::new("spmm.flops");
 
 /// A sparse matrix in CSR form.
 #[derive(Clone, Debug, PartialEq)]
@@ -188,6 +194,9 @@ impl CsrMat {
     pub fn spmm(&self, x: &DMat) -> DMat {
         assert_eq!(self.cols, x.rows(), "spmm dimension mismatch");
         let f = x.cols();
+        let _sp = obs::span!("spmm.csr", nnz = self.nnz(), cols = f);
+        SPMM_NNZ.add(self.nnz() as u64);
+        SPMM_FLOPS.add(2 * (self.nnz() * f) as u64);
         let mut out = DMat::zeros(self.rows, f);
         let xdat = x.data();
         run_chunks(out.data_mut(), self.rows, f.max(1), |first, chunk| {
@@ -214,6 +223,9 @@ impl CsrMat {
         );
         assert_eq!(self.cols, x.rows(), "spmm dimension mismatch");
         let f = x.cols();
+        let _sp = obs::span!("spmm.csr", nnz = self.nnz(), cols = f, affine = true);
+        SPMM_NNZ.add(self.nnz() as u64);
+        SPMM_FLOPS.add(2 * ((self.nnz() + self.rows) * f) as u64);
         let mut out = DMat::zeros(self.rows, f);
         let xdat = x.data();
         run_chunks(out.data_mut(), self.rows, f.max(1), |first, chunk| {

@@ -11,6 +11,10 @@
 use crate::csr::CsrMat;
 use sgnn_dense::runtime::run_chunks;
 use sgnn_dense::DMat;
+use sgnn_obs as obs;
+
+/// Per-edge messages materialized by the EI backend (gather + scatter).
+static EDGE_MESSAGES: obs::Counter = obs::Counter::new("spmm.edge_messages");
 
 /// A weighted directed edge list `dst[e] <- w[e] * src[e]`.
 #[derive(Clone, Debug)]
@@ -73,6 +77,8 @@ impl EdgeList {
     pub fn propagate(&self, x: &DMat) -> DMat {
         assert_eq!(x.rows(), self.n, "feature rows must match node count");
         let f = x.cols();
+        let _sp = obs::span!("spmm.edge", edges = self.len(), cols = f);
+        EDGE_MESSAGES.add(self.len() as u64);
         // Stage 1: gather + weight — the materialized message tensor. Each
         // message row is independent, so the gather runs over the pool.
         let mut messages = DMat::zeros(self.len(), f);

@@ -15,6 +15,7 @@ use sgnn_core::SpectralFilter;
 use sgnn_data::{Dataset, Metric};
 use sgnn_dense::{rng as drng, DMat};
 use sgnn_models::decoupled::{DecoupledConfig, DecoupledModel};
+use sgnn_obs as obs;
 use sgnn_sparse::PropMatrix;
 
 use crate::config::{TrainConfig, TrainReport};
@@ -79,7 +80,7 @@ pub fn train_full_batch_model(
     let fixed_bytes = pm.nbytes() + data.features.nbytes();
 
     let mut device = DeviceMeter::new();
-    let mut train_timer = StageTimer::new();
+    let mut train_timer = StageTimer::named("train");
     let mut best_valid = f64::NEG_INFINITY;
     let mut best_test = 0.0f64;
     let mut bad_epochs = 0usize;
@@ -95,10 +96,17 @@ pub fn train_full_batch_model(
             let logits = model.forward_fb(&mut tape, &pm, x, &store);
             let tl = tape.gather_rows(logits, Arc::clone(&train_idx));
             let loss = tape.softmax_cross_entropy(tl, Arc::clone(&targets));
-            tape.backward(loss, &mut store);
-            opt.step(&mut store);
+            {
+                let _sp = obs::span!("epoch.backward");
+                tape.backward(loss, &mut store);
+            }
+            {
+                let _sp = obs::span!("epoch.step");
+                opt.step(&mut store);
+            }
             tape
         });
+        crate::EPOCHS.incr();
         device.record_step(&tape, &store, Some(&opt), fixed_bytes);
         prop_hops += 2 * model.filter.filter().hops(); // forward + adjoint
 
@@ -120,7 +128,7 @@ pub fn train_full_batch_model(
     }
 
     // Final inference (timed separately, evaluation mode).
-    let mut infer_timer = StageTimer::new();
+    let mut infer_timer = StageTimer::named("infer");
     let logits = infer_timer.time(|| infer(&model, &pm, data, &store));
     prop_hops += model.filter.filter().hops();
     let test = evaluate(&logits, data, &data.splits.test);

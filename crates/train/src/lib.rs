@@ -16,6 +16,10 @@
 //! * [`hardware`] — the thread/device-speed scaling used to reproduce the
 //!   Figure-5 hardware-sensitivity study.
 
+/// Training epochs completed across both schemes (one shared counter so the
+/// `train.epochs` name is registered exactly once).
+pub(crate) static EPOCHS: sgnn_obs::Counter = sgnn_obs::Counter::new("train.epochs");
+
 pub mod config;
 pub mod full_batch;
 pub mod hardware;

@@ -12,11 +12,18 @@
 //!   saved tensors), the parameters, the optimizer state, and — full-batch
 //!   only — the graph operator itself. [`DeviceMeter`] aggregates those
 //!   from the live objects.
+//!
+//! Both tiers feed the observability layer: [`install_obs_sampler`] hands
+//! the RAM counters to `sgnn-obs` so every span close carries
+//! `ram_cur`/`ram_peak`, and [`DeviceMeter`] mirrors its peak into the
+//! `device.peak_bytes` gauge. The full memory model and span taxonomy are
+//! documented in the "Observability" section of `DESIGN.md`.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use sgnn_autograd::{Optimizer, ParamStore, Tape};
+use sgnn_obs as obs;
 
 static CURRENT: AtomicUsize = AtomicUsize::new(0);
 static PEAK: AtomicUsize = AtomicUsize::new(0);
@@ -39,6 +46,23 @@ unsafe impl GlobalAlloc for TrackingAlloc {
         unsafe { System.dealloc(ptr, layout) };
         CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
     }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // Delegate to the system realloc (which may grow in place) instead of
+        // the default alloc+copy+dealloc, and adjust the counters by the size
+        // delta so `Vec` growth is tracked accurately.
+        let p = unsafe { System.realloc(ptr, layout, new_size) };
+        if !p.is_null() {
+            if new_size >= layout.size() {
+                let grow = new_size - layout.size();
+                let cur = CURRENT.fetch_add(grow, Ordering::Relaxed) + grow;
+                PEAK.fetch_max(cur, Ordering::Relaxed);
+            } else {
+                CURRENT.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+            }
+        }
+        p
+    }
 }
 
 /// Currently allocated heap bytes (0 unless [`TrackingAlloc`] is installed).
@@ -54,6 +78,13 @@ pub fn ram_peak() -> usize {
 /// Resets the peak to the current level (start of a measured stage).
 pub fn ram_reset_peak() {
     PEAK.store(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+/// Registers the RAM counters as `sgnn-obs`'s memory sampler so every span
+/// close records `ram_cur`/`ram_peak`. Idempotent; call once at startup
+/// (after enabling tracing) from any binary that installs [`TrackingAlloc`].
+pub fn install_obs_sampler() {
+    obs::set_mem_sampler(|| (ram_current() as u64, ram_peak() as u64));
 }
 
 /// Aggregates the device-memory model over the steps of one run.
@@ -79,12 +110,13 @@ impl DeviceMeter {
     ) {
         let bytes =
             tape.resident_bytes() + store.nbytes() + opt.map_or(0, |o| o.state_bytes()) + fixed;
-        self.peak = self.peak.max(bytes);
+        self.record_bytes(bytes);
     }
 
     /// Records an externally computed byte count.
     pub fn record_bytes(&mut self, bytes: usize) {
         self.peak = self.peak.max(bytes);
+        obs::gauge_max("device.peak_bytes", self.peak as u64);
     }
 
     /// Peak device bytes observed.
@@ -120,6 +152,50 @@ mod tests {
         );
         meter.record_step(&tape, &store, None, 100);
         assert_eq!(meter.peak(), 10 * 10 * 4 + 100 + 2 * 4 * 4 * 4);
+    }
+
+    #[test]
+    fn device_meter_sums_tape_params_optimizer_and_fixed() {
+        use sgnn_autograd::Adam;
+
+        let mut meter = DeviceMeter::new();
+        let mut store = ParamStore::new();
+        let w = store.add(
+            "w",
+            DMat::zeros(8, 8),
+            sgnn_autograd::param::ParamGroup::Network,
+        );
+        let mut tape = Tape::new(false, 0);
+        let _ = tape.constant(DMat::zeros(16, 4));
+        let mut opt = Adam::new(0.01, 0.0);
+        let fixed = 1000usize;
+
+        // Adam has no m/v state before the first step.
+        assert_eq!(opt.state_bytes(), 0);
+        meter.record_step(&tape, &store, Some(&opt), fixed);
+        let without_state = meter.peak();
+        assert_eq!(
+            without_state,
+            tape.resident_bytes() + store.nbytes() + fixed
+        );
+
+        // After one step the m/v moments exist and must be counted.
+        opt.step(&mut store);
+        assert_eq!(opt.state_bytes(), 2 * 8 * 8 * 4);
+        meter.record_step(&tape, &store, Some(&opt), fixed);
+        assert_eq!(meter.peak(), without_state + 2 * 8 * 8 * 4);
+        let _ = w;
+    }
+
+    #[test]
+    fn device_meter_peak_is_monotone() {
+        let mut meter = DeviceMeter::new();
+        meter.record_bytes(500);
+        assert_eq!(meter.peak(), 500);
+        meter.record_bytes(200);
+        assert_eq!(meter.peak(), 500, "smaller step must not lower the peak");
+        meter.record_bytes(800);
+        assert_eq!(meter.peak(), 800);
     }
 
     #[test]

@@ -16,6 +16,7 @@ use sgnn_core::SpectralFilter;
 use sgnn_data::Dataset;
 use sgnn_dense::{rng as drng, DMat};
 use sgnn_models::decoupled::{gather_terms, DecoupledConfig, DecoupledModel};
+use sgnn_obs as obs;
 use sgnn_sparse::PropMatrix;
 
 use crate::config::{TrainConfig, TrainReport};
@@ -67,14 +68,14 @@ pub fn train_mini_batch(
     );
 
     // Stage 1: CPU precomputation.
-    let mut pre_timer = StageTimer::new();
+    let mut pre_timer = StageTimer::named("precompute");
     let terms = pre_timer.time(|| model.precompute_mb(&pm, &data.features));
     let ram_bytes = sgnn_core::FilterModule::precompute_bytes(&terms) + data.features.nbytes();
     let pre_hops = model.filter.filter().hops();
 
     // Stage 2: batched training on the device.
     let mut device = DeviceMeter::new();
-    let mut train_timer = StageTimer::new();
+    let mut train_timer = StageTimer::named("train");
     let mut train_idx = data.splits.train.clone();
     let mut best_valid = f64::NEG_INFINITY;
     let mut best_test = 0.0f64;
@@ -102,11 +103,18 @@ pub fn train_mini_batch(
                 );
                 let logits = model.forward_mb(&mut tape, &batch_terms, &store);
                 let loss = tape.softmax_cross_entropy(logits, Arc::new(y));
-                tape.backward(loss, &mut store);
-                opt.step(&mut store);
+                {
+                    let _sp = obs::span!("epoch.backward");
+                    tape.backward(loss, &mut store);
+                }
+                {
+                    let _sp = obs::span!("epoch.step");
+                    opt.step(&mut store);
+                }
                 device.record_step(&tape, &store, Some(&opt), 0);
             }
         });
+        crate::EPOCHS.incr();
 
         if cfg.patience > 0 && (epoch % 5 == 4 || epoch + 1 == cfg.epochs) {
             let logits = infer_mb(&model, &terms, data.nodes(), cfg.batch_size, &store);
@@ -124,7 +132,7 @@ pub fn train_mini_batch(
         }
     }
 
-    let mut infer_timer = StageTimer::new();
+    let mut infer_timer = StageTimer::named("infer");
     let logits =
         infer_timer.time(|| infer_mb(&model, &terms, data.nodes(), cfg.batch_size, &store));
     let test = evaluate(&logits, data, &data.splits.test);

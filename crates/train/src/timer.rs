@@ -1,10 +1,20 @@
 //! Per-stage wall-clock aggregation (precompute / train / inference).
+//!
+//! A [`StageTimer`] can be *named* ([`StageTimer::named`]), in which case
+//! every recorded sample is also forwarded to the `sgnn-obs` span registry
+//! (and JSONL sink, when tracing) under that name — with the **same**
+//! measured duration, so per-stage totals in a trace agree exactly with the
+//! numbers the rendered tables report.
 
 use std::time::Instant;
+
+use sgnn_obs as obs;
 
 /// Accumulates durations of repeated executions of one stage.
 #[derive(Clone, Debug, Default)]
 pub struct StageTimer {
+    /// Span name samples are mirrored to (None = local aggregation only).
+    name: Option<&'static str>,
     samples: Vec<f64>,
 }
 
@@ -13,22 +23,38 @@ impl StageTimer {
         Self::default()
     }
 
+    /// A timer that mirrors every sample to the obs span `name`.
+    pub fn named(name: &'static str) -> Self {
+        Self {
+            name: Some(name),
+            samples: Vec::new(),
+        }
+    }
+
     /// Times one closure execution and records it.
     pub fn time<T>(&mut self, f: impl FnOnce() -> T) -> T {
         let start = Instant::now();
         let out = f();
-        self.samples.push(start.elapsed().as_secs_f64());
+        self.record(start.elapsed().as_secs_f64());
         out
     }
 
     /// Records an externally measured duration (seconds).
     pub fn record(&mut self, seconds: f64) {
         self.samples.push(seconds);
+        if let Some(name) = self.name {
+            obs::record_span(name, seconds);
+        }
     }
 
     /// Number of recorded executions.
     pub fn count(&self) -> usize {
         self.samples.len()
+    }
+
+    /// The raw samples, in recording order (trace sinks, custom stats).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
     }
 
     /// Total seconds across executions.
@@ -45,7 +71,22 @@ impl StageTimer {
         }
     }
 
-    /// Sample standard deviation of the execution times.
+    /// Fastest execution (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    /// Slowest execution (0 when empty).
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(0.0f64, f64::max)
+    }
+
+    /// Sample standard deviation of the execution times (0 for fewer than
+    /// two samples — never NaN).
     pub fn stddev(&self) -> f64 {
         sgnn_dense::stats::stddev(&self.samples)
     }
@@ -65,6 +106,9 @@ mod tests {
         assert_eq!(t.count(), 3);
         assert!(t.total() >= 4.0);
         assert!(t.mean() > 0.0);
+        assert_eq!(t.max(), 3.0);
+        assert!(t.min() > 0.0 && t.min() < 1.0 + 1e-9);
+        assert_eq!(t.samples().len(), 3);
     }
 
     #[test]
@@ -73,5 +117,29 @@ mod tests {
         assert_eq!(t.mean(), 0.0);
         assert_eq!(t.total(), 0.0);
         assert_eq!(t.stddev(), 0.0);
+        assert_eq!(t.min(), 0.0);
+        assert_eq!(t.max(), 0.0);
+    }
+
+    #[test]
+    fn stddev_is_zero_not_nan_for_single_sample() {
+        let mut t = StageTimer::new();
+        t.record(0.5);
+        assert_eq!(t.stddev(), 0.0);
+        assert_eq!(t.min(), 0.5);
+        assert_eq!(t.max(), 0.5);
+    }
+
+    #[test]
+    fn named_timer_mirrors_samples_to_obs() {
+        obs::enable_aggregation();
+        let mut t = StageTimer::named("test.stage_timer");
+        t.record(0.25);
+        t.record(0.75);
+        let snap = obs::snapshot();
+        let stat = snap.span("test.stage_timer").expect("mirrored span");
+        assert_eq!(stat.count, 2);
+        assert!((stat.total_s - t.total()).abs() < 1e-12);
+        assert_eq!(stat.max_s, 0.75);
     }
 }

@@ -5,5 +5,6 @@ pub use sgnn_core as core;
 pub use sgnn_data as data;
 pub use sgnn_dense as dense;
 pub use sgnn_models as models;
+pub use sgnn_obs as obs;
 pub use sgnn_sparse as sparse;
 pub use sgnn_train as train;
