@@ -3,6 +3,7 @@
 //! ```text
 //! experiments <target> [flags]
 //! experiments trace-summary <trace.jsonl> [--require span1,span2]
+//!                                         [--require-counter c1,c2]
 //!
 //! targets: table1 table3 table5 table6 table7 table9 table10 table11
 //!          fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10   all
@@ -17,6 +18,16 @@
 //!   --device-budget-mb N        modeled device memory budget (default 2048)
 //!   --json                      dump raw rows under results/
 //!   --trace PATH                stream a JSONL trace (SGNN_TRACE fallback)
+//!   --resume DIR                durable run store: persist finished cells
+//!                               under DIR and skip them on the next run
+//!   --retries N                 extra fresh-seed attempts after a diverged
+//!                               cell (default 1)
+//!   --cell-timeout-s S          per-cell wall-clock budget (default off)
+//!   --faults SPEC               deterministic fault injection (SGNN_FAULTS
+//!                               fallback) — see sgnn_bench::faults
+//!
+//! exit codes: 0 all cells finished; 1 at least one cell DNF'd or the run
+//! aborted; 2 usage error
 //! ```
 
 use sgnn_bench::harness::{parse_opts, progress, Opts};
@@ -56,13 +67,18 @@ const ALL_TARGETS: &[&str] = &[
     "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "ablation",
 ];
 
-/// `trace-summary <file.jsonl> [--require a,b,c]`: re-aggregate a recorded
-/// trace; exits nonzero on malformed lines or missing required spans.
+/// `trace-summary <file.jsonl> [--require a,b,c] [--require-counter c,d]`:
+/// re-aggregate a recorded trace; exits nonzero on malformed lines, missing
+/// required spans, or missing/zero required counters.
 fn trace_summary(args: &[String]) -> Result<String, String> {
     let Some(path) = args.first() else {
-        return Err("usage: experiments trace-summary <trace.jsonl> [--require a,b,c]".into());
+        return Err(
+            "usage: experiments trace-summary <trace.jsonl> [--require a,b,c] [--require-counter c,d]"
+                .into(),
+        );
     };
     let mut require: Vec<String> = Vec::new();
+    let mut require_counters: Vec<String> = Vec::new();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -71,11 +87,16 @@ fn trace_summary(args: &[String]) -> Result<String, String> {
                 let list = args.get(i).ok_or("--require needs a value")?;
                 require.extend(list.split(',').map(str::to_string));
             }
+            "--require-counter" => {
+                i += 1;
+                let list = args.get(i).ok_or("--require-counter needs a value")?;
+                require_counters.extend(list.split(',').map(str::to_string));
+            }
             other => return Err(format!("unknown flag {other}")),
         }
         i += 1;
     }
-    trace::summarize_file(std::path::Path::new(path), &require)
+    trace::summarize_file(std::path::Path::new(path), &require, &require_counters)
 }
 
 fn main() {
@@ -111,21 +132,61 @@ fn main() {
         }
         sgnn_train::memory::install_obs_sampler();
     }
-    let started = std::time::Instant::now();
-    if target == "all" {
-        for t in ALL_TARGETS {
-            println!("{}", dispatch(t, &opts).expect("known target"));
-        }
-    } else {
-        match dispatch(&target, &opts) {
-            Some(out) => println!("{out}"),
-            None => {
-                progress(&format!(
-                    "unknown target {target}; targets: {} all trace-summary",
-                    ALL_TARGETS.join(" ")
-                ));
+    if let Some(spec) = opts.faults_spec() {
+        match faults::parse(&spec) {
+            Ok(plan) => {
+                progress(&format!("[faults] armed: {spec}"));
+                faults::install(plan);
+            }
+            Err(e) => {
+                progress(&format!("error: bad fault spec: {e}"));
                 std::process::exit(2);
             }
+        }
+    }
+    let started = std::time::Instant::now();
+    // An injected `fail cell=K` (or any panic escaping the cell runner)
+    // unwinds to here: flush what the trace has, report, and exit nonzero —
+    // the run store already holds every cell finished before the abort.
+    let ran = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if target == "all" {
+            for t in ALL_TARGETS {
+                println!("{}", dispatch(t, &opts).expect("known target"));
+            }
+            true
+        } else {
+            match dispatch(&target, &opts) {
+                Some(out) => {
+                    println!("{out}");
+                    true
+                }
+                None => false,
+            }
+        }
+    }));
+    match ran {
+        Ok(true) => {}
+        Ok(false) => {
+            progress(&format!(
+                "unknown target {target}; targets: {} all trace-summary",
+                ALL_TARGETS.join(" ")
+            ));
+            std::process::exit(2);
+        }
+        Err(payload) => {
+            let reason = payload
+                .downcast_ref::<faults::FatalFault>()
+                .map(|f| f.0.clone())
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic".into());
+            progress(&format!("[aborted] {reason}"));
+            if let Some(summary) = runner::failure_summary() {
+                progress(&format!("[failed] {summary}"));
+            }
+            sgnn_obs::flush();
+            sgnn_obs::disable();
+            std::process::exit(1);
         }
     }
     progress(&format!(
@@ -133,6 +194,13 @@ fn main() {
         started.elapsed().as_secs_f64(),
         sgnn_train::memory::fmt_bytes(sgnn_train::memory::ram_peak())
     ));
+    let failed = runner::failure_summary();
+    if let Some(summary) = &failed {
+        progress(&format!("[failed] {summary}"));
+    }
     sgnn_obs::flush();
     sgnn_obs::disable();
+    if failed.is_some() {
+        std::process::exit(1);
+    }
 }

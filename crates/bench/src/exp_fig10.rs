@@ -11,6 +11,7 @@ use sgnn_analysis::degree_gap;
 
 use crate::exp_fig9::train_with_logits;
 use crate::harness::{save_json, Opts};
+use crate::runner::CellRunner;
 
 #[derive(Serialize)]
 struct Row {
@@ -29,15 +30,27 @@ pub fn run(opts: &Opts) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== Figure 10: normalization ρ vs degree gap ==");
     let mut rows = Vec::new();
+    let mut runner = CellRunner::for_opts(opts);
     for dname in &datasets {
         let data = opts.load_dataset(dname, 0);
         let _ = writeln!(out, "-- {dname} --");
         for fname in &filters {
             let mut line = format!("  {fname:<12}");
             for &rho in &rhos {
-                let mut cfg = opts.train_config(0);
-                cfg.rho = rho;
-                let (report, logits) = train_with_logits(opts, fname, &data, &cfg);
+                let label = format!("fig10/{fname}/{dname}/rho={rho}");
+                let trained = runner.run_value(&label, 0, |ctx| {
+                    let mut cfg = opts.train_config(0);
+                    cfg.rho = rho;
+                    ctx.apply(&mut cfg);
+                    train_with_logits(opts, fname, &data, &cfg)
+                });
+                let (report, logits) = match trained {
+                    Ok(pair) => pair,
+                    Err(_) => {
+                        let _ = write!(line, " ρ={rho:.2}:DNF");
+                        continue;
+                    }
+                };
                 let gap = degree_gap(&logits, &data);
                 let _ = write!(line, " ρ={rho:.2}:{:+.3}", gap.gap);
                 rows.push(Row {

@@ -4,9 +4,11 @@
 use std::fmt::Write as _;
 
 use serde::Serialize;
-use sgnn_train::{train_full_batch, train_mini_batch};
+use sgnn_train::{try_train_full_batch, try_train_mini_batch};
 
 use crate::harness::{filter_sets, save_json, Opts};
+use crate::runner::CellRunner;
+use crate::store::{CellKey, CellOutcome};
 
 #[derive(Serialize)]
 struct Row {
@@ -32,17 +34,37 @@ pub fn run(opts: &Opts) -> String {
         "{:<16} {:<12} {:<3} {:>10} {:>10} {:>9} {:>12} {:>12}",
         "dataset", "filter", "sch", "pre(s)", "train(s)", "infer(s)", "device", "ram"
     );
+    let mut runner = CellRunner::for_opts(opts);
     for dname in &datasets {
         let data = opts.load_dataset(dname, 0);
         for fname in &filters {
-            let mut cfg = opts.train_config(0);
-            cfg.patience = 0;
-            cfg.epochs = opts.epochs.min(15);
-            let mut reports = vec![train_full_batch(opts.build_filter(fname), &data, &cfg)];
-            if opts.build_filter(fname).mb_compatible() {
-                reports.push(train_mini_batch(opts.build_filter(fname), &data, &cfg));
-            }
-            for r in reports {
+            let schemes: &[&str] = if opts.build_filter(fname).mb_compatible() {
+                &["FB", "MB"]
+            } else {
+                &["FB"]
+            };
+            for scheme in schemes {
+                let key = CellKey::new("fig2", fname, dname, scheme, "", 0);
+                let outcome = runner.run_report(key, 0, |ctx| {
+                    let mut cfg = opts.train_config(0);
+                    cfg.patience = 0;
+                    cfg.epochs = opts.epochs.min(15);
+                    ctx.apply(&mut cfg);
+                    let filter = opts.build_filter(fname);
+                    if *scheme == "FB" {
+                        try_train_full_batch(filter, &data, &cfg)
+                    } else {
+                        try_train_mini_batch(filter, &data, &cfg)
+                    }
+                });
+                let r = match outcome {
+                    CellOutcome::Done(r) => r,
+                    CellOutcome::Dnf { reason } => {
+                        let _ =
+                            writeln!(out, "{dname:<16} {fname:<12} {scheme:<3}     DNF({reason})");
+                        continue;
+                    }
+                };
                 let _ = writeln!(
                     out,
                     "{:<16} {:<12} {:<3} {:>10.4} {:>10.3} {:>9.4} {:>12} {:>12}",

@@ -7,9 +7,11 @@
 use std::fmt::Write as _;
 
 use serde::Serialize;
-use sgnn_train::train_full_batch;
+use sgnn_train::try_train_full_batch;
 
 use crate::harness::{filter_sets, save_json, Opts};
+use crate::runner::CellRunner;
+use crate::store::{CellKey, CellOutcome};
 
 #[derive(Serialize)]
 struct Row {
@@ -30,13 +32,23 @@ pub fn run(opts: &Opts) -> String {
         "== Figure 3: effectiveness across scales (relative to best) =="
     );
     let mut rows = Vec::new();
+    let mut runner = CellRunner::for_opts(opts);
     for dname in &datasets {
         let data = opts.load_dataset(dname, 0);
-        let cfg = opts.train_config(0);
-        let reports: Vec<_> = filters
-            .iter()
-            .map(|f| train_full_batch(opts.build_filter(f), &data, &cfg))
-            .collect();
+        let mut reports = Vec::new();
+        let mut dnfs: Vec<(String, String)> = Vec::new();
+        for f in &filters {
+            let key = CellKey::new("fig3", f, dname, "FB", "", 0);
+            let outcome = runner.run_report(key, 0, |ctx| {
+                let mut cfg = opts.train_config(0);
+                ctx.apply(&mut cfg);
+                try_train_full_batch(opts.build_filter(f), &data, &cfg)
+            });
+            match outcome {
+                CellOutcome::Done(r) => reports.push(r),
+                CellOutcome::Dnf { reason } => dnfs.push((f.clone(), reason)),
+            }
+        }
         let best = reports
             .iter()
             .map(|r| r.test_metric)
@@ -61,11 +73,16 @@ pub fn run(opts: &Opts) -> String {
                 relative: rel,
             });
         }
-        let spread = reports
-            .iter()
-            .map(|r| r.test_metric / best.max(1e-9))
-            .fold(f64::MAX, f64::min);
-        let _ = writeln!(out, "  spread: worst/best = {spread:.3}");
+        for (fname, reason) in &dnfs {
+            let _ = writeln!(out, "  {fname:<12} DNF({reason})");
+        }
+        if !reports.is_empty() {
+            let spread = reports
+                .iter()
+                .map(|r| r.test_metric / best.max(1e-9))
+                .fold(f64::MAX, f64::min);
+            let _ = writeln!(out, "  spread: worst/best = {spread:.3}");
+        }
     }
     save_json(opts, "fig3", &rows);
     out

@@ -4,9 +4,11 @@
 use std::fmt::Write as _;
 
 use serde::Serialize;
-use sgnn_train::train_full_batch;
+use sgnn_train::try_train_full_batch;
 
 use crate::harness::{filter_sets, save_json, Opts};
+use crate::runner::CellRunner;
+use crate::store::{CellKey, CellOutcome};
 
 #[derive(Serialize)]
 struct Row {
@@ -31,6 +33,7 @@ pub fn run(opts: &Opts) -> String {
         "== Figure 4: accuracy spread over {seeds} shared seeds =="
     );
     let mut rows = Vec::new();
+    let mut runner = CellRunner::for_opts(opts);
     for dname in &datasets {
         let _ = writeln!(out, "-- {dname} --");
         // One dataset generation per seed, shared by every filter: variance
@@ -39,14 +42,29 @@ pub fn run(opts: &Opts) -> String {
             .map(|s| opts.load_dataset(dname, s as u64))
             .collect();
         for fname in &filters {
-            let per_seed: Vec<f64> = data_per_seed
-                .iter()
-                .enumerate()
-                .map(|(s, data)| {
-                    train_full_batch(opts.build_filter(fname), data, &opts.train_config(s as u64))
-                        .test_metric
-                })
-                .collect();
+            let mut per_seed: Vec<f64> = Vec::new();
+            let mut first_dnf: Option<String> = None;
+            for (s, data) in data_per_seed.iter().enumerate() {
+                let key = CellKey::new("fig4", fname, dname, "FB", "", s as u64);
+                let outcome = runner.run_report(key, s as u64, |ctx| {
+                    let mut cfg = opts.train_config(s as u64);
+                    ctx.apply(&mut cfg);
+                    try_train_full_batch(opts.build_filter(fname), data, &cfg)
+                });
+                match outcome {
+                    CellOutcome::Done(r) => per_seed.push(r.test_metric),
+                    CellOutcome::Dnf { reason } => {
+                        if first_dnf.is_none() {
+                            first_dnf = Some(reason);
+                        }
+                    }
+                }
+            }
+            if per_seed.is_empty() {
+                let reason = first_dnf.unwrap_or_default();
+                let _ = writeln!(out, "  {fname:<12} DNF({reason})");
+                continue;
+            }
             let mean = sgnn_dense::stats::mean(&per_seed);
             let std = sgnn_dense::stats::stddev(&per_seed);
             let min = per_seed.iter().copied().fold(f64::MAX, f64::min);

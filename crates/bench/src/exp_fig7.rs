@@ -7,9 +7,11 @@
 use std::fmt::Write as _;
 
 use serde::Serialize;
-use sgnn_train::train_full_batch;
+use sgnn_train::try_train_full_batch;
 
 use crate::harness::{save_json, Opts};
+use crate::runner::CellRunner;
+use crate::store::{CellKey, CellOutcome};
 
 #[derive(Serialize)]
 struct Row {
@@ -39,29 +41,41 @@ pub fn run(opts: &Opts) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== Figure 7: effect of propagation hops K ==");
     let mut rows = Vec::new();
+    let mut runner = CellRunner::for_opts(opts);
     for dname in &datasets {
         let data = opts.load_dataset(dname, 0);
         let _ = writeln!(out, "-- {dname} --");
         for fname in &filters {
             let mut line = format!("  {fname:<12}");
             for &k in &hop_grid {
-                // Linear's order is fixed at 1; sweeping K means repeated
-                // application, i.e. the Impulse filter — skip duplicates.
-                let filter = if fname == "Linear" {
-                    sgnn_core::make_filter("Impulse", k).unwrap()
-                } else {
-                    sgnn_core::make_filter(fname, k).unwrap()
-                };
-                let mut cfg = opts.train_config(0);
-                cfg.hops = k;
-                let r = train_full_batch(filter, &data, &cfg);
-                let _ = write!(line, " K={k}:{:.4}", r.test_metric);
-                rows.push(Row {
-                    dataset: dname.clone(),
-                    filter: fname.clone(),
-                    hops: k,
-                    metric: r.test_metric,
+                let key = CellKey::new("fig7", fname, dname, "FB", &format!("K={k}"), 0);
+                let outcome = runner.run_report(key, 0, |ctx| {
+                    // Linear's order is fixed at 1; sweeping K means repeated
+                    // application, i.e. the Impulse filter — skip duplicates.
+                    let filter = if fname == "Linear" {
+                        sgnn_core::make_filter("Impulse", k).unwrap()
+                    } else {
+                        sgnn_core::make_filter(fname, k).unwrap()
+                    };
+                    let mut cfg = opts.train_config(0);
+                    cfg.hops = k;
+                    ctx.apply(&mut cfg);
+                    try_train_full_batch(filter, &data, &cfg)
                 });
+                match outcome {
+                    CellOutcome::Done(r) => {
+                        let _ = write!(line, " K={k}:{:.4}", r.test_metric);
+                        rows.push(Row {
+                            dataset: dname.clone(),
+                            filter: fname.clone(),
+                            hops: k,
+                            metric: r.test_metric,
+                        });
+                    }
+                    CellOutcome::Dnf { .. } => {
+                        let _ = write!(line, " K={k}:DNF");
+                    }
+                }
             }
             let _ = writeln!(out, "{line}");
         }

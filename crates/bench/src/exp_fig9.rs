@@ -7,10 +7,11 @@ use std::sync::Arc;
 use serde::Serialize;
 use sgnn_analysis::degree_gap;
 use sgnn_sparse::PropMatrix;
-use sgnn_train::full_batch::{infer, train_full_batch_model};
-use sgnn_train::TrainConfig;
+use sgnn_train::full_batch::{infer, try_train_full_batch_model};
+use sgnn_train::{TrainConfig, TrainError};
 
 use crate::harness::{filter_sets, save_json, Opts};
+use crate::runner::CellRunner;
 
 #[derive(Serialize)]
 struct Row {
@@ -29,12 +30,24 @@ pub fn run(opts: &Opts) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== Figure 9: degree-wise accuracy gap (high − low) ==");
     let mut rows = Vec::new();
+    let mut runner = CellRunner::for_opts(opts);
     for dname in &datasets {
         let data = opts.load_dataset(dname, 0);
         let _ = writeln!(out, "-- {dname} (H = {:.2}) --", data.node_homophily());
         for fname in &filters {
-            let cfg: TrainConfig = opts.train_config(0);
-            let (report, logits) = train_with_logits(opts, fname, &data, &cfg);
+            let label = format!("fig9/{fname}/{dname}");
+            let trained = runner.run_value(&label, 0, |ctx| {
+                let mut cfg: TrainConfig = opts.train_config(0);
+                ctx.apply(&mut cfg);
+                train_with_logits(opts, fname, &data, &cfg)
+            });
+            let (report, logits) = match trained {
+                Ok(pair) => pair,
+                Err(reason) => {
+                    let _ = writeln!(out, "  {fname:<12} DNF({reason})");
+                    continue;
+                }
+            };
             let gap = degree_gap(&logits, &data);
             let _ = writeln!(
                 out,
@@ -61,11 +74,11 @@ pub fn train_with_logits(
     fname: &str,
     data: &sgnn_data::Dataset,
     cfg: &TrainConfig,
-) -> (sgnn_train::TrainReport, sgnn_dense::DMat) {
-    let (report, model, store) = train_full_batch_model(opts.build_filter(fname), data, cfg);
+) -> Result<(sgnn_train::TrainReport, sgnn_dense::DMat), TrainError> {
+    let (report, model, store) = try_train_full_batch_model(opts.build_filter(fname), data, cfg)?;
     let pm = Arc::new(PropMatrix::new(&data.graph, cfg.rho));
     let logits = infer(&model, &pm, data, &store);
-    (report, logits)
+    Ok((report, logits))
 }
 
 #[cfg(test)]

@@ -2,12 +2,14 @@
 //! training across the dataset suite.
 
 use sgnn_obs as obs;
-use sgnn_train::{train_full_batch, train_mini_batch};
+use sgnn_train::{try_train_full_batch, try_train_mini_batch};
 
 use crate::harness::{
-    aggregate, estimate_fb_device_bytes, filter_sets, oom_row, render_table, save_json,
+    aggregate, dnf_row, estimate_fb_device_bytes, filter_sets, oom_row, render_table, save_json,
     AggregateRow, Opts,
 };
+use crate::runner::CellRunner;
+use crate::store::{CellKey, CellOutcome};
 
 /// Default dataset lineup for the effectiveness tables (every size class and
 /// both homophily regimes; pokec represents the large tier at bench scale).
@@ -32,14 +34,17 @@ pub fn default_datasets() -> Vec<&'static str> {
 
 /// Runs the effectiveness sweep for one scheme (`"FB"` or `"MB"`).
 pub fn run_scheme(opts: &Opts, scheme: &str) -> String {
+    let name = if scheme == "FB" { "table5" } else { "table10" };
     let datasets = opts.dataset_names(&default_datasets());
     let filters = match scheme {
         "MB" => opts.filter_names(&filter_sets::mb_compatible()),
         _ => opts.filter_names(&filter_sets::all()),
     };
+    let mut runner = CellRunner::for_opts(opts);
     let mut rows: Vec<AggregateRow> = Vec::new();
     for dname in &datasets {
         let mut per_filter: Vec<Vec<sgnn_train::TrainReport>> = vec![Vec::new(); filters.len()];
+        let mut dnf: Vec<Option<String>> = vec![None; filters.len()];
         let mut oom: Vec<bool> = vec![false; filters.len()];
         for seed in 0..opts.seeds {
             let data = opts.load_dataset(dname, seed as u64);
@@ -54,8 +59,8 @@ pub fn run_scheme(opts: &Opts, scheme: &str) -> String {
                     scheme = scheme,
                     seed = seed,
                 );
-                let filter = opts.build_filter(fname);
                 if scheme == "FB" {
+                    let filter = opts.build_filter(fname);
                     let est = estimate_fb_device_bytes(
                         filter.as_ref(),
                         data.nodes(),
@@ -68,29 +73,42 @@ pub fn run_scheme(opts: &Opts, scheme: &str) -> String {
                         oom[fi] = true;
                         continue;
                     }
-                    per_filter[fi].push(train_full_batch(
-                        filter,
-                        &data,
-                        &opts.train_config(seed as u64),
-                    ));
-                } else {
-                    per_filter[fi].push(train_mini_batch(
-                        filter,
-                        &data,
-                        &opts.train_config(seed as u64),
-                    ));
+                }
+                let key = CellKey::new(name, fname, dname, scheme, "", seed as u64);
+                let outcome = runner.run_report(key, seed as u64, |ctx| {
+                    let mut cfg = opts.train_config(seed as u64);
+                    ctx.apply(&mut cfg);
+                    let filter = opts.build_filter(fname);
+                    if scheme == "FB" {
+                        try_train_full_batch(filter, &data, &cfg)
+                    } else {
+                        try_train_mini_batch(filter, &data, &cfg)
+                    }
+                });
+                match outcome {
+                    CellOutcome::Done(r) => per_filter[fi].push(r),
+                    CellOutcome::Dnf { reason } => {
+                        if dnf[fi].is_none() {
+                            dnf[fi] = Some(reason);
+                        }
+                    }
                 }
             }
         }
         for (fi, fname) in filters.iter().enumerate() {
-            if oom[fi] || per_filter[fi].is_empty() {
+            if oom[fi] {
                 rows.push(oom_row(fname, dname, scheme));
+            } else if per_filter[fi].is_empty() {
+                // No seed finished: a DNF reason beats a generic OOM marker.
+                match &dnf[fi] {
+                    Some(reason) => rows.push(dnf_row(fname, dname, scheme, reason)),
+                    None => rows.push(oom_row(fname, dname, scheme)),
+                }
             } else {
                 rows.push(aggregate(&per_filter[fi]));
             }
         }
     }
-    let name = if scheme == "FB" { "table5" } else { "table10" };
     save_json(opts, name, &rows);
     let title = if scheme == "FB" {
         "Table 5: full-batch effectiveness"

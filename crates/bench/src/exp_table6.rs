@@ -20,6 +20,7 @@ use sgnn_train::memory::DeviceMeter;
 use sgnn_train::timer::StageTimer;
 
 use crate::harness::{save_json, Opts};
+use crate::runner::CellRunner;
 
 #[derive(Clone, Debug, Serialize)]
 pub struct BaselineRow {
@@ -32,6 +33,9 @@ pub struct BaselineRow {
     pub infer_s: f64,
     pub device_bytes: usize,
     pub oom: bool,
+    /// Set when the cell did not finish (panic/timeout captured by the
+    /// runner); rendered as `DNF(reason)`.
+    pub dnf: Option<String>,
 }
 
 fn oom(model: &str, backend: &str, dataset: &str) -> BaselineRow {
@@ -45,6 +49,28 @@ fn oom(model: &str, backend: &str, dataset: &str) -> BaselineRow {
         infer_s: 0.0,
         device_bytes: 0,
         oom: true,
+        dnf: None,
+    }
+}
+
+/// Runs one baseline cell through the fault/retry/panic stack; a failure
+/// becomes a DNF row instead of killing the table.
+fn guarded(
+    runner: &mut CellRunner,
+    model: &str,
+    backend: &str,
+    dataset: &str,
+    mut f: impl FnMut() -> BaselineRow,
+) -> BaselineRow {
+    let label = format!("table6/{model}-{backend}/{dataset}");
+    match runner.run_value(&label, 0, |_ctx| Ok(f())) {
+        Ok(row) => row,
+        Err(reason) => {
+            let mut row = oom(model, backend, dataset);
+            row.oom = false;
+            row.dnf = Some(reason);
+            row
+        }
     }
 }
 
@@ -121,6 +147,7 @@ fn train_iterative(
         infer_s: infer_timer.mean(),
         device_bytes: meter.peak(),
         oom: false,
+        dnf: None,
     }
 }
 
@@ -176,6 +203,7 @@ fn train_nagphormer(data: &Dataset, opts: &Opts) -> BaselineRow {
         infer_s: infer_timer.mean(),
         device_bytes: meter.peak(),
         oom: false,
+        dnf: None,
     }
 }
 
@@ -233,6 +261,7 @@ fn train_gt_sample(data: &Dataset, opts: &Opts) -> BaselineRow {
         infer_s: infer_timer.mean(),
         device_bytes: meter.peak(),
         oom: false,
+        dnf: None,
     }
 }
 
@@ -240,40 +269,35 @@ fn train_gt_sample(data: &Dataset, opts: &Opts) -> BaselineRow {
 pub fn run(opts: &Opts) -> String {
     let datasets = opts.dataset_names(&["ogbn-arxiv", "penn94", "pokec"]);
     let mut rows = Vec::new();
+    let mut runner = CellRunner::for_opts(opts);
     for dname in &datasets {
         let data = opts.load_dataset(dname, 0);
-        rows.push(train_iterative(
-            BaselineKind::Gcn,
-            Backend::Csr,
-            &data,
-            opts,
-        ));
-        rows.push(train_iterative(
-            BaselineKind::GraphSage,
-            Backend::Csr,
-            &data,
-            opts,
-        ));
-        rows.push(train_iterative(
-            BaselineKind::Gcn,
-            Backend::EdgeList,
-            &data,
-            opts,
-        ));
-        rows.push(train_iterative(
-            BaselineKind::GraphSage,
-            Backend::EdgeList,
-            &data,
-            opts,
-        ));
-        rows.push(train_iterative(
-            BaselineKind::ChebNet,
-            Backend::EdgeList,
-            &data,
-            opts,
-        ));
-        rows.push(train_nagphormer(&data, opts));
-        rows.push(train_gt_sample(&data, opts));
+        let iterative = [
+            (BaselineKind::Gcn, Backend::Csr),
+            (BaselineKind::GraphSage, Backend::Csr),
+            (BaselineKind::Gcn, Backend::EdgeList),
+            (BaselineKind::GraphSage, Backend::EdgeList),
+            (BaselineKind::ChebNet, Backend::EdgeList),
+        ];
+        for (kind, backend) in iterative {
+            let backend_name = match backend {
+                Backend::Csr => "SP",
+                Backend::EdgeList => "EI",
+            };
+            rows.push(guarded(
+                &mut runner,
+                kind.name(),
+                backend_name,
+                dname,
+                || train_iterative(kind, backend, &data, opts),
+            ));
+        }
+        rows.push(guarded(&mut runner, "NAGphormer", "-", dname, || {
+            train_nagphormer(&data, opts)
+        }));
+        rows.push(guarded(&mut runner, "GT-sample", "-", dname, || {
+            train_gt_sample(&data, opts)
+        }));
     }
     save_json(opts, "table6", &rows);
     let mut out = String::new();
@@ -288,6 +312,12 @@ pub fn run(opts: &Opts) -> String {
             let _ = writeln!(
                 out,
                 "{:<12} {:<4} {:<16}    (OOM)",
+                r.model, r.backend, r.dataset
+            );
+        } else if let Some(reason) = &r.dnf {
+            let _ = writeln!(
+                out,
+                "{:<12} {:<4} {:<16}    DNF({reason})",
                 r.model, r.backend, r.dataset
             );
         } else {

@@ -9,6 +9,7 @@ use sgnn_sparse::PropMatrix;
 use sgnn_train::regression::fit_signal;
 
 use crate::harness::{filter_sets, save_json, Opts};
+use crate::runner::CellRunner;
 
 #[derive(Serialize)]
 struct Row {
@@ -48,17 +49,34 @@ pub fn run(opts: &Opts) -> String {
         "filter", "BAND", "COMBINE", "HIGH", "LOW", "REJECT"
     );
     let mut rows = Vec::new();
+    let mut runner = CellRunner::for_opts(opts);
     for fname in &filters {
         let mut cells = [0.0f64; 5];
+        let mut dnf: Option<String> = None;
         for (i, sig) in Signal::all().into_iter().enumerate() {
-            let mut scores = Vec::with_capacity(opts.seeds);
-            for seed in 0..opts.seeds as u64 {
-                let task = regression_task(&pm, sig, 4, seed);
-                let filter = opts.build_filter(fname);
-                let rep = fit_signal(filter, &pm, &task, epochs, 0.05, seed);
-                scores.push(rep.r2.max(0.0) * 100.0);
+            let label = format!("table7/{fname}/signal{i}");
+            let fitted = runner.run_value(&label, 0, |_ctx| {
+                let mut scores = Vec::with_capacity(opts.seeds);
+                for seed in 0..opts.seeds as u64 {
+                    let task = regression_task(&pm, sig, 4, seed);
+                    let filter = opts.build_filter(fname);
+                    let rep = fit_signal(filter, &pm, &task, epochs, 0.05, seed);
+                    scores.push(rep.r2.max(0.0) * 100.0);
+                }
+                Ok(sgnn_dense::stats::mean(&scores))
+            });
+            match fitted {
+                Ok(v) => cells[i] = v,
+                Err(reason) => {
+                    if dnf.is_none() {
+                        dnf = Some(reason);
+                    }
+                }
             }
-            cells[i] = sgnn_dense::stats::mean(&scores);
+        }
+        if let Some(reason) = dnf {
+            let _ = writeln!(out, "{fname:<12} DNF({reason})");
+            continue;
         }
         let _ = writeln!(
             out,

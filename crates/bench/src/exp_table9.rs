@@ -2,12 +2,14 @@
 //! training on medium/large datasets.
 
 use sgnn_obs as obs;
-use sgnn_train::{train_full_batch, train_mini_batch};
+use sgnn_train::{try_train_full_batch, try_train_mini_batch};
 
 use crate::harness::{
-    aggregate, estimate_fb_device_bytes, filter_sets, oom_row, render_table, save_json,
+    aggregate, dnf_row, estimate_fb_device_bytes, filter_sets, oom_row, render_table, save_json,
     AggregateRow, Opts,
 };
+use crate::runner::CellRunner;
+use crate::store::{CellKey, CellOutcome};
 
 /// Medium and large datasets used by the efficiency tables.
 pub fn default_datasets() -> Vec<&'static str> {
@@ -29,6 +31,8 @@ pub fn run_scheme(opts: &Opts, scheme: &str) -> String {
         "MB" => opts.filter_names(&filter_sets::mb_compatible()),
         _ => opts.filter_names(&filter_sets::all()),
     };
+    let name = if scheme == "FB" { "table9" } else { "table11" };
+    let mut runner = CellRunner::for_opts(opts);
     let mut rows: Vec<AggregateRow> = Vec::new();
     for dname in &datasets {
         let data = opts.load_dataset(dname, 0);
@@ -39,8 +43,8 @@ pub fn run_scheme(opts: &Opts, scheme: &str) -> String {
                 dataset = dname.as_str(),
                 scheme = scheme,
             );
-            let filter = opts.build_filter(fname);
             if scheme == "FB" {
+                let filter = opts.build_filter(fname);
                 let est = estimate_fb_device_bytes(
                     filter.as_ref(),
                     data.nodes(),
@@ -53,19 +57,26 @@ pub fn run_scheme(opts: &Opts, scheme: &str) -> String {
                     rows.push(oom_row(fname, dname, "FB"));
                     continue;
                 }
+            }
+            let key = CellKey::new(name, fname, dname, scheme, "", 0);
+            let outcome = runner.run_report(key, 0, |ctx| {
                 let mut cfg = opts.train_config(0);
                 cfg.patience = 0; // efficiency runs use the full epoch budget
                 cfg.epochs = opts.epochs.min(20);
-                rows.push(aggregate(&[train_full_batch(filter, &data, &cfg)]));
-            } else {
-                let mut cfg = opts.train_config(0);
-                cfg.patience = 0;
-                cfg.epochs = opts.epochs.min(20);
-                rows.push(aggregate(&[train_mini_batch(filter, &data, &cfg)]));
+                ctx.apply(&mut cfg);
+                let filter = opts.build_filter(fname);
+                if scheme == "FB" {
+                    try_train_full_batch(filter, &data, &cfg)
+                } else {
+                    try_train_mini_batch(filter, &data, &cfg)
+                }
+            });
+            match outcome {
+                CellOutcome::Done(r) => rows.push(aggregate(&[r])),
+                CellOutcome::Dnf { reason } => rows.push(dnf_row(fname, dname, scheme, &reason)),
             }
         }
     }
-    let name = if scheme == "FB" { "table9" } else { "table11" };
     save_json(opts, name, &rows);
     let title = if scheme == "FB" {
         "Table 9: full-batch efficiency"

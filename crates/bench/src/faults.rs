@@ -1,0 +1,240 @@
+//! Deterministic fault injection for the experiment harness.
+//!
+//! The recovery machinery (store, retries, timeouts, exit codes) is only
+//! trustworthy if CI can exercise it on demand, so every failure mode the
+//! cell runner handles can be injected deterministically via the
+//! `SGNN_FAULTS` environment variable or the `--faults` flag. The spec is a
+//! `;`-separated list of clauses:
+//!
+//! ```text
+//! fail cell=K            simulated crash: cell K aborts the whole run
+//!                        (nothing recorded — models a kill/OOM; the store
+//!                        keeps cells 0..K-1)
+//! panic cell=K           cell K panics; captured as DNF(panic: ...)
+//! flaky cell=K fails=N   cell K diverges on its first N attempts, then
+//!                        succeeds (exercises retry-with-fresh-seed)
+//! slow cell=K dur=S      cell K sleeps S seconds before training
+//!                        (trips the cell wall-clock budget)
+//! nan after-epoch=E [cell=K]
+//!                        training loss turns NaN after epoch E (all cells,
+//!                        or just cell K) — surfaces as TrainError::Diverged
+//! ```
+//!
+//! Cell indices count cells *executed* by this process, 0-based, in grid
+//! order; cells satisfied from the resume store never start and therefore
+//! do not consume indices. Attempts of one cell share its index.
+//!
+//! The plan is process-global ([`install`]/[`clear`]); the `experiments`
+//! binary installs it before dispatching. With no plan installed every hook
+//! is a no-op, so production runs pay one mutex-free atomic load per cell.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One injected fault.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultSpec {
+    /// Abort the entire run when this cell starts (simulated crash).
+    FailCell { cell: u64 },
+    /// Panic inside this cell (captured by the runner as a DNF).
+    PanicCell { cell: u64 },
+    /// Fail this cell's first `fails` attempts with a divergence.
+    FlakyCell { cell: u64, fails: u64 },
+    /// Sleep `dur_s` seconds when this cell starts.
+    SlowCell { cell: u64, dur_s: f64 },
+    /// Turn the training loss NaN after the given epoch (optionally only in
+    /// one cell).
+    NanAfterEpoch { epoch: usize, cell: Option<u64> },
+}
+
+/// Panic payload of [`FaultSpec::FailCell`]. The cell runner recognizes it
+/// and re-raises instead of capturing, so the injected "crash" propagates
+/// exactly like a real one.
+#[derive(Debug)]
+pub struct FatalFault(pub String);
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static PLAN: Mutex<Vec<FaultSpec>> = Mutex::new(Vec::new());
+static CELL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Injected faults that actually fired.
+static INJECTED: sgnn_obs::Counter = sgnn_obs::Counter::new("faults.injected");
+
+/// Parses a fault spec string (see the module docs for the grammar).
+pub fn parse(spec: &str) -> Result<Vec<FaultSpec>, String> {
+    let mut out = Vec::new();
+    for clause in spec.split(';') {
+        let clause = clause.trim();
+        if clause.is_empty() {
+            continue;
+        }
+        let mut words = clause.split_whitespace();
+        let kind = words.next().expect("non-empty clause has a first word");
+        let mut args: Vec<(&str, &str)> = Vec::new();
+        for w in words {
+            let (k, v) = w
+                .split_once('=')
+                .ok_or_else(|| format!("`{clause}`: expected key=value, got `{w}`"))?;
+            args.push((k, v));
+        }
+        let get = |key: &str| args.iter().find(|(k, _)| *k == key).map(|(_, v)| *v);
+        let num = |key: &str| -> Result<u64, String> {
+            get(key)
+                .ok_or_else(|| format!("`{clause}`: missing {key}="))?
+                .parse()
+                .map_err(|e| format!("`{clause}`: {key}: {e}"))
+        };
+        out.push(match kind {
+            "fail" => FaultSpec::FailCell { cell: num("cell")? },
+            "panic" => FaultSpec::PanicCell { cell: num("cell")? },
+            "flaky" => FaultSpec::FlakyCell {
+                cell: num("cell")?,
+                fails: num("fails")?,
+            },
+            "slow" => FaultSpec::SlowCell {
+                cell: num("cell")?,
+                dur_s: get("dur")
+                    .ok_or_else(|| format!("`{clause}`: missing dur="))?
+                    .parse()
+                    .map_err(|e| format!("`{clause}`: dur: {e}"))?,
+            },
+            "nan" => FaultSpec::NanAfterEpoch {
+                epoch: num("after-epoch")? as usize,
+                cell: match get("cell") {
+                    Some(v) => Some(v.parse().map_err(|e| format!("`{clause}`: cell: {e}"))?),
+                    None => None,
+                },
+            },
+            other => return Err(format!("unknown fault kind `{other}` in `{clause}`")),
+        });
+    }
+    Ok(out)
+}
+
+/// Installs a fault plan (replacing any previous one) and resets the cell
+/// sequence.
+pub fn install(specs: Vec<FaultSpec>) {
+    *PLAN.lock().unwrap() = specs;
+    CELL_SEQ.store(0, Ordering::Relaxed);
+    ARMED.store(true, Ordering::Relaxed);
+}
+
+/// Removes the plan; all hooks become no-ops again.
+pub fn clear() {
+    PLAN.lock().unwrap().clear();
+    CELL_SEQ.store(0, Ordering::Relaxed);
+    ARMED.store(false, Ordering::Relaxed);
+}
+
+/// Installs the plan named by `SGNN_FAULTS`, if set. `Ok(true)` when a plan
+/// was installed.
+pub fn install_from_env() -> Result<bool, String> {
+    match std::env::var("SGNN_FAULTS") {
+        Ok(spec) if !spec.trim().is_empty() => {
+            install(parse(&spec)?);
+            Ok(true)
+        }
+        _ => Ok(false),
+    }
+}
+
+/// Claims the next executed-cell index. Called by the runner once per cell
+/// that actually starts (store hits never claim an index).
+pub fn next_cell_index() -> u64 {
+    CELL_SEQ.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Injected outcome of a cell-start hook.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Injection {
+    /// Fail this attempt as if training diverged (retryable).
+    Diverge,
+}
+
+/// Fires any faults scheduled for (`cell`, `attempt`). May sleep (`slow`),
+/// panic (`panic`/`fail` — the latter with a [`FatalFault`] payload), or
+/// request a retryable failure (`flaky`).
+pub fn on_cell_start(cell: u64, attempt: u64) -> Option<Injection> {
+    if !ARMED.load(Ordering::Relaxed) {
+        return None;
+    }
+    let plan = PLAN.lock().unwrap().clone();
+    let mut injection = None;
+    for spec in &plan {
+        match *spec {
+            FaultSpec::FailCell { cell: c } if c == cell => {
+                INJECTED.incr();
+                std::panic::panic_any(FatalFault(format!("injected fatal fault at cell {cell}")));
+            }
+            FaultSpec::PanicCell { cell: c } if c == cell => {
+                INJECTED.incr();
+                panic!("injected panic at cell {cell}");
+            }
+            FaultSpec::SlowCell { cell: c, dur_s } if c == cell => {
+                INJECTED.incr();
+                std::thread::sleep(std::time::Duration::from_secs_f64(dur_s));
+            }
+            FaultSpec::FlakyCell { cell: c, fails } if c == cell && attempt < fails => {
+                INJECTED.incr();
+                injection = Some(Injection::Diverge);
+            }
+            _ => {}
+        }
+    }
+    injection
+}
+
+/// The NaN-injection epoch for `cell`, if the plan schedules one.
+pub fn nan_after_epoch(cell: u64) -> Option<usize> {
+    if !ARMED.load(Ordering::Relaxed) {
+        return None;
+    }
+    PLAN.lock().unwrap().iter().find_map(|spec| match *spec {
+        FaultSpec::NanAfterEpoch { epoch, cell: c } if c.is_none() || c == Some(cell) => {
+            Some(epoch)
+        }
+        _ => None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_clause_kind() {
+        let specs = parse("fail cell=2; nan after-epoch=3; slow cell=1 dur=0.25; panic cell=0; flaky cell=4 fails=2; nan after-epoch=1 cell=7").unwrap();
+        assert_eq!(
+            specs,
+            vec![
+                FaultSpec::FailCell { cell: 2 },
+                FaultSpec::NanAfterEpoch {
+                    epoch: 3,
+                    cell: None
+                },
+                FaultSpec::SlowCell {
+                    cell: 1,
+                    dur_s: 0.25
+                },
+                FaultSpec::PanicCell { cell: 0 },
+                FaultSpec::FlakyCell { cell: 4, fails: 2 },
+                FaultSpec::NanAfterEpoch {
+                    epoch: 1,
+                    cell: Some(7)
+                },
+            ]
+        );
+        assert!(parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(parse("frobnicate cell=1")
+            .unwrap_err()
+            .contains("unknown fault kind"));
+        assert!(parse("fail").unwrap_err().contains("missing cell="));
+        assert!(parse("slow cell=1").unwrap_err().contains("missing dur="));
+        assert!(parse("fail cell=x").unwrap_err().contains("cell"));
+        assert!(parse("panic foo").unwrap_err().contains("key=value"));
+    }
+}

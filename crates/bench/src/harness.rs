@@ -29,6 +29,15 @@ pub struct Opts {
     pub json: bool,
     /// Stream a JSONL trace to this path (`--trace`; `SGNN_TRACE` fallback).
     pub trace: Option<String>,
+    /// Durable run-store directory (`--resume`): completed cells are
+    /// persisted there and skipped on the next run.
+    pub resume: Option<String>,
+    /// Fault-injection spec (`--faults`; `SGNN_FAULTS` fallback).
+    pub faults: Option<String>,
+    /// Extra attempts (fresh seed) after a diverged cell (`--retries`).
+    pub retries: usize,
+    /// Per-cell wall-clock budget in seconds (`--cell-timeout-s`; 0 = off).
+    pub cell_timeout_s: f64,
 }
 
 impl Default for Opts {
@@ -44,6 +53,10 @@ impl Default for Opts {
             device_budget: 2 << 30,
             json: false,
             trace: None,
+            resume: None,
+            faults: None,
+            retries: 1,
+            cell_timeout_s: 0.0,
         }
     }
 }
@@ -110,6 +123,41 @@ impl Opts {
             .clone()
             .or_else(|| std::env::var("SGNN_TRACE").ok().filter(|p| !p.is_empty()))
     }
+
+    /// The fault spec: `--faults` wins, then `SGNN_FAULTS`, then none.
+    pub fn faults_spec(&self) -> Option<String> {
+        self.faults
+            .clone()
+            .or_else(|| std::env::var("SGNN_FAULTS").ok().filter(|s| !s.is_empty()))
+    }
+
+    /// The cell retry/timeout policy.
+    pub fn policy(&self) -> crate::runner::CellPolicy {
+        crate::runner::CellPolicy {
+            retries: self.retries,
+            time_budget_s: self.cell_timeout_s,
+        }
+    }
+
+    /// Config fingerprint for run-store invalidation: covers every option
+    /// that changes what a cell *measures*. Filter/dataset restrictions are
+    /// deliberately excluded — they select cells (already named by the cell
+    /// key) rather than altering them, so a narrowed rerun can reuse the
+    /// store. Seeds per cell are in the key too.
+    pub fn fingerprint(&self) -> String {
+        let canon = format!(
+            "scale={:?};epochs={};hops={};hidden={};budget={}",
+            self.scale, self.epochs, self.hops, self.hidden, self.device_budget
+        );
+        // FNV-1a, 64-bit: stable, dependency-free, and plenty for a
+        // change-detection tag (not a security boundary).
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in canon.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        format!("{h:016x}")
+    }
 }
 
 /// Parses the shared experiment flags (everything after the target).
@@ -155,6 +203,18 @@ pub fn parse_opts(args: &[String]) -> Result<Opts, String> {
             }
             "--json" => opts.json = true,
             "--trace" => opts.trace = Some(take(&mut i)?),
+            "--resume" => opts.resume = Some(take(&mut i)?),
+            "--faults" => opts.faults = Some(take(&mut i)?),
+            "--retries" => {
+                opts.retries = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--retries: {e}"))?
+            }
+            "--cell-timeout-s" => {
+                opts.cell_timeout_s = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--cell-timeout-s: {e}"))?
+            }
             other => return Err(format!("unknown flag {other}")),
         }
         i += 1;
@@ -183,6 +243,9 @@ pub struct AggregateRow {
     pub device_bytes: usize,
     pub ram_bytes: usize,
     pub oom: bool,
+    /// Set when the cell did not finish (diverged/timeout/panic); rendered
+    /// as `DNF(reason)` instead of metrics.
+    pub dnf: Option<String>,
 }
 
 /// Aggregates per-seed reports into one row.
@@ -201,6 +264,7 @@ pub fn aggregate(reports: &[TrainReport]) -> AggregateRow {
         device_bytes: reports.iter().map(|r| r.device_bytes).max().unwrap_or(0),
         ram_bytes: reports.iter().map(|r| r.ram_bytes).max().unwrap_or(0),
         oom: false,
+        dnf: None,
     }
 }
 
@@ -211,6 +275,17 @@ pub fn oom_row(filter: &str, dataset: &str, scheme: &str) -> AggregateRow {
         dataset: dataset.into(),
         scheme: scheme.into(),
         oom: true,
+        ..Default::default()
+    }
+}
+
+/// A row marking a cell that did not finish (explicit failure, not a crash).
+pub fn dnf_row(filter: &str, dataset: &str, scheme: &str, reason: &str) -> AggregateRow {
+    AggregateRow {
+        filter: filter.into(),
+        dataset: dataset.into(),
+        scheme: scheme.into(),
+        dnf: Some(reason.into()),
         ..Default::default()
     }
 }
@@ -237,6 +312,14 @@ pub fn render_table(title: &str, rows: &[AggregateRow], show_efficiency: bool) -
             let _ = writeln!(
                 out,
                 "{:<12} {:<16} {:<3}     (OOM)",
+                r.filter, r.dataset, r.scheme
+            );
+            continue;
+        }
+        if let Some(reason) = &r.dnf {
+            let _ = writeln!(
+                out,
+                "{:<12} {:<16} {:<3}     DNF({reason})",
                 r.filter, r.dataset, r.scheme
             );
             continue;

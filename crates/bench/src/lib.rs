@@ -22,7 +22,12 @@ pub mod exp_table5;
 pub mod exp_table6;
 pub mod exp_table7;
 pub mod exp_table9;
+pub mod faults;
 pub mod harness;
+pub mod runner;
+pub mod store;
 pub mod trace;
 
 pub use harness::Opts;
+pub use runner::CellRunner;
+pub use store::{CellKey, CellOutcome, RunStore};

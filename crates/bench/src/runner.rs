@@ -1,0 +1,287 @@
+//! Fault-tolerant execution of one grid cell.
+//!
+//! [`CellRunner`] wraps every `(filter, dataset, scheme, seed)` training
+//! call with the full recovery stack:
+//!
+//! 1. **Resume** — if a [`RunStore`] is attached (`--resume <dir>`) and
+//!    already holds the cell, the stored outcome is returned without
+//!    executing anything (counter `cell.skipped`).
+//! 2. **Fault hooks** — [`crate::faults`] fires any injected fault for the
+//!    cell's executed-index before training starts.
+//! 3. **Panic capture** — `catch_unwind` turns a panicking cell into
+//!    `DNF(panic: ...)` instead of killing the grid. The deliberate
+//!    exception is [`faults::FatalFault`], which is re-raised to simulate a
+//!    crash/kill.
+//! 4. **Bounded retry** — a diverged attempt is retried with a fresh seed
+//!    up to `retries` times (counter `cell.retry`); timeouts and panics are
+//!    not retried (they would fail identically).
+//! 5. **Durability** — the outcome (done *or* DNF) is appended to the store
+//!    and flushed before the next cell starts.
+//!
+//! Process-wide done/skip/DNF tallies feed the `experiments` exit code via
+//! [`counts`] / [`failure_summary`]; the same events increment `sgnn-obs`
+//! counters so a trace records them.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sgnn_obs as obs;
+use sgnn_train::{TrainConfig, TrainError, TrainReport};
+
+use crate::faults::{self, FatalFault, Injection};
+use crate::harness::{progress, Opts};
+use crate::store::{CellKey, CellOutcome, RunStore};
+
+/// Retry/timeout policy of one run (from `--retries` / `--cell-timeout-s`).
+#[derive(Clone, Copy, Debug)]
+pub struct CellPolicy {
+    /// Extra attempts after a diverged first attempt.
+    pub retries: usize,
+    /// Per-attempt wall-clock budget in seconds (0 = unlimited).
+    pub time_budget_s: f64,
+}
+
+impl Default for CellPolicy {
+    fn default() -> Self {
+        Self {
+            retries: 1,
+            time_budget_s: 0.0,
+        }
+    }
+}
+
+/// Per-attempt context handed to the cell closure.
+#[derive(Clone, Copy, Debug)]
+pub struct CellCtx {
+    /// Seed for this attempt (fresh on every retry).
+    pub seed: u64,
+    /// 0-based attempt number.
+    pub attempt: u64,
+    /// Remaining wall-clock budget (0 = unlimited).
+    pub time_budget_s: f64,
+    cell_index: u64,
+}
+
+impl CellCtx {
+    /// Applies this attempt to a training config: seed, cooperative
+    /// deadline, and any scheduled NaN injection.
+    pub fn apply(&self, cfg: &mut TrainConfig) {
+        cfg.seed = self.seed;
+        cfg.time_budget_s = self.time_budget_s;
+        cfg.inject_nan_after_epoch = faults::nan_after_epoch(self.cell_index);
+    }
+}
+
+// Process-wide tallies. Plain atomics (not obs counters) because the exit
+// code must be right even when tracing is off.
+static DONE: AtomicU64 = AtomicU64::new(0);
+static SKIPPED: AtomicU64 = AtomicU64::new(0);
+static DNF: AtomicU64 = AtomicU64::new(0);
+static RETRIES: AtomicU64 = AtomicU64::new(0);
+
+static OBS_DONE: obs::Counter = obs::Counter::new("cell.done");
+static OBS_SKIPPED: obs::Counter = obs::Counter::new("cell.skipped");
+static OBS_DNF: obs::Counter = obs::Counter::new("cell.dnf");
+static OBS_RETRY: obs::Counter = obs::Counter::new("cell.retry");
+
+/// Point-in-time copy of the process-wide cell tallies.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunCounts {
+    pub done: u64,
+    pub skipped: u64,
+    pub dnf: u64,
+    pub retries: u64,
+}
+
+/// Reads the process-wide tallies.
+pub fn counts() -> RunCounts {
+    RunCounts {
+        done: DONE.load(Ordering::Relaxed),
+        skipped: SKIPPED.load(Ordering::Relaxed),
+        dnf: DNF.load(Ordering::Relaxed),
+        retries: RETRIES.load(Ordering::Relaxed),
+    }
+}
+
+/// Zeroes the tallies (test support).
+pub fn reset_counts() {
+    DONE.store(0, Ordering::Relaxed);
+    SKIPPED.store(0, Ordering::Relaxed);
+    DNF.store(0, Ordering::Relaxed);
+    RETRIES.store(0, Ordering::Relaxed);
+}
+
+/// One-line failure summary when any cell did not finish, else `None`.
+pub fn failure_summary() -> Option<String> {
+    let c = counts();
+    if c.dnf == 0 {
+        return None;
+    }
+    Some(format!(
+        "{} cell(s) DNF ({} done, {} resumed from store, {} retries)",
+        c.dnf, c.done, c.skipped, c.retries
+    ))
+}
+
+/// Runs grid cells with resume, retry, timeout, and panic capture.
+pub struct CellRunner {
+    store: Option<RunStore>,
+    policy: CellPolicy,
+}
+
+impl CellRunner {
+    /// A runner configured from the shared experiment options: opens the
+    /// resume store when `--resume <dir>` was given.
+    ///
+    /// # Panics
+    /// Panics if the store directory cannot be opened — silently running
+    /// without durability would defeat the point of `--resume`.
+    pub fn for_opts(opts: &Opts) -> Self {
+        let store = opts.resume.as_ref().map(|dir| {
+            let store = RunStore::open(std::path::Path::new(dir), &opts.fingerprint())
+                .unwrap_or_else(|e| panic!("cannot open run store {dir}: {e}"));
+            let stats = store.load_stats();
+            if stats.loaded + stats.stale + stats.dropped > 0 {
+                progress(&format!(
+                    "[store] {}: {} usable cell(s), {} stale, {} torn",
+                    store.path().display(),
+                    stats.loaded,
+                    stats.stale,
+                    stats.dropped
+                ));
+            }
+            store
+        });
+        Self {
+            store,
+            policy: opts.policy(),
+        }
+    }
+
+    /// A store-less runner with an explicit policy (tests, nested sweeps).
+    pub fn with_policy(policy: CellPolicy) -> Self {
+        Self {
+            store: None,
+            policy,
+        }
+    }
+
+    /// Runs one report-producing cell through the full stack. Returns the
+    /// stored outcome unexecuted on a resume hit.
+    pub fn run_report<F>(&mut self, key: CellKey, base_seed: u64, f: F) -> CellOutcome
+    where
+        F: FnMut(&CellCtx) -> Result<TrainReport, TrainError>,
+    {
+        if let Some(outcome) = self.store.as_ref().and_then(|s| s.get(&key)) {
+            let outcome = outcome.clone();
+            SKIPPED.fetch_add(1, Ordering::Relaxed);
+            OBS_SKIPPED.incr();
+            if let CellOutcome::Dnf { .. } = outcome {
+                // A stored DNF still counts as a failure of this run's grid.
+                DNF.fetch_add(1, Ordering::Relaxed);
+            }
+            return outcome;
+        }
+        let outcome = match self.attempts(&key.label(), base_seed, f) {
+            Ok(report) => CellOutcome::Done(report),
+            Err(reason) => CellOutcome::Dnf { reason },
+        };
+        if let Some(store) = self.store.as_mut() {
+            if let Err(e) = store.put(key, outcome.clone()) {
+                progress(&format!("warning: cannot persist cell: {e}"));
+            }
+        }
+        outcome
+    }
+
+    /// Runs one cell producing an arbitrary value `T` (logit matrices,
+    /// baseline rows). Same fault/retry/panic handling, but the result is
+    /// not persisted — only report-shaped cells resume. `Err` is the DNF
+    /// reason.
+    pub fn run_value<T, F>(&mut self, label: &str, base_seed: u64, f: F) -> Result<T, String>
+    where
+        F: FnMut(&CellCtx) -> Result<T, TrainError>,
+    {
+        self.attempts(label, base_seed, f)
+    }
+
+    /// The attempt loop shared by both entry points.
+    fn attempts<T, F>(&mut self, label: &str, base_seed: u64, mut f: F) -> Result<T, String>
+    where
+        F: FnMut(&CellCtx) -> Result<T, TrainError>,
+    {
+        let cell_index = faults::next_cell_index();
+        let _sp = obs::span!("cell.attempts", cell = cell_index, label = label);
+        let started = std::time::Instant::now();
+        let mut attempt: u64 = 0;
+        loop {
+            let ctx = CellCtx {
+                // Retries decorrelate via a large odd stride; attempt 0 keeps
+                // the grid's own seed so resumed tables match clean runs.
+                seed: base_seed.wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                attempt,
+                time_budget_s: self.policy.time_budget_s,
+                cell_index,
+            };
+            // The fault hook runs inside the catch so an injected `panic`
+            // is captured like any real cell panic; only `fail` (the
+            // FatalFault payload) is re-raised below.
+            let budget = self.policy.time_budget_s;
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                match faults::on_cell_start(cell_index, attempt) {
+                    Some(Injection::Diverge) => Err(TrainError::Diverged { epoch: 0 }),
+                    None if budget > 0.0 && started.elapsed().as_secs_f64() > budget => {
+                        // The budget expired before training could start
+                        // (e.g. an injected or real stall in setup).
+                        Err(TrainError::Timeout {
+                            epoch: 0,
+                            budget_s: budget,
+                        })
+                    }
+                    None => f(&ctx),
+                }
+            }));
+            match result {
+                Ok(Ok(value)) => {
+                    DONE.fetch_add(1, Ordering::Relaxed);
+                    OBS_DONE.incr();
+                    return Ok(value);
+                }
+                Ok(Err(err @ TrainError::Diverged { .. })) => {
+                    if attempt < self.policy.retries as u64 {
+                        RETRIES.fetch_add(1, Ordering::Relaxed);
+                        OBS_RETRY.incr();
+                        progress(&format!(
+                            "[retry] {label}: {err}; attempt {} with fresh seed",
+                            attempt + 1
+                        ));
+                        attempt += 1;
+                        continue;
+                    }
+                    return Err(self.dnf(label, format!("{err} (after {} attempts)", attempt + 1)));
+                }
+                Ok(Err(err @ TrainError::Timeout { .. })) => {
+                    return Err(self.dnf(label, err.to_string()));
+                }
+                Err(payload) => {
+                    if payload.is::<FatalFault>() {
+                        std::panic::resume_unwind(payload);
+                    }
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".into());
+                    return Err(self.dnf(label, format!("panic: {msg}")));
+                }
+            }
+        }
+    }
+
+    fn dnf(&self, label: &str, reason: String) -> String {
+        DNF.fetch_add(1, Ordering::Relaxed);
+        OBS_DNF.incr();
+        progress(&format!("[dnf] {label}: {reason}"));
+        reason
+    }
+}

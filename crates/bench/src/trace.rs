@@ -3,8 +3,9 @@
 //! Reads a trace produced with `--trace`/`SGNN_TRACE`, re-aggregates the
 //! span events, and renders the top spans by total time, the counters and
 //! gauges from the final flush, pool utilization, and peak RAM per stage.
-//! Every line must parse; a malformed line or a missing required span name
-//! is an error (the CI smoke step relies on both).
+//! Every line must parse; a malformed line, a missing required span name, or
+//! a missing/zero required counter is an error (the CI smoke steps rely on
+//! all three).
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -22,9 +23,14 @@ struct SpanAgg {
     ram_peak: u64,
 }
 
-/// Summarizes `path`, failing if any line is malformed or any name in
-/// `require` never closed as a span.
-pub fn summarize_file(path: &Path, require: &[String]) -> Result<String, String> {
+/// Summarizes `path`, failing if any line is malformed, any name in
+/// `require` never closed as a span, or any name in `require_counters` was
+/// never flushed with a nonzero value.
+pub fn summarize_file(
+    path: &Path,
+    require: &[String],
+    require_counters: &[String],
+) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read trace: {e}"))?;
 
     let mut spans: BTreeMap<String, SpanAgg> = BTreeMap::new();
@@ -80,6 +86,14 @@ pub fn summarize_file(path: &Path, require: &[String]) -> Result<String, String>
             return Err(format!(
                 "required span `{want}` absent from trace (have: {})",
                 spans.keys().cloned().collect::<Vec<_>>().join(", ")
+            ));
+        }
+    }
+    for want in require_counters {
+        if counters.get(want).copied().unwrap_or(0) == 0 {
+            return Err(format!(
+                "required counter `{want}` absent or zero in trace (have: {})",
+                counters.keys().cloned().collect::<Vec<_>>().join(", ")
             ));
         }
     }
@@ -161,7 +175,12 @@ mod tests {
                 "{\"ts_rel\":0.4,\"kind\":\"gauge\",\"name\":\"device.peak_bytes\",\"value\":42}\n",
             ),
         );
-        let out = summarize_file(&path, &["spmm.csr".to_string()]).unwrap();
+        let out = summarize_file(
+            &path,
+            &["spmm.csr".to_string()],
+            &["pool.busy_ns".to_string()],
+        )
+        .unwrap();
         assert!(out.contains("spmm.csr"));
         assert!(out.contains("pool utilization: 75.0%"));
         assert!(out.contains("device.peak_bytes"));
@@ -170,12 +189,28 @@ mod tests {
     }
 
     #[test]
+    fn missing_or_zero_required_counter_is_an_error() {
+        let path = write_temp(
+            "sgnn_trace_summary_counter.jsonl",
+            concat!(
+                "{\"ts_rel\":0.1,\"kind\":\"counter\",\"name\":\"cell.done\",\"value\":3}\n",
+                "{\"ts_rel\":0.2,\"kind\":\"counter\",\"name\":\"cell.retry\",\"value\":0}\n",
+            ),
+        );
+        assert!(summarize_file(&path, &[], &["cell.done".to_string()]).is_ok());
+        let absent = summarize_file(&path, &[], &["cell.dnf".to_string()]).unwrap_err();
+        assert!(absent.contains("required counter `cell.dnf`"), "{absent}");
+        let zero = summarize_file(&path, &[], &["cell.retry".to_string()]).unwrap_err();
+        assert!(zero.contains("required counter `cell.retry`"), "{zero}");
+    }
+
+    #[test]
     fn missing_required_span_is_an_error() {
         let path = write_temp(
             "sgnn_trace_summary_missing.jsonl",
             "{\"ts_rel\":0.1,\"kind\":\"span\",\"name\":\"a\",\"dur_s\":0.5}\n",
         );
-        let err = summarize_file(&path, &["train".to_string()]).unwrap_err();
+        let err = summarize_file(&path, &["train".to_string()], &[]).unwrap_err();
         assert!(err.contains("required span `train`"), "{err}");
     }
 
@@ -185,7 +220,7 @@ mod tests {
             "sgnn_trace_summary_bad.jsonl",
             "{\"ts_rel\":0.1,\"kind\":\"span\",\"name\":\"a\",\"dur_s\":0.5}\nnot json\n",
         );
-        let err = summarize_file(&path, &[]).unwrap_err();
+        let err = summarize_file(&path, &[], &[]).unwrap_err();
         assert!(err.starts_with("line 2:"), "{err}");
     }
 }

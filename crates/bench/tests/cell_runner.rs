@@ -1,0 +1,187 @@
+//! Unit tests of the fault-tolerant cell runner: panic capture, bounded
+//! retry with a fresh seed, wall-clock timeout, store-backed resume, and the
+//! process-wide tallies that drive the `experiments` exit code.
+//!
+//! The fault plan and tallies are process globals, so every test serializes
+//! on one lock and resets both on entry and (via the guard's `Drop`) on
+//! exit, even when an assertion panics mid-test.
+
+use std::sync::{Mutex, MutexGuard};
+
+use sgnn_bench::faults;
+use sgnn_bench::runner::{counts, reset_counts, CellPolicy, CellRunner};
+use sgnn_bench::store::{CellKey, CellOutcome};
+use sgnn_train::{TrainError, TrainReport};
+
+static GLOBALS: Mutex<()> = Mutex::new(());
+
+struct Isolated(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl Drop for Isolated {
+    fn drop(&mut self) {
+        faults::clear();
+        reset_counts();
+    }
+}
+
+fn isolate() -> Isolated {
+    let guard = GLOBALS.lock().unwrap_or_else(|e| e.into_inner());
+    faults::clear();
+    reset_counts();
+    Isolated(guard)
+}
+
+fn report(seed: u64) -> TrainReport {
+    TrainReport {
+        filter: "PPR".into(),
+        dataset: "cora".into(),
+        scheme: "FB".into(),
+        test_metric: 0.5 + seed as f64 * 1e-6,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn panicking_cell_becomes_dnf_not_a_crash() {
+    let _iso = isolate();
+    let mut runner = CellRunner::with_policy(CellPolicy::default());
+    let err = runner
+        .run_value::<TrainReport, _>("t/panic", 0, |_ctx| panic!("boom at cell"))
+        .unwrap_err();
+    assert!(err.contains("panic: boom at cell"), "{err}");
+    let c = counts();
+    assert_eq!((c.done, c.dnf, c.retries), (0, 1, 0));
+}
+
+#[test]
+fn diverged_cell_retries_with_a_fresh_seed_and_succeeds() {
+    let _iso = isolate();
+    let mut runner = CellRunner::with_policy(CellPolicy {
+        retries: 2,
+        time_budget_s: 0.0,
+    });
+    let mut seeds_seen = Vec::new();
+    let base = 7u64;
+    let got = runner
+        .run_value("t/flaky", base, |ctx| {
+            seeds_seen.push(ctx.seed);
+            if ctx.attempt == 0 {
+                Err(TrainError::Diverged { epoch: 3 })
+            } else {
+                Ok(report(ctx.seed))
+            }
+        })
+        .unwrap();
+    assert_eq!(seeds_seen.len(), 2, "one retry after the diverged attempt");
+    assert_eq!(seeds_seen[0], base, "attempt 0 keeps the grid's seed");
+    assert_ne!(seeds_seen[1], base, "the retry must decorrelate");
+    assert_eq!(got.test_metric, report(seeds_seen[1]).test_metric);
+    let c = counts();
+    assert_eq!((c.done, c.dnf, c.retries), (1, 0, 1));
+}
+
+#[test]
+fn diverged_cell_exhausts_retries_into_dnf_with_epoch() {
+    let _iso = isolate();
+    let mut runner = CellRunner::with_policy(CellPolicy {
+        retries: 1,
+        time_budget_s: 0.0,
+    });
+    let err = runner
+        .run_value::<TrainReport, _>("t/dnf", 0, |_ctx| Err(TrainError::Diverged { epoch: 5 }))
+        .unwrap_err();
+    assert!(
+        err.contains("diverged at epoch 5") && err.contains("after 2 attempts"),
+        "{err}"
+    );
+    let c = counts();
+    assert_eq!((c.done, c.dnf, c.retries), (0, 1, 1));
+}
+
+#[test]
+fn injected_slow_cell_trips_the_wall_clock_budget() {
+    let _iso = isolate();
+    faults::install(faults::parse("slow cell=0 dur=0.15").unwrap());
+    let mut runner = CellRunner::with_policy(CellPolicy {
+        retries: 3,
+        time_budget_s: 0.05,
+    });
+    let err = runner
+        .run_value("t/slow", 0, |ctx| Ok(report(ctx.seed)))
+        .unwrap_err();
+    assert!(err.contains("timeout"), "{err}");
+    let c = counts();
+    assert_eq!(
+        (c.done, c.dnf, c.retries),
+        (0, 1, 0),
+        "timeouts never retry"
+    );
+}
+
+#[test]
+fn flaky_fault_injection_drives_the_retry_path() {
+    let _iso = isolate();
+    faults::install(faults::parse("flaky cell=0 fails=1").unwrap());
+    let mut runner = CellRunner::with_policy(CellPolicy::default());
+    let got = runner
+        .run_value("t/inj", 3, |ctx| Ok(report(ctx.seed)))
+        .unwrap();
+    assert_ne!(
+        got.test_metric,
+        report(3).test_metric,
+        "succeeded on retry seed"
+    );
+    let c = counts();
+    assert_eq!((c.done, c.retries, c.dnf), (1, 1, 0));
+}
+
+#[test]
+fn store_hit_skips_execution_and_counts_resume() {
+    let _iso = isolate();
+    let dir = std::env::temp_dir().join(format!("sgnn_runner_resume_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut opts = sgnn_bench::Opts::tiny();
+    opts.resume = Some(dir.to_string_lossy().into_owned());
+    let key = CellKey::new("t", "PPR", "cora", "FB", "", 0);
+
+    let mut first = CellRunner::for_opts(&opts);
+    let out = first.run_report(key.clone(), 0, |ctx| Ok(report(ctx.seed)));
+    assert!(matches!(out, CellOutcome::Done(_)));
+    assert_eq!(counts().done, 1);
+
+    // A second runner over the same directory must serve the stored outcome
+    // without running the closure at all.
+    let mut second = CellRunner::for_opts(&opts);
+    let resumed = second.run_report(key, 0, |_ctx| {
+        panic!("must not execute: the store already holds this cell")
+    });
+    assert_eq!(resumed.report().unwrap().test_metric, report(0).test_metric);
+    let c = counts();
+    assert_eq!((c.done, c.skipped, c.dnf), (1, 1, 0));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stored_dnf_is_skipped_but_still_fails_the_run() {
+    let _iso = isolate();
+    let dir = std::env::temp_dir().join(format!("sgnn_runner_dnf_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut opts = sgnn_bench::Opts::tiny();
+    opts.resume = Some(dir.to_string_lossy().into_owned());
+    opts.retries = 0;
+    let key = CellKey::new("t", "PPR", "cora", "FB", "", 1);
+
+    let mut first = CellRunner::for_opts(&opts);
+    let out = first.run_report(key.clone(), 1, |_ctx| {
+        Err::<TrainReport, _>(TrainError::Diverged { epoch: 0 })
+    });
+    assert!(out.dnf_reason().is_some());
+    reset_counts();
+
+    let mut second = CellRunner::for_opts(&opts);
+    let resumed = second.run_report(key, 1, |ctx| Ok(report(ctx.seed)));
+    assert!(resumed.dnf_reason().is_some(), "stored DNF is not re-run");
+    let c = counts();
+    assert_eq!((c.skipped, c.dnf, c.done), (1, 1, 0));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,145 @@
+//! Property tests for the run store's JSONL encoding: every record —
+//! arbitrary strings (including quotes/backslashes needing escapes) and
+//! arbitrary finite metrics — must round-trip bit-exactly through
+//! `encode_record`/`parse_record`, and a file torn at any byte boundary must
+//! drop exactly the torn record and keep every complete one.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::prelude::*;
+use sgnn_bench::store::{encode_record, parse_record, CellKey, CellOutcome, CellRecord, RunStore};
+use sgnn_train::TrainReport;
+
+/// Random string from printable ASCII — includes `"` and `\`, the two
+/// characters the JSON escaper must handle.
+fn ascii_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(32u8..127, 0..16)
+        .prop_map(|bytes| bytes.into_iter().map(char::from).collect())
+}
+
+fn arb_key() -> impl Strategy<Value = CellKey> {
+    (
+        ascii_string(),
+        ascii_string(),
+        ascii_string(),
+        0u64..1_000_000,
+    )
+        .prop_map(|(filter, dataset, variant, seed)| CellKey {
+            exp: "prop".into(),
+            filter,
+            dataset,
+            scheme: "FB".into(),
+            variant,
+            seed,
+        })
+}
+
+fn arb_report() -> impl Strategy<Value = TrainReport> {
+    (
+        (-1.0f64..1.0, -1.0f64..1.0, 0usize..10_000),
+        (0.0f64..1e4, 1e-9f64..1e3, 0.0f64..1e6, 0.0f64..10.0),
+        (0usize..usize::MAX / 2, 0usize..usize::MAX / 2, 0usize..500),
+    )
+        .prop_map(
+            |(
+                (test_metric, valid_metric, epochs_run),
+                (precompute_s, train_epoch_s, train_total_s, infer_s),
+                (device_bytes, ram_bytes, prop_hops),
+            )| TrainReport {
+                filter: "PPR".into(),
+                dataset: "cora".into(),
+                scheme: "FB".into(),
+                test_metric,
+                valid_metric,
+                epochs_run,
+                precompute_s,
+                train_epoch_s,
+                train_total_s,
+                infer_s,
+                device_bytes,
+                ram_bytes,
+                prop_hops,
+            },
+        )
+}
+
+/// Unique temp dir per invocation (tests may run concurrently).
+fn fresh_dir(tag: &str) -> std::path::PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "sgnn_store_props_{tag}_{}_{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `parse(encode(rec)) == rec` for arbitrary keys and finite metrics:
+    /// the f64 fields must come back bit-for-bit (shortest-repr `Display`
+    /// round-trip), which is what makes resumed tables byte-identical.
+    #[test]
+    fn done_record_round_trips_exactly(key in arb_key(), report in arb_report()) {
+        let rec = CellRecord {
+            key,
+            fingerprint: "fp-prop".into(),
+            outcome: CellOutcome::Done(report),
+        };
+        let line = encode_record(&rec);
+        let parsed = parse_record(&line).expect(&line);
+        prop_assert_eq!(parsed, rec);
+    }
+
+    /// DNF reasons with arbitrary printable content (panics quote user
+    /// messages) survive the same round trip.
+    #[test]
+    fn dnf_record_round_trips_exactly(key in arb_key(), reason in ascii_string()) {
+        let rec = CellRecord {
+            key,
+            fingerprint: "fp-prop".into(),
+            outcome: CellOutcome::Dnf { reason },
+        };
+        let parsed = parse_record(&encode_record(&rec)).unwrap();
+        prop_assert_eq!(parsed, rec);
+    }
+
+    /// Chopping the file anywhere inside the final record (the crash
+    /// signature `put` can leave behind) loses exactly that record: every
+    /// earlier cell is still served, and the torn line is counted.
+    #[test]
+    fn truncated_final_line_drops_only_the_torn_record(
+        reports in proptest::collection::vec(arb_report(), 2..6),
+        cut in 1usize..10_000,
+    ) {
+        let dir = fresh_dir("torn");
+        {
+            let mut store = RunStore::open(&dir, "fp").unwrap();
+            for (i, r) in reports.iter().enumerate() {
+                let key = CellKey::new("prop", "PPR", "cora", "FB", "", i as u64);
+                store.put(key, CellOutcome::Done(r.clone())).unwrap();
+            }
+        }
+        let path = dir.join("cells.jsonl");
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Cut strictly inside the last record's JSON (leaving at least the
+        // opening `{`, and never the full record or its newline — those
+        // would still parse).
+        let last_start = text[..text.len() - 1].rfind('\n').map_or(0, |p| p + 1);
+        let last_len = text.len() - last_start;
+        let cut = last_start + 1 + cut % (last_len - 2);
+        std::fs::write(&path, &text[..cut]).unwrap();
+
+        let store = RunStore::open(&dir, "fp").unwrap();
+        prop_assert_eq!(store.len(), reports.len() - 1);
+        prop_assert_eq!(store.load_stats().dropped, 1);
+        for (i, r) in reports.iter().take(reports.len() - 1).enumerate() {
+            let key = CellKey::new("prop", "PPR", "cora", "FB", "", i as u64);
+            let got = store.get(&key).expect("intact record");
+            prop_assert_eq!(got.report().unwrap(), r);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

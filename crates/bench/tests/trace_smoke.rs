@@ -97,7 +97,8 @@ fn traced_run_streams_parseable_events_matching_the_report() {
         .iter()
         .map(|s| s.to_string())
         .collect();
-    let summary = trace::summarize_file(&path, &require).expect("summary");
+    let summary =
+        trace::summarize_file(&path, &require, &["train.epochs".to_string()]).expect("summary");
     assert!(summary.contains("train"));
     assert!(summary.contains("counter train.epochs"));
 }

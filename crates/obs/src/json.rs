@@ -3,11 +3,16 @@
 //! smoke test parse every JSONL line through [`parse`].
 
 /// A parsed JSON value. Object keys keep insertion order.
+///
+/// Non-negative integers without a fraction or exponent parse as [`Value::Int`]
+/// so `u64` payloads (byte counts, counters) round-trip exactly — `f64` only
+/// holds integers up to 2^53. Everything else numeric is [`Value::Num`].
 #[derive(Clone, Debug, PartialEq)]
 pub enum Value {
     Null,
     Bool(bool),
     Num(f64),
+    Int(u64),
     Str(String),
     Arr(Vec<Value>),
     Obj(Vec<(String, Value)>),
@@ -32,12 +37,14 @@ impl Value {
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Value::Num(n) => Some(*n),
+            Value::Int(n) => Some(*n as f64),
             _ => None,
         }
     }
 
     pub fn as_u64(&self) -> Option<u64> {
         match self {
+            Value::Int(n) => Some(*n),
             Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
             _ => None,
         }
@@ -225,19 +232,23 @@ impl Parser<'_> {
 
     fn number(&mut self) -> Result<Value, String> {
         let start = self.pos;
+        let mut integral = true;
         if self.peek() == Some(b'-') {
+            integral = false;
             self.pos += 1;
         }
         while matches!(self.peek(), Some(b'0'..=b'9')) {
             self.pos += 1;
         }
         if self.peek() == Some(b'.') {
+            integral = false;
             self.pos += 1;
             while matches!(self.peek(), Some(b'0'..=b'9')) {
                 self.pos += 1;
             }
         }
         if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
             self.pos += 1;
             if matches!(self.peek(), Some(b'+' | b'-')) {
                 self.pos += 1;
@@ -247,6 +258,12 @@ impl Parser<'_> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if integral {
+            // Keep exact u64 payloads (byte counts overflow f64's 2^53).
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::Int(n));
+            }
+        }
         text.parse::<f64>()
             .map(Value::Num)
             .map_err(|_| format!("invalid number `{text}` at byte {start}"))
@@ -301,5 +318,19 @@ mod tests {
         for s in ["0", "-0.5", "1e-7", "123456789", "0.000001"] {
             assert!(parse(s).is_ok(), "{s}");
         }
+    }
+
+    #[test]
+    fn large_integers_keep_exact_precision() {
+        // Above 2^53, f64 can no longer represent every integer.
+        let v = parse("9007199254740993").unwrap();
+        assert_eq!(v.as_u64(), Some(9_007_199_254_740_993));
+        assert_eq!(
+            parse(&u64::MAX.to_string()).unwrap().as_u64(),
+            Some(u64::MAX)
+        );
+        // Fractions and negatives still go through f64.
+        assert_eq!(parse("-3").unwrap().as_f64(), Some(-3.0));
+        assert_eq!(parse("2.5").unwrap().as_u64(), None);
     }
 }

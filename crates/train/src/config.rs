@@ -26,6 +26,13 @@ pub struct TrainConfig {
     /// Mini-batch size (`4096` small/medium, `200k` large in the paper).
     pub batch_size: usize,
     pub seed: u64,
+    /// Cooperative wall-clock budget in seconds (0 = unlimited). Checked
+    /// between epochs; exceeding it returns [`crate::TrainError::Timeout`].
+    pub time_budget_s: f64,
+    /// Deterministic fault injection: treat the loss as NaN once this
+    /// (0-based) epoch completes, so the divergence guard is testable
+    /// end-to-end. `None` in every real run.
+    pub inject_nan_after_epoch: Option<usize>,
 }
 
 impl Default for TrainConfig {
@@ -43,6 +50,8 @@ impl Default for TrainConfig {
             rho: 0.5,
             batch_size: 4096,
             seed: 0,
+            time_budget_s: 0.0,
+            inject_nan_after_epoch: None,
         }
     }
 }
@@ -63,7 +72,7 @@ impl TrainConfig {
 
 /// Everything measured during one run: efficacy plus the stage-level
 /// efficiency breakdown that Tables 9/11 and Figure 2 report.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct TrainReport {
     pub filter: String,
     pub dataset: String,

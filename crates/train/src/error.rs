@@ -1,0 +1,59 @@
+//! Typed training failures.
+//!
+//! The benchmark grid treats a failed cell as *data* — a `DNF(reason)` entry
+//! in the rendered table — rather than a reason to abort the whole run. The
+//! trainers therefore surface the two recoverable failure modes they can
+//! detect as values of [`TrainError`] instead of poisoning the process:
+//!
+//! * **Divergence** — a non-finite training loss. Spectral filters with
+//!   learnable coefficients can blow up under aggressive learning rates; the
+//!   paper's grid simply reruns such cells with a fresh seed.
+//! * **Timeout** — the cooperative wall-clock budget
+//!   ([`crate::TrainConfig::time_budget_s`]) was exceeded. Checked between
+//!   epochs, so an in-flight epoch always completes.
+//!
+//! Panics (index bugs, allocation failures) are *not* converted here; the
+//! harness's cell runner catches those with `catch_unwind` one level up.
+
+/// Why a training run did not finish.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TrainError {
+    /// The training loss became non-finite at the given (0-based) epoch.
+    Diverged { epoch: usize },
+    /// The wall-clock budget expired after the given epoch completed.
+    Timeout { epoch: usize, budget_s: f64 },
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::Diverged { epoch } => write!(f, "diverged at epoch {epoch}"),
+            TrainError::Timeout { epoch, budget_s } => {
+                write!(f, "timeout after epoch {epoch} (budget {budget_s:.3}s)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// Non-finite training losses observed (one per diverged run).
+pub(crate) static DIVERGED: sgnn_obs::Counter = sgnn_obs::Counter::new("train.diverged");
+/// Training runs cut short by the cooperative wall-clock budget.
+pub(crate) static TIMEOUTS: sgnn_obs::Counter = sgnn_obs::Counter::new("train.timeouts");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        let d = TrainError::Diverged { epoch: 7 };
+        assert_eq!(d.to_string(), "diverged at epoch 7");
+        let t = TrainError::Timeout {
+            epoch: 3,
+            budget_s: 0.5,
+        };
+        assert!(t.to_string().contains("timeout after epoch 3"));
+    }
+}

@@ -19,9 +19,36 @@ use sgnn_obs as obs;
 use sgnn_sparse::PropMatrix;
 
 use crate::config::{TrainConfig, TrainReport};
+use crate::error::TrainError;
 use crate::memory::DeviceMeter;
 use crate::metrics::{accuracy, binary_scores, roc_auc};
 use crate::timer::StageTimer;
+
+/// The per-epoch failure checks both schemes share: fault-injected NaN,
+/// a non-finite loss (divergence), and the cooperative wall-clock budget.
+/// Called after epoch `epoch` (0-based) completed with training loss `loss`.
+pub(crate) fn epoch_guard(
+    cfg: &TrainConfig,
+    epoch: usize,
+    mut loss: f64,
+    started: std::time::Instant,
+) -> Result<(), TrainError> {
+    if cfg.inject_nan_after_epoch.is_some_and(|e| epoch >= e) {
+        loss = f64::NAN;
+    }
+    if !loss.is_finite() {
+        crate::error::DIVERGED.incr();
+        return Err(TrainError::Diverged { epoch });
+    }
+    if cfg.time_budget_s > 0.0 && started.elapsed().as_secs_f64() > cfg.time_budget_s {
+        crate::error::TIMEOUTS.incr();
+        return Err(TrainError::Timeout {
+            epoch,
+            budget_s: cfg.time_budget_s,
+        });
+    }
+    Ok(())
+}
 
 /// Evaluates a logits matrix under the dataset's metric.
 pub fn evaluate(logits: &DMat, data: &Dataset, idx: &[u32]) -> f64 {
@@ -32,12 +59,27 @@ pub fn evaluate(logits: &DMat, data: &Dataset, idx: &[u32]) -> f64 {
 }
 
 /// Trains one filter on one dataset with the full-batch scheme.
+///
+/// Infallible wrapper over [`try_train_full_batch`] for call sites that run
+/// outside the cell runner (unit tests, analyses); panics on
+/// divergence/timeout.
 pub fn train_full_batch(
     filter: Arc<dyn SpectralFilter>,
     data: &Dataset,
     cfg: &TrainConfig,
 ) -> TrainReport {
-    train_full_batch_model(filter, data, cfg).0
+    try_train_full_batch(filter, data, cfg).unwrap_or_else(|e| panic!("full-batch training: {e}"))
+}
+
+/// Fallible full-batch training: a non-finite loss or an expired
+/// [`TrainConfig::time_budget_s`] returns a typed [`TrainError`] instead of
+/// poisoning the run.
+pub fn try_train_full_batch(
+    filter: Arc<dyn SpectralFilter>,
+    data: &Dataset,
+    cfg: &TrainConfig,
+) -> Result<TrainReport, TrainError> {
+    try_train_full_batch_model(filter, data, cfg).map(|(r, _, _)| r)
 }
 
 /// Like [`train_full_batch`] but also returns the trained model and its
@@ -47,6 +89,16 @@ pub fn train_full_batch_model(
     data: &Dataset,
     cfg: &TrainConfig,
 ) -> (TrainReport, DecoupledModel, ParamStore) {
+    try_train_full_batch_model(filter, data, cfg)
+        .unwrap_or_else(|e| panic!("full-batch training: {e}"))
+}
+
+/// Fallible variant of [`train_full_batch_model`].
+pub fn try_train_full_batch_model(
+    filter: Arc<dyn SpectralFilter>,
+    data: &Dataset,
+    cfg: &TrainConfig,
+) -> Result<(TrainReport, DecoupledModel, ParamStore), TrainError> {
     let filter_name = filter.name().to_string();
     let pm = Arc::new(PropMatrix::new(&data.graph, cfg.rho));
     let mut rng = drng::seeded(cfg.seed);
@@ -81,6 +133,7 @@ pub fn train_full_batch_model(
 
     let mut device = DeviceMeter::new();
     let mut train_timer = StageTimer::named("train");
+    let started = std::time::Instant::now();
     let mut best_valid = f64::NEG_INFINITY;
     let mut best_test = 0.0f64;
     let mut bad_epochs = 0usize;
@@ -90,12 +143,13 @@ pub fn train_full_batch_model(
     for epoch in 0..cfg.epochs {
         epochs_run = epoch + 1;
         store.zero_grads();
-        let tape = train_timer.time(|| {
+        let (tape, loss_val) = train_timer.time(|| {
             let mut tape = Tape::new(true, cfg.seed.wrapping_mul(7919).wrapping_add(epoch as u64));
             let x = tape.constant(data.features.clone());
             let logits = model.forward_fb(&mut tape, &pm, x, &store);
             let tl = tape.gather_rows(logits, Arc::clone(&train_idx));
             let loss = tape.softmax_cross_entropy(tl, Arc::clone(&targets));
+            let loss_val = tape.value(loss).get(0, 0) as f64;
             {
                 let _sp = obs::span!("epoch.backward");
                 tape.backward(loss, &mut store);
@@ -104,11 +158,12 @@ pub fn train_full_batch_model(
                 let _sp = obs::span!("epoch.step");
                 opt.step(&mut store);
             }
-            tape
+            (tape, loss_val)
         });
         crate::EPOCHS.incr();
         device.record_step(&tape, &store, Some(&opt), fixed_bytes);
         prop_hops += 2 * model.filter.filter().hops(); // forward + adjoint
+        epoch_guard(cfg, epoch, loss_val, started)?;
 
         // Periodic validation for early stopping.
         if cfg.patience > 0 && (epoch % 5 == 4 || epoch + 1 == cfg.epochs) {
@@ -154,7 +209,7 @@ pub fn train_full_batch_model(
         ram_bytes: fixed_bytes,
         prop_hops,
     };
-    (report, model, store)
+    Ok((report, model, store))
 }
 
 /// Evaluation-mode forward over all nodes.
@@ -203,6 +258,30 @@ mod tests {
             var.test_metric,
             lp.test_metric
         );
+    }
+
+    #[test]
+    fn injected_nan_surfaces_as_diverged_with_epoch() {
+        let data = dataset_spec("cora").unwrap().generate(GenScale::Tiny, 3);
+        let mut cfg = TrainConfig::fast_test(3);
+        cfg.inject_nan_after_epoch = Some(2);
+        let err = try_train_full_batch(make_filter("PPR", cfg.hops).unwrap(), &data, &cfg)
+            .expect_err("injected NaN must abort training");
+        assert_eq!(err, TrainError::Diverged { epoch: 2 });
+    }
+
+    #[test]
+    fn tiny_time_budget_times_out_between_epochs() {
+        let data = dataset_spec("cora").unwrap().generate(GenScale::Tiny, 3);
+        let mut cfg = TrainConfig::fast_test(3);
+        cfg.time_budget_s = 1e-9;
+        match try_train_full_batch(make_filter("PPR", cfg.hops).unwrap(), &data, &cfg) {
+            Err(TrainError::Timeout { epoch, budget_s }) => {
+                assert_eq!(epoch, 0, "first deadline check fires after epoch 0");
+                assert!(budget_s > 0.0);
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
     }
 
     #[test]

@@ -21,6 +21,7 @@
 pub(crate) static EPOCHS: sgnn_obs::Counter = sgnn_obs::Counter::new("train.epochs");
 
 pub mod config;
+pub mod error;
 pub mod full_batch;
 pub mod hardware;
 pub mod memory;
@@ -30,5 +31,6 @@ pub mod regression;
 pub mod timer;
 
 pub use config::{TrainConfig, TrainReport};
-pub use full_batch::train_full_batch;
-pub use mini_batch::train_mini_batch;
+pub use error::TrainError;
+pub use full_batch::{train_full_batch, try_train_full_batch};
+pub use mini_batch::{train_mini_batch, try_train_mini_batch};

@@ -20,11 +20,15 @@ use sgnn_obs as obs;
 use sgnn_sparse::PropMatrix;
 
 use crate::config::{TrainConfig, TrainReport};
-use crate::full_batch::evaluate;
+use crate::error::TrainError;
+use crate::full_batch::{epoch_guard, evaluate};
 use crate::memory::DeviceMeter;
 use crate::timer::StageTimer;
 
 /// Trains one filter on one dataset with the decoupled mini-batch scheme.
+///
+/// Infallible wrapper over [`try_train_mini_batch`]; panics on
+/// divergence/timeout.
 ///
 /// # Panics
 /// Panics if the filter is not mini-batch compatible (see
@@ -34,6 +38,16 @@ pub fn train_mini_batch(
     data: &Dataset,
     cfg: &TrainConfig,
 ) -> TrainReport {
+    try_train_mini_batch(filter, data, cfg).unwrap_or_else(|e| panic!("mini-batch training: {e}"))
+}
+
+/// Fallible mini-batch training: a non-finite batch loss or an expired
+/// [`TrainConfig::time_budget_s`] returns a typed [`TrainError`].
+pub fn try_train_mini_batch(
+    filter: Arc<dyn SpectralFilter>,
+    data: &Dataset,
+    cfg: &TrainConfig,
+) -> Result<TrainReport, TrainError> {
     assert!(
         filter.mb_compatible(),
         "{} is an iterative-only design; the paper evaluates it full-batch only",
@@ -76,6 +90,7 @@ pub fn train_mini_batch(
     // Stage 2: batched training on the device.
     let mut device = DeviceMeter::new();
     let mut train_timer = StageTimer::named("train");
+    let started = std::time::Instant::now();
     let mut train_idx = data.splits.train.clone();
     let mut best_valid = f64::NEG_INFINITY;
     let mut best_test = 0.0f64;
@@ -89,6 +104,9 @@ pub fn train_mini_batch(
             .chunks(cfg.batch_size)
             .map(|c| c.to_vec())
             .collect();
+        // The largest batch loss of the epoch feeds the divergence guard: a
+        // single NaN/Inf batch is enough to poison the parameters.
+        let mut epoch_loss = 0.0f64;
         train_timer.time(|| {
             for (b, chunk) in chunks.iter().enumerate() {
                 store.zero_grads();
@@ -103,6 +121,12 @@ pub fn train_mini_batch(
                 );
                 let logits = model.forward_mb(&mut tape, &batch_terms, &store);
                 let loss = tape.softmax_cross_entropy(logits, Arc::new(y));
+                let loss_val = tape.value(loss).get(0, 0) as f64;
+                if !loss_val.is_finite() {
+                    epoch_loss = loss_val;
+                } else if epoch_loss.is_finite() {
+                    epoch_loss = epoch_loss.max(loss_val);
+                }
                 {
                     let _sp = obs::span!("epoch.backward");
                     tape.backward(loss, &mut store);
@@ -115,6 +139,7 @@ pub fn train_mini_batch(
             }
         });
         crate::EPOCHS.incr();
+        epoch_guard(cfg, epoch, epoch_loss, started)?;
 
         if cfg.patience > 0 && (epoch % 5 == 4 || epoch + 1 == cfg.epochs) {
             let logits = infer_mb(&model, &terms, data.nodes(), cfg.batch_size, &store);
@@ -143,7 +168,7 @@ pub fn train_mini_batch(
         (test, valid)
     };
 
-    TrainReport {
+    Ok(TrainReport {
         filter: filter_name,
         dataset: data.name.clone(),
         scheme: "MB".into(),
@@ -157,7 +182,7 @@ pub fn train_mini_batch(
         device_bytes: device.peak(),
         ram_bytes,
         prop_hops: pre_hops,
-    }
+    })
 }
 
 /// Batched evaluation-mode inference over all nodes.
@@ -220,6 +245,16 @@ mod tests {
             rl.device_bytes,
             rs.device_bytes
         );
+    }
+
+    #[test]
+    fn mb_injected_nan_surfaces_as_diverged() {
+        let data = dataset_spec("cora").unwrap().generate(GenScale::Tiny, 8);
+        let mut cfg = TrainConfig::fast_test(8);
+        cfg.inject_nan_after_epoch = Some(1);
+        let err = try_train_mini_batch(make_filter("Monomial", cfg.hops).unwrap(), &data, &cfg)
+            .expect_err("injected NaN must abort training");
+        assert_eq!(err, TrainError::Diverged { epoch: 1 });
     }
 
     #[test]
