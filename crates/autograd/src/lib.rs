@@ -26,6 +26,6 @@ pub mod param;
 pub mod tape;
 
 pub use custom::CustomOp;
-pub use optim::{Adam, Optimizer, Sgd};
+pub use optim::{clip_global_norm, Adam, AdamState, Optimizer, Sgd};
 pub use param::{ParamGroup, ParamId, ParamStore};
 pub use tape::{NodeId, Tape};

@@ -7,6 +7,32 @@
 use crate::param::{ParamGroup, ParamStore};
 use sgnn_dense::DMat;
 
+/// Steps where the global gradient norm exceeded `clip_norm` and was rescaled.
+static GRAD_CLIPPED: sgnn_obs::Counter = sgnn_obs::Counter::new("grad.clipped");
+
+/// Rescales every gradient in `params` so the *global* L2 norm (across all
+/// parameters jointly, as in `torch.nn.utils.clip_grad_norm_`) is at most
+/// `max_norm`. Gradients below the bound are untouched; above it they are
+/// scaled by a single factor, preserving their direction.
+pub fn clip_global_norm(params: &mut ParamStore, max_norm: f32) -> f64 {
+    let norm = params.grad_norm();
+    if max_norm > 0.0 && norm.is_finite() && norm > max_norm as f64 {
+        let scale = (max_norm as f64 / norm) as f32;
+        params.scale_grads(scale);
+        GRAD_CLIPPED.incr();
+    }
+    norm
+}
+
+/// Exported Adam moment state, for checkpointing. The vectors are indexed by
+/// parameter registration order, matching [`ParamStore`] iteration order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AdamState {
+    pub t: u64,
+    pub m: Vec<DMat>,
+    pub v: Vec<DMat>,
+}
+
 /// Learning rate / weight decay for one parameter group.
 #[derive(Clone, Copy, Debug)]
 pub struct GroupHyper {
@@ -103,6 +129,43 @@ impl Adam {
             m: Vec::new(),
             v: Vec::new(),
         }
+    }
+
+    /// Copies out the moment buffers and step counter for checkpointing.
+    /// Call after at least one [`Optimizer::step`] (or after
+    /// [`Adam::load_state`]) so the buffers cover every parameter.
+    pub fn state(&self) -> AdamState {
+        AdamState {
+            t: self.t,
+            m: self.m.clone(),
+            v: self.v.clone(),
+        }
+    }
+
+    /// Restores moment buffers captured by [`Adam::state`]. Rejects state
+    /// whose buffer shapes disagree between `m` and `v`, leaving the
+    /// optimizer untouched on error.
+    pub fn load_state(&mut self, state: AdamState) -> Result<(), String> {
+        if state.m.len() != state.v.len() {
+            return Err(format!(
+                "adam state has {} first moments but {} second moments",
+                state.m.len(),
+                state.v.len()
+            ));
+        }
+        for (i, (m, v)) in state.m.iter().zip(&state.v).enumerate() {
+            if m.shape() != v.shape() {
+                return Err(format!(
+                    "adam moment {i} shape mismatch: m {:?} vs v {:?}",
+                    m.shape(),
+                    v.shape()
+                ));
+            }
+        }
+        self.t = state.t;
+        self.m = state.m;
+        self.v = state.v;
+        Ok(())
     }
 
     fn ensure_state(&mut self, params: &ParamStore) {
@@ -222,6 +285,91 @@ mod tests {
         opt.step(&mut ps);
         assert!((ps.value(wn).get(0, 0) + 0.1).abs() < 1e-7);
         assert!((ps.value(th).get(0, 0) + 0.001).abs() < 1e-7);
+    }
+
+    #[test]
+    fn clip_leaves_small_gradients_untouched() {
+        let mut ps = ParamStore::new();
+        let w = ps.add("w", DMat::zeros(1, 2), ParamGroup::Network);
+        ps.accumulate_grad(w, &DMat::from_vec(1, 2, vec![0.3, 0.4]));
+        let norm = clip_global_norm(&mut ps, 1.0);
+        assert!((norm - 0.5).abs() < 1e-6);
+        assert_eq!(ps.grad(w).data(), &[0.3, 0.4]);
+    }
+
+    #[test]
+    fn clip_bounds_norm_and_preserves_direction() {
+        let mut ps = ParamStore::new();
+        let a = ps.add("a", DMat::zeros(1, 2), ParamGroup::Network);
+        let b = ps.add("b", DMat::zeros(1, 1), ParamGroup::Filter);
+        ps.accumulate_grad(a, &DMat::from_vec(1, 2, vec![6.0, 8.0]));
+        ps.accumulate_grad(b, &DMat::from_vec(1, 1, vec![-5.0]));
+        // ||g|| = sqrt(36 + 64 + 25) ≈ 11.18 > 2 → scaled to exactly 2.
+        let before = clip_global_norm(&mut ps, 2.0);
+        assert!(before > 2.0);
+        let after = ps.grad_norm();
+        assert!((after - 2.0).abs() < 1e-4, "after = {after}");
+        // Direction preserved: components keep their mutual ratios and signs.
+        let ga = ps.grad(a).data().to_vec();
+        let gb = ps.grad(b).get(0, 0);
+        assert!((ga[1] / ga[0] - 8.0 / 6.0).abs() < 1e-5);
+        assert!(gb < 0.0 && (gb / ga[0] - (-5.0 / 6.0)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_disabled_at_zero_bound() {
+        let mut ps = ParamStore::new();
+        let w = ps.add("w", DMat::zeros(1, 1), ParamGroup::Network);
+        ps.accumulate_grad(w, &DMat::filled(1, 1, 100.0));
+        clip_global_norm(&mut ps, 0.0);
+        assert_eq!(ps.grad(w).get(0, 0), 100.0);
+    }
+
+    #[test]
+    fn adam_state_round_trip_is_bit_exact() {
+        // Two optimizers: one steps 5 times; the other steps 3 times, has its
+        // state exported/imported at that point, then both step twice more on
+        // identical gradients — final parameters must match bit-for-bit.
+        let grads: Vec<f32> = vec![1.0, -0.5, 0.25, 2.0, -1.5];
+        let run = |resume_at: Option<usize>| -> (Vec<f32>, AdamState) {
+            let mut ps = ParamStore::new();
+            let w = ps.add("w", DMat::filled(2, 2, 1.0), ParamGroup::Network);
+            let mut opt = Adam::new(0.05, 0.01);
+            for (i, &g) in grads.iter().enumerate() {
+                if resume_at == Some(i) {
+                    // Simulate checkpoint + restore mid-run.
+                    let state = opt.state();
+                    let mut fresh = Adam::new(0.05, 0.01);
+                    fresh.load_state(state).unwrap();
+                    opt = fresh;
+                }
+                ps.zero_grads();
+                ps.accumulate_grad(w, &DMat::filled(2, 2, g));
+                opt.step(&mut ps);
+            }
+            (ps.value(w).data().to_vec(), opt.state())
+        };
+        let (straight, s1) = run(None);
+        let (resumed, s2) = run(Some(3));
+        assert_eq!(straight, resumed);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn adam_load_state_rejects_mismatched_moments() {
+        let mut opt = Adam::new(0.01, 0.0);
+        let bad = AdamState {
+            t: 1,
+            m: vec![DMat::zeros(2, 2)],
+            v: vec![DMat::zeros(3, 2)],
+        };
+        assert!(opt.load_state(bad).is_err());
+        let uneven = AdamState {
+            t: 1,
+            m: vec![DMat::zeros(2, 2)],
+            v: vec![],
+        };
+        assert!(opt.load_state(uneven).is_err());
     }
 
     #[test]

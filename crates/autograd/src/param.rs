@@ -123,6 +123,62 @@ impl ParamStore {
             .sum()
     }
 
+    /// Multiplies every gradient buffer by `scale` — the clipping hook.
+    pub fn scale_grads(&mut self, scale: f32) {
+        for p in &mut self.params {
+            for g in p.grad.data_mut() {
+                *g *= scale;
+            }
+        }
+    }
+
+    /// Copies out `(name, value)` for every parameter in registration order —
+    /// the checkpoint export path.
+    pub fn export_values(&self) -> Vec<(String, DMat)> {
+        self.params
+            .iter()
+            .map(|p| (p.name.clone(), p.value.clone()))
+            .collect()
+    }
+
+    /// Restores values captured by [`ParamStore::export_values`]. The load is
+    /// atomic: every name and shape is verified against the live store first,
+    /// so a mismatched snapshot leaves all parameters untouched.
+    pub fn load_values(&mut self, values: &[(String, DMat)]) -> Result<(), String> {
+        if values.len() != self.params.len() {
+            return Err(format!(
+                "snapshot has {} parameters, model has {}",
+                values.len(),
+                self.params.len()
+            ));
+        }
+        for (p, (name, value)) in self.params.iter().zip(values) {
+            if &p.name != name {
+                return Err(format!("parameter name mismatch: {:?} vs {name:?}", p.name));
+            }
+            if p.value.shape() != value.shape() {
+                return Err(format!(
+                    "parameter {name:?} shape mismatch: {:?} vs {:?}",
+                    p.value.shape(),
+                    value.shape()
+                ));
+            }
+        }
+        for (p, (_, value)) in self.params.iter_mut().zip(values) {
+            p.value = value.clone();
+        }
+        Ok(())
+    }
+
+    /// Name of the first parameter whose gradient contains a non-finite
+    /// entry — localizes which weight blew up when a loss goes NaN.
+    pub fn first_nonfinite_grad(&self) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|p| p.grad.data().iter().any(|g| !g.is_finite()))
+            .map(|p| p.name.as_str())
+    }
+
     /// Global L2 norm of all gradients — used for divergence diagnostics.
     pub fn grad_norm(&self) -> f64 {
         self.params
@@ -153,6 +209,50 @@ mod tests {
         assert_eq!(ps.group(t), ParamGroup::Filter);
         assert_eq!(ps.num_scalars(), 10);
         assert_eq!(ps.name(w), "w");
+    }
+
+    #[test]
+    fn export_load_round_trip_and_atomic_rejection() {
+        let mut ps = ParamStore::new();
+        let w = ps.add("w", DMat::filled(2, 2, 1.0), ParamGroup::Network);
+        let t = ps.add("theta", DMat::filled(3, 1, 2.0), ParamGroup::Filter);
+        let snap = ps.export_values();
+
+        ps.value_mut(w).fill(9.0);
+        ps.value_mut(t).fill(9.0);
+        ps.load_values(&snap).unwrap();
+        assert_eq!(ps.value(w).get(0, 0), 1.0);
+        assert_eq!(ps.value(t).get(2, 0), 2.0);
+
+        // Wrong name, wrong shape, wrong count: all rejected, store untouched.
+        let mut bad = snap.clone();
+        bad[0].0 = "other".into();
+        assert!(ps.load_values(&bad).is_err());
+        let mut bad = snap.clone();
+        bad[1].1 = DMat::zeros(1, 3);
+        assert!(ps.load_values(&bad).is_err());
+        assert!(ps.load_values(&snap[..1]).is_err());
+        assert_eq!(ps.value(w).get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn first_nonfinite_grad_names_the_culprit() {
+        let mut ps = ParamStore::new();
+        let w = ps.add("w", DMat::zeros(1, 1), ParamGroup::Network);
+        let t = ps.add("theta", DMat::zeros(1, 2), ParamGroup::Filter);
+        assert_eq!(ps.first_nonfinite_grad(), None);
+        ps.accumulate_grad(w, &DMat::filled(1, 1, 1.0));
+        ps.accumulate_grad(t, &DMat::from_vec(1, 2, vec![0.0, f32::NAN]));
+        assert_eq!(ps.first_nonfinite_grad(), Some("theta"));
+    }
+
+    #[test]
+    fn scale_grads_rescales_everything() {
+        let mut ps = ParamStore::new();
+        let w = ps.add("w", DMat::zeros(1, 2), ParamGroup::Network);
+        ps.accumulate_grad(w, &DMat::from_vec(1, 2, vec![2.0, -4.0]));
+        ps.scale_grads(0.5);
+        assert_eq!(ps.grad(w).data(), &[1.0, -2.0]);
     }
 
     #[test]

@@ -20,9 +20,15 @@
 //!   --trace PATH                stream a JSONL trace (SGNN_TRACE fallback)
 //!   --resume DIR                durable run store: persist finished cells
 //!                               under DIR and skip them on the next run
-//!   --retries N                 extra fresh-seed attempts after a diverged
-//!                               cell (default 1)
+//!   --retries N                 extra attempts after a diverged cell
+//!                               (default 1): warm restart from the last
+//!                               good checkpoint when one exists, else a
+//!                               fresh-seed restart
 //!   --cell-timeout-s S          per-cell wall-clock budget (default off)
+//!   --ckpt-every N              snapshot training state every N epochs
+//!                               (default 0 = off)
+//!   --ckpt-dir DIR              checkpoint root (default <resume>/ckpt
+//!                               when --resume is set)
 //!   --faults SPEC               deterministic fault injection (SGNN_FAULTS
 //!                               fallback) — see sgnn_bench::faults
 //!
@@ -145,9 +151,10 @@ fn main() {
         }
     }
     let started = std::time::Instant::now();
-    // An injected `fail cell=K` (or any panic escaping the cell runner)
-    // unwinds to here: flush what the trace has, report, and exit nonzero —
-    // the run store already holds every cell finished before the abort.
+    // An injected `fail cell=K` / mid-training kill (or any panic escaping
+    // the cell runner) unwinds to here: flush what the trace has, report,
+    // and exit nonzero — the run store already holds every cell finished
+    // before the abort, and checkpoints hold the killed cell's progress.
     let ran = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         if target == "all" {
             for t in ALL_TARGETS {
@@ -177,6 +184,11 @@ fn main() {
             let reason = payload
                 .downcast_ref::<faults::FatalFault>()
                 .map(|f| f.0.clone())
+                .or_else(|| {
+                    payload
+                        .downcast_ref::<sgnn_train::Killed>()
+                        .map(|k| k.0.clone())
+                })
                 .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
                 .or_else(|| payload.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "panic".into());

@@ -7,17 +7,25 @@
 //! `;`-separated list of clauses:
 //!
 //! ```text
-//! fail cell=K            simulated crash: cell K aborts the whole run
+//! fail cell=K [after-epoch=E]
+//!                        simulated crash: cell K aborts the whole run
 //!                        (nothing recorded — models a kill/OOM; the store
-//!                        keeps cells 0..K-1)
+//!                        keeps cells 0..K-1). With after-epoch=E the kill
+//!                        fires *mid-training* once epoch E completes, so
+//!                        any periodic checkpoints survive for a resume.
 //! panic cell=K           cell K panics; captured as DNF(panic: ...)
 //! flaky cell=K fails=N   cell K diverges on its first N attempts, then
 //!                        succeeds (exercises retry-with-fresh-seed)
 //! slow cell=K dur=S      cell K sleeps S seconds before training
 //!                        (trips the cell wall-clock budget)
-//! nan after-epoch=E [cell=K]
+//! nan after-epoch=E [cell=K] [fails=N]
 //!                        training loss turns NaN after epoch E (all cells,
-//!                        or just cell K) — surfaces as TrainError::Diverged
+//!                        or just cell K) — surfaces as TrainError::Diverged.
+//!                        With fails=N only the first N attempts are
+//!                        poisoned, so retries can recover.
+//! corrupt cell=K         one-shot: at cell K's next retry boundary, flip a
+//!                        byte in its latest checkpoint — the CRC must
+//!                        reject it and fall back to the previous snapshot
 //! ```
 //!
 //! Cell indices count cells *executed* by this process, 0-based, in grid
@@ -34,8 +42,12 @@ use std::sync::Mutex;
 /// One injected fault.
 #[derive(Clone, Debug, PartialEq)]
 pub enum FaultSpec {
-    /// Abort the entire run when this cell starts (simulated crash).
-    FailCell { cell: u64 },
+    /// Abort the entire run when this cell starts — or, with `after_epoch`
+    /// set, mid-training once that epoch completes (simulated crash/kill).
+    FailCell {
+        cell: u64,
+        after_epoch: Option<usize>,
+    },
     /// Panic inside this cell (captured by the runner as a DNF).
     PanicCell { cell: u64 },
     /// Fail this cell's first `fails` attempts with a divergence.
@@ -43,8 +55,15 @@ pub enum FaultSpec {
     /// Sleep `dur_s` seconds when this cell starts.
     SlowCell { cell: u64, dur_s: f64 },
     /// Turn the training loss NaN after the given epoch (optionally only in
-    /// one cell).
-    NanAfterEpoch { epoch: usize, cell: Option<u64> },
+    /// one cell, optionally only on the first `fails` attempts).
+    NanAfterEpoch {
+        epoch: usize,
+        cell: Option<u64>,
+        fails: Option<u64>,
+    },
+    /// One-shot: flip a byte in this cell's latest checkpoint file at its
+    /// next retry boundary, exercising the CRC fallback path.
+    CorruptCkpt { cell: u64 },
 }
 
 /// Panic payload of [`FaultSpec::FailCell`]. The cell runner recognizes it
@@ -84,8 +103,19 @@ pub fn parse(spec: &str) -> Result<Vec<FaultSpec>, String> {
                 .parse()
                 .map_err(|e| format!("`{clause}`: {key}: {e}"))
         };
+        let opt_num = |key: &str| -> Result<Option<u64>, String> {
+            match get(key) {
+                Some(v) => Ok(Some(
+                    v.parse().map_err(|e| format!("`{clause}`: {key}: {e}"))?,
+                )),
+                None => Ok(None),
+            }
+        };
         out.push(match kind {
-            "fail" => FaultSpec::FailCell { cell: num("cell")? },
+            "fail" => FaultSpec::FailCell {
+                cell: num("cell")?,
+                after_epoch: opt_num("after-epoch")?.map(|e| e as usize),
+            },
             "panic" => FaultSpec::PanicCell { cell: num("cell")? },
             "flaky" => FaultSpec::FlakyCell {
                 cell: num("cell")?,
@@ -100,11 +130,10 @@ pub fn parse(spec: &str) -> Result<Vec<FaultSpec>, String> {
             },
             "nan" => FaultSpec::NanAfterEpoch {
                 epoch: num("after-epoch")? as usize,
-                cell: match get("cell") {
-                    Some(v) => Some(v.parse().map_err(|e| format!("`{clause}`: cell: {e}"))?),
-                    None => None,
-                },
+                cell: opt_num("cell")?,
+                fails: opt_num("fails")?,
             },
+            "corrupt" => FaultSpec::CorruptCkpt { cell: num("cell")? },
             other => return Err(format!("unknown fault kind `{other}` in `{clause}`")),
         });
     }
@@ -162,7 +191,10 @@ pub fn on_cell_start(cell: u64, attempt: u64) -> Option<Injection> {
     let mut injection = None;
     for spec in &plan {
         match *spec {
-            FaultSpec::FailCell { cell: c } if c == cell => {
+            FaultSpec::FailCell {
+                cell: c,
+                after_epoch: None,
+            } if c == cell => {
                 INJECTED.incr();
                 std::panic::panic_any(FatalFault(format!("injected fatal fault at cell {cell}")));
             }
@@ -184,17 +216,76 @@ pub fn on_cell_start(cell: u64, attempt: u64) -> Option<Injection> {
     injection
 }
 
-/// The NaN-injection epoch for `cell`, if the plan schedules one.
-pub fn nan_after_epoch(cell: u64) -> Option<usize> {
+/// The NaN-injection epoch for (`cell`, `attempt`), if the plan schedules
+/// one. A clause with `fails=N` only poisons the first N attempts, so the
+/// recovery ladder can be exercised end-to-end.
+pub fn nan_after_epoch(cell: u64, attempt: u64) -> Option<usize> {
     if !ARMED.load(Ordering::Relaxed) {
         return None;
     }
     PLAN.lock().unwrap().iter().find_map(|spec| match *spec {
-        FaultSpec::NanAfterEpoch { epoch, cell: c } if c.is_none() || c == Some(cell) => {
-            Some(epoch)
-        }
+        FaultSpec::NanAfterEpoch {
+            epoch,
+            cell: c,
+            fails,
+        } if (c.is_none() || c == Some(cell)) && fails.is_none_or(|n| attempt < n) => Some(epoch),
         _ => None,
     })
+}
+
+/// The mid-training kill epoch for `cell`, if the plan schedules one
+/// (`fail cell=K after-epoch=E`). The trainer raises a
+/// [`sgnn_train::Killed`] panic at that epoch boundary, which the runner
+/// re-raises like a real crash.
+pub fn kill_after_epoch(cell: u64) -> Option<usize> {
+    if !ARMED.load(Ordering::Relaxed) {
+        return None;
+    }
+    let hit = PLAN.lock().unwrap().iter().find_map(|spec| match *spec {
+        FaultSpec::FailCell {
+            cell: c,
+            after_epoch: Some(epoch),
+        } if c == cell => Some(epoch),
+        _ => None,
+    });
+    if hit.is_some() {
+        INJECTED.incr();
+    }
+    hit
+}
+
+/// One-shot corruption hook: if the plan holds a `corrupt` clause for
+/// `cell`, flips one byte in `dir`'s latest checkpoint file and removes the
+/// clause (a second flip would restore the byte). Returns `true` when a
+/// byte was actually flipped. Called by the runner at retry boundaries,
+/// before the warm-restart peek.
+pub fn maybe_corrupt_checkpoint(cell: u64, dir: &std::path::Path) -> bool {
+    if !ARMED.load(Ordering::Relaxed) {
+        return false;
+    }
+    let mut plan = PLAN.lock().unwrap();
+    let Some(pos) = plan
+        .iter()
+        .position(|s| matches!(*s, FaultSpec::CorruptCkpt { cell: c } if c == cell))
+    else {
+        return false;
+    };
+    let path = dir.join(sgnn_train::checkpoint::LATEST_FILE);
+    let Ok(mut bytes) = std::fs::read(&path) else {
+        // No checkpoint yet — keep the clause armed for a later boundary.
+        return false;
+    };
+    if bytes.is_empty() {
+        return false;
+    }
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    if std::fs::write(&path, &bytes).is_err() {
+        return false;
+    }
+    plan.remove(pos);
+    INJECTED.incr();
+    true
 }
 
 #[cfg(test)]
@@ -203,14 +294,18 @@ mod tests {
 
     #[test]
     fn parses_every_clause_kind() {
-        let specs = parse("fail cell=2; nan after-epoch=3; slow cell=1 dur=0.25; panic cell=0; flaky cell=4 fails=2; nan after-epoch=1 cell=7").unwrap();
+        let specs = parse("fail cell=2; nan after-epoch=3; slow cell=1 dur=0.25; panic cell=0; flaky cell=4 fails=2; nan after-epoch=1 cell=7 fails=1; fail cell=5 after-epoch=9; corrupt cell=6").unwrap();
         assert_eq!(
             specs,
             vec![
-                FaultSpec::FailCell { cell: 2 },
+                FaultSpec::FailCell {
+                    cell: 2,
+                    after_epoch: None
+                },
                 FaultSpec::NanAfterEpoch {
                     epoch: 3,
-                    cell: None
+                    cell: None,
+                    fails: None
                 },
                 FaultSpec::SlowCell {
                     cell: 1,
@@ -220,11 +315,55 @@ mod tests {
                 FaultSpec::FlakyCell { cell: 4, fails: 2 },
                 FaultSpec::NanAfterEpoch {
                     epoch: 1,
-                    cell: Some(7)
+                    cell: Some(7),
+                    fails: Some(1)
                 },
+                FaultSpec::FailCell {
+                    cell: 5,
+                    after_epoch: Some(9)
+                },
+                FaultSpec::CorruptCkpt { cell: 6 },
             ]
         );
         assert!(parse("").unwrap().is_empty());
+    }
+
+    /// Serializes the tests that install a global plan.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn attempt_gated_nan_only_poisons_early_attempts() {
+        let _g = TEST_LOCK.lock().unwrap();
+        install(parse("nan after-epoch=2 cell=0 fails=1").unwrap());
+        assert_eq!(nan_after_epoch(0, 0), Some(2));
+        assert_eq!(nan_after_epoch(0, 1), None, "attempt 1 must run clean");
+        assert_eq!(nan_after_epoch(1, 0), None, "other cells untouched");
+        clear();
+        assert_eq!(nan_after_epoch(0, 0), None);
+    }
+
+    #[test]
+    fn corrupt_clause_flips_one_byte_once() {
+        let _g = TEST_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join(format!("sgnn_fault_corrupt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(sgnn_train::checkpoint::LATEST_FILE);
+
+        install(parse("corrupt cell=3").unwrap());
+        // No checkpoint on disk yet: the clause stays armed.
+        assert!(!maybe_corrupt_checkpoint(3, &dir));
+        std::fs::write(&path, vec![0u8; 64]).unwrap();
+        // Wrong cell: untouched.
+        assert!(!maybe_corrupt_checkpoint(2, &dir));
+        assert!(maybe_corrupt_checkpoint(3, &dir), "clause fires");
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes.iter().filter(|&&b| b != 0).count(), 1);
+        // One-shot: a second call must not flip the byte back.
+        assert!(!maybe_corrupt_checkpoint(3, &dir));
+        assert_eq!(std::fs::read(&path).unwrap(), bytes);
+        clear();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -34,10 +34,16 @@ pub struct Opts {
     pub resume: Option<String>,
     /// Fault-injection spec (`--faults`; `SGNN_FAULTS` fallback).
     pub faults: Option<String>,
-    /// Extra attempts (fresh seed) after a diverged cell (`--retries`).
+    /// Extra attempts after a diverged cell (`--retries`): warm restart from
+    /// the last good checkpoint when one exists, else a fresh seed.
     pub retries: usize,
     /// Per-cell wall-clock budget in seconds (`--cell-timeout-s`; 0 = off).
     pub cell_timeout_s: f64,
+    /// Write a training checkpoint every N epochs (`--ckpt-every`; 0 = off).
+    pub ckpt_every: usize,
+    /// Root directory for per-cell checkpoints (`--ckpt-dir`; defaults to
+    /// `<resume>/ckpt` when `--resume` is set).
+    pub ckpt_dir: Option<String>,
 }
 
 impl Default for Opts {
@@ -57,6 +63,8 @@ impl Default for Opts {
             faults: None,
             retries: 1,
             cell_timeout_s: 0.0,
+            ckpt_every: 0,
+            ckpt_dir: None,
         }
     }
 }
@@ -131,11 +139,21 @@ impl Opts {
             .or_else(|| std::env::var("SGNN_FAULTS").ok().filter(|s| !s.is_empty()))
     }
 
-    /// The cell retry/timeout policy.
+    /// The root directory for per-cell checkpoints: `--ckpt-dir` wins, then
+    /// `<resume>/ckpt` when a run store is attached, then none.
+    pub fn ckpt_root(&self) -> Option<String> {
+        self.ckpt_dir
+            .clone()
+            .or_else(|| self.resume.as_ref().map(|r| format!("{r}/ckpt")))
+    }
+
+    /// The cell retry/timeout/checkpoint policy.
     pub fn policy(&self) -> crate::runner::CellPolicy {
         crate::runner::CellPolicy {
             retries: self.retries,
             time_budget_s: self.cell_timeout_s,
+            ckpt_every: self.ckpt_every,
+            ckpt_root: self.ckpt_root(),
         }
     }
 
@@ -215,6 +233,12 @@ pub fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .parse()
                     .map_err(|e| format!("--cell-timeout-s: {e}"))?
             }
+            "--ckpt-every" => {
+                opts.ckpt_every = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--ckpt-every: {e}"))?
+            }
+            "--ckpt-dir" => opts.ckpt_dir = Some(take(&mut i)?),
             other => return Err(format!("unknown flag {other}")),
         }
         i += 1;

@@ -10,13 +10,18 @@
 //!    cell's executed-index before training starts.
 //! 3. **Panic capture** — `catch_unwind` turns a panicking cell into
 //!    `DNF(panic: ...)` instead of killing the grid. The deliberate
-//!    exception is [`faults::FatalFault`], which is re-raised to simulate a
+//!    exceptions are [`faults::FatalFault`] and [`sgnn_train::Killed`]
+//!    (an injected mid-training kill), which are re-raised to simulate a
 //!    crash/kill.
-//! 4. **Bounded retry** — a diverged attempt is retried with a fresh seed
-//!    up to `retries` times (counter `cell.retry`); timeouts and panics are
-//!    not retried (they would fail identically).
+//! 4. **Bounded retry** — a diverged attempt is retried up to `retries`
+//!    times, climbing the recovery ladder: **warm restart** from the last
+//!    good checkpoint with a halved learning rate and gradient clipping
+//!    (counter `retry.warm`) when a snapshot exists, else a **fresh-seed**
+//!    restart (counter `retry.fresh`); timeouts and panics are not retried
+//!    (they would fail identically).
 //! 5. **Durability** — the outcome (done *or* DNF) is appended to the store
-//!    and flushed before the next cell starts.
+//!    and flushed before the next cell starts; training checkpoints go to a
+//!    per-cell directory under the policy's `ckpt_root`.
 //!
 //! Process-wide done/skip/DNF tallies feed the `experiments` exit code via
 //! [`counts`] / [`failure_summary`]; the same events increment `sgnn-obs`
@@ -32,13 +37,18 @@ use crate::faults::{self, FatalFault, Injection};
 use crate::harness::{progress, Opts};
 use crate::store::{CellKey, CellOutcome, RunStore};
 
-/// Retry/timeout policy of one run (from `--retries` / `--cell-timeout-s`).
-#[derive(Clone, Copy, Debug)]
+/// Retry/timeout/checkpoint policy of one run (from `--retries`,
+/// `--cell-timeout-s`, `--ckpt-every`, `--ckpt-dir`).
+#[derive(Clone, Debug)]
 pub struct CellPolicy {
     /// Extra attempts after a diverged first attempt.
     pub retries: usize,
     /// Per-attempt wall-clock budget in seconds (0 = unlimited).
     pub time_budget_s: f64,
+    /// Checkpoint cadence in epochs (0 = off).
+    pub ckpt_every: usize,
+    /// Root directory for per-cell checkpoint directories (None = off).
+    pub ckpt_root: Option<String>,
 }
 
 impl Default for CellPolicy {
@@ -46,29 +56,54 @@ impl Default for CellPolicy {
         Self {
             retries: 1,
             time_budget_s: 0.0,
+            ckpt_every: 0,
+            ckpt_root: None,
         }
     }
 }
 
 /// Per-attempt context handed to the cell closure.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct CellCtx {
-    /// Seed for this attempt (fresh on every retry).
+    /// Seed for this attempt. Warm restarts keep the base seed (the
+    /// checkpoint belongs to it); fresh restarts decorrelate.
     pub seed: u64,
     /// 0-based attempt number.
     pub attempt: u64,
     /// Remaining wall-clock budget (0 = unlimited).
     pub time_budget_s: f64,
+    /// True when this attempt resumes from a checkpoint with recovery
+    /// hyperparameters (halved learning rate, clipping on).
+    pub warm: bool,
+    /// Checkpoint cadence for this cell (0 = off).
+    pub ckpt_every: usize,
+    /// This cell's checkpoint directory, when checkpointing is enabled.
+    pub ckpt_dir: Option<String>,
     cell_index: u64,
 }
 
 impl CellCtx {
     /// Applies this attempt to a training config: seed, cooperative
-    /// deadline, and any scheduled NaN injection.
+    /// deadline, checkpointing, warm-restart recovery hyperparameters, and
+    /// any scheduled fault injections.
     pub fn apply(&self, cfg: &mut TrainConfig) {
         cfg.seed = self.seed;
         cfg.time_budget_s = self.time_budget_s;
-        cfg.inject_nan_after_epoch = faults::nan_after_epoch(self.cell_index);
+        cfg.ckpt_every = self.ckpt_every;
+        cfg.ckpt_dir = self.ckpt_dir.clone();
+        cfg.inject_nan_after_epoch = faults::nan_after_epoch(self.cell_index, self.attempt);
+        cfg.inject_kill_after_epoch = faults::kill_after_epoch(self.cell_index);
+        if self.warm {
+            // Recovery ladder rung 1: resume the diverged trajectory from
+            // its last good snapshot, but gentler — halve the learning
+            // rates per warm attempt and clip exploding gradients.
+            let scale = 0.5f32.powi(self.attempt as i32);
+            cfg.lr *= scale;
+            cfg.lr_filter *= scale;
+            if cfg.clip_norm == 0.0 {
+                cfg.clip_norm = 1.0;
+            }
+        }
     }
 }
 
@@ -77,12 +112,15 @@ impl CellCtx {
 static DONE: AtomicU64 = AtomicU64::new(0);
 static SKIPPED: AtomicU64 = AtomicU64::new(0);
 static DNF: AtomicU64 = AtomicU64::new(0);
-static RETRIES: AtomicU64 = AtomicU64::new(0);
+static RETRIES_WARM: AtomicU64 = AtomicU64::new(0);
+static RETRIES_FRESH: AtomicU64 = AtomicU64::new(0);
 
 static OBS_DONE: obs::Counter = obs::Counter::new("cell.done");
 static OBS_SKIPPED: obs::Counter = obs::Counter::new("cell.skipped");
 static OBS_DNF: obs::Counter = obs::Counter::new("cell.dnf");
-static OBS_RETRY: obs::Counter = obs::Counter::new("cell.retry");
+static OBS_RETRY_WARM: obs::Counter = obs::Counter::new("retry.warm");
+static OBS_RETRY_FRESH: obs::Counter = obs::Counter::new("retry.fresh");
+static OBS_WARM_RESTARTS: obs::Counter = obs::Counter::new("train.warm_restarts");
 
 /// Point-in-time copy of the process-wide cell tallies.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -90,7 +128,10 @@ pub struct RunCounts {
     pub done: u64,
     pub skipped: u64,
     pub dnf: u64,
-    pub retries: u64,
+    /// Retries resumed from a checkpoint (recovery ladder rung 1).
+    pub retries_warm: u64,
+    /// Retries restarted from scratch with a fresh seed (rung 2).
+    pub retries_fresh: u64,
 }
 
 /// Reads the process-wide tallies.
@@ -99,7 +140,8 @@ pub fn counts() -> RunCounts {
         done: DONE.load(Ordering::Relaxed),
         skipped: SKIPPED.load(Ordering::Relaxed),
         dnf: DNF.load(Ordering::Relaxed),
-        retries: RETRIES.load(Ordering::Relaxed),
+        retries_warm: RETRIES_WARM.load(Ordering::Relaxed),
+        retries_fresh: RETRIES_FRESH.load(Ordering::Relaxed),
     }
 }
 
@@ -108,7 +150,8 @@ pub fn reset_counts() {
     DONE.store(0, Ordering::Relaxed);
     SKIPPED.store(0, Ordering::Relaxed);
     DNF.store(0, Ordering::Relaxed);
-    RETRIES.store(0, Ordering::Relaxed);
+    RETRIES_WARM.store(0, Ordering::Relaxed);
+    RETRIES_FRESH.store(0, Ordering::Relaxed);
 }
 
 /// One-line failure summary when any cell did not finish, else `None`.
@@ -118,8 +161,8 @@ pub fn failure_summary() -> Option<String> {
         return None;
     }
     Some(format!(
-        "{} cell(s) DNF ({} done, {} resumed from store, {} retries)",
-        c.dnf, c.done, c.skipped, c.retries
+        "{} cell(s) DNF ({} done, {} resumed from store, {} warm + {} fresh retries)",
+        c.dnf, c.done, c.skipped, c.retries_warm, c.retries_fresh
     ))
 }
 
@@ -213,14 +256,39 @@ impl CellRunner {
         let cell_index = faults::next_cell_index();
         let _sp = obs::span!("cell.attempts", cell = cell_index, label = label);
         let started = std::time::Instant::now();
+        // Per-cell checkpoint directory, derived from the label so a resumed
+        // run maps each cell back to the same snapshots.
+        let ckpt_dir = self.policy.ckpt_root.as_ref().map(|root| {
+            let slug: String = label
+                .chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() || c == '-' || c == '.' {
+                        c
+                    } else {
+                        '_'
+                    }
+                })
+                .collect();
+            format!("{root}/{slug}")
+        });
         let mut attempt: u64 = 0;
+        let mut warm = false;
         loop {
             let ctx = CellCtx {
-                // Retries decorrelate via a large odd stride; attempt 0 keeps
-                // the grid's own seed so resumed tables match clean runs.
-                seed: base_seed.wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                // Warm restarts keep the grid's own seed — the snapshot is
+                // tied to it. Fresh retries decorrelate via a large odd
+                // stride; attempt 0 keeps the base seed so resumed tables
+                // match clean runs.
+                seed: if warm {
+                    base_seed
+                } else {
+                    base_seed.wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                },
                 attempt,
                 time_budget_s: self.policy.time_budget_s,
+                warm,
+                ckpt_every: self.policy.ckpt_every,
+                ckpt_dir: ckpt_dir.clone(),
                 cell_index,
             };
             // The fault hook runs inside the catch so an injected `panic`
@@ -229,7 +297,10 @@ impl CellRunner {
             let budget = self.policy.time_budget_s;
             let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
                 match faults::on_cell_start(cell_index, attempt) {
-                    Some(Injection::Diverge) => Err(TrainError::Diverged { epoch: 0 }),
+                    Some(Injection::Diverge) => Err(TrainError::Diverged {
+                        epoch: 0,
+                        param: None,
+                    }),
                     None if budget > 0.0 && started.elapsed().as_secs_f64() > budget => {
                         // The budget expired before training could start
                         // (e.g. an injected or real stall in setup).
@@ -249,13 +320,31 @@ impl CellRunner {
                 }
                 Ok(Err(err @ TrainError::Diverged { .. })) => {
                     if attempt < self.policy.retries as u64 {
-                        RETRIES.fetch_add(1, Ordering::Relaxed);
-                        OBS_RETRY.incr();
-                        progress(&format!(
-                            "[retry] {label}: {err}; attempt {} with fresh seed",
-                            attempt + 1
-                        ));
                         attempt += 1;
+                        // An injected `corrupt` clause fires between the
+                        // failed attempt and the resumability check so the
+                        // CRC fallback to the previous snapshot is exercised.
+                        if let Some(dir) = ckpt_dir.as_deref() {
+                            faults::maybe_corrupt_checkpoint(cell_index, std::path::Path::new(dir));
+                        }
+                        warm = ckpt_dir.as_deref().is_some_and(|dir| {
+                            sgnn_train::peek_resumable(std::path::Path::new(dir), base_seed)
+                        });
+                        if warm {
+                            RETRIES_WARM.fetch_add(1, Ordering::Relaxed);
+                            OBS_RETRY_WARM.incr();
+                            OBS_WARM_RESTARTS.incr();
+                            progress(&format!(
+                                "[retry] {label}: {err}; warm restart {attempt} from checkpoint \
+                                 (lr halved, clipping on)"
+                            ));
+                        } else {
+                            RETRIES_FRESH.fetch_add(1, Ordering::Relaxed);
+                            OBS_RETRY_FRESH.incr();
+                            progress(&format!(
+                                "[retry] {label}: {err}; attempt {attempt} with fresh seed"
+                            ));
+                        }
                         continue;
                     }
                     return Err(self.dnf(label, format!("{err} (after {} attempts)", attempt + 1)));
@@ -264,7 +353,7 @@ impl CellRunner {
                     return Err(self.dnf(label, err.to_string()));
                 }
                 Err(payload) => {
-                    if payload.is::<FatalFault>() {
+                    if payload.is::<FatalFault>() || payload.is::<sgnn_train::Killed>() {
                         std::panic::resume_unwind(payload);
                     }
                     let msg = payload

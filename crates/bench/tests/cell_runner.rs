@@ -1,6 +1,7 @@
 //! Unit tests of the fault-tolerant cell runner: panic capture, bounded
-//! retry with a fresh seed, wall-clock timeout, store-backed resume, and the
-//! process-wide tallies that drive the `experiments` exit code.
+//! retry (fresh-seed rung — the warm rung is covered by `warm_restart.rs`),
+//! wall-clock timeout, store-backed resume, and the process-wide tallies
+//! that drive the `experiments` exit code.
 //!
 //! The fault plan and tallies are process globals, so every test serializes
 //! on one lock and resets both on entry and (via the guard's `Drop`) on
@@ -50,7 +51,7 @@ fn panicking_cell_becomes_dnf_not_a_crash() {
         .unwrap_err();
     assert!(err.contains("panic: boom at cell"), "{err}");
     let c = counts();
-    assert_eq!((c.done, c.dnf, c.retries), (0, 1, 0));
+    assert_eq!((c.done, c.dnf, c.retries_fresh), (0, 1, 0));
 }
 
 #[test]
@@ -59,6 +60,7 @@ fn diverged_cell_retries_with_a_fresh_seed_and_succeeds() {
     let mut runner = CellRunner::with_policy(CellPolicy {
         retries: 2,
         time_budget_s: 0.0,
+        ..Default::default()
     });
     let mut seeds_seen = Vec::new();
     let base = 7u64;
@@ -66,7 +68,10 @@ fn diverged_cell_retries_with_a_fresh_seed_and_succeeds() {
         .run_value("t/flaky", base, |ctx| {
             seeds_seen.push(ctx.seed);
             if ctx.attempt == 0 {
-                Err(TrainError::Diverged { epoch: 3 })
+                Err(TrainError::Diverged {
+                    epoch: 3,
+                    param: None,
+                })
             } else {
                 Ok(report(ctx.seed))
             }
@@ -77,7 +82,8 @@ fn diverged_cell_retries_with_a_fresh_seed_and_succeeds() {
     assert_ne!(seeds_seen[1], base, "the retry must decorrelate");
     assert_eq!(got.test_metric, report(seeds_seen[1]).test_metric);
     let c = counts();
-    assert_eq!((c.done, c.dnf, c.retries), (1, 0, 1));
+    assert_eq!((c.done, c.dnf, c.retries_fresh), (1, 0, 1));
+    assert_eq!(c.retries_warm, 0, "no checkpoint dir, so no warm rung");
 }
 
 #[test]
@@ -86,16 +92,22 @@ fn diverged_cell_exhausts_retries_into_dnf_with_epoch() {
     let mut runner = CellRunner::with_policy(CellPolicy {
         retries: 1,
         time_budget_s: 0.0,
+        ..Default::default()
     });
     let err = runner
-        .run_value::<TrainReport, _>("t/dnf", 0, |_ctx| Err(TrainError::Diverged { epoch: 5 }))
+        .run_value::<TrainReport, _>("t/dnf", 0, |_ctx| {
+            Err(TrainError::Diverged {
+                epoch: 5,
+                param: None,
+            })
+        })
         .unwrap_err();
     assert!(
         err.contains("diverged at epoch 5") && err.contains("after 2 attempts"),
         "{err}"
     );
     let c = counts();
-    assert_eq!((c.done, c.dnf, c.retries), (0, 1, 1));
+    assert_eq!((c.done, c.dnf, c.retries_fresh), (0, 1, 1));
 }
 
 #[test]
@@ -105,6 +117,7 @@ fn injected_slow_cell_trips_the_wall_clock_budget() {
     let mut runner = CellRunner::with_policy(CellPolicy {
         retries: 3,
         time_budget_s: 0.05,
+        ..Default::default()
     });
     let err = runner
         .run_value("t/slow", 0, |ctx| Ok(report(ctx.seed)))
@@ -112,7 +125,7 @@ fn injected_slow_cell_trips_the_wall_clock_budget() {
     assert!(err.contains("timeout"), "{err}");
     let c = counts();
     assert_eq!(
-        (c.done, c.dnf, c.retries),
+        (c.done, c.dnf, c.retries_fresh),
         (0, 1, 0),
         "timeouts never retry"
     );
@@ -132,7 +145,7 @@ fn flaky_fault_injection_drives_the_retry_path() {
         "succeeded on retry seed"
     );
     let c = counts();
-    assert_eq!((c.done, c.retries, c.dnf), (1, 1, 0));
+    assert_eq!((c.done, c.retries_fresh, c.dnf), (1, 1, 0));
 }
 
 #[test]
@@ -173,7 +186,10 @@ fn stored_dnf_is_skipped_but_still_fails_the_run() {
 
     let mut first = CellRunner::for_opts(&opts);
     let out = first.run_report(key.clone(), 1, |_ctx| {
-        Err::<TrainReport, _>(TrainError::Diverged { epoch: 0 })
+        Err::<TrainReport, _>(TrainError::Diverged {
+            epoch: 0,
+            param: None,
+        })
     });
     assert!(out.dnf_reason().is_some());
     reset_counts();

@@ -19,7 +19,9 @@ pub mod linkpred;
 pub mod registry;
 pub mod signals;
 pub mod splits;
+pub mod validate;
 
 pub use csbm::{CsbmParams, Dataset};
 pub use registry::{all_dataset_names, dataset_spec, DatasetSpec, GenScale, Metric, SizeClass};
 pub use splits::Splits;
+pub use validate::ValidationError;

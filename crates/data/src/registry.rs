@@ -88,7 +88,12 @@ impl DatasetSpec {
         }
     }
 
-    /// Generates the dataset at the given scale and seed.
+    /// Generates the dataset at the given scale and seed, validated at the
+    /// load boundary (see [`crate::validate`]).
+    ///
+    /// # Panics
+    /// Panics when the generated dataset violates a structural invariant —
+    /// a generator bug that must not silently corrupt downstream training.
     pub fn generate(&self, scale: GenScale, seed: u64) -> Dataset {
         let (nodes, edges) = self.scaled_size(scale);
         let params = CsbmParams {
@@ -100,7 +105,11 @@ impl DatasetSpec {
             signal: self.signal,
             degree_exponent: 2.5,
         };
-        csbm::generate(self.name, &params, self.metric, seed)
+        let dataset = csbm::generate(self.name, &params, self.metric, seed);
+        if let Err(e) = dataset.validate() {
+            panic!("generated dataset {} is invalid: {e}", self.name);
+        }
+        dataset
     }
 }
 

@@ -96,6 +96,33 @@ impl Coo {
         self.entries.truncate(w);
     }
 
+    /// Checks that every triplet is inside the declared shape with a finite
+    /// value (duplicates are legal pre-coalesce). The non-panicking
+    /// counterpart of the `debug_assert` in [`Coo::push`] for triplets
+    /// collected from untrusted input.
+    pub fn validate(&self) -> Result<(), crate::validate::ValidationError> {
+        use crate::validate::ValidationError as E;
+        for (i, &(r, c, v)) in self.entries.iter().enumerate() {
+            if (r as usize) >= self.rows || (c as usize) >= self.cols {
+                return Err(E::EntryOutOfBounds {
+                    index: i,
+                    row: r,
+                    col: c,
+                    rows: self.rows,
+                    cols: self.cols,
+                });
+            }
+            if !v.is_finite() {
+                return Err(E::NonFiniteEntry {
+                    index: i,
+                    row: r,
+                    col: c,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Converts to CSR, coalescing first.
     pub fn into_csr(mut self) -> CsrMat {
         self.coalesce();
@@ -140,6 +167,44 @@ mod tests {
         coo.push_sym(0, 0, 1.0);
         coo.push_sym(0, 1, 2.0);
         assert_eq!(coo.len(), 3);
+    }
+
+    #[test]
+    fn validate_rejects_out_of_shape_and_non_finite_triplets() {
+        use crate::validate::ValidationError as E;
+        let mut ok = Coo::new(2, 2);
+        ok.push(0, 1, 1.0);
+        ok.push(0, 1, 2.0); // duplicates are fine pre-coalesce
+        assert_eq!(ok.validate(), Ok(()));
+
+        // push() only debug-asserts bounds, so forge the state a release
+        // build could reach from untrusted input.
+        let oob = Coo {
+            rows: 2,
+            cols: 2,
+            entries: vec![(0, 1, 1.0), (5, 0, 1.0)],
+        };
+        assert_eq!(
+            oob.validate(),
+            Err(E::EntryOutOfBounds {
+                index: 1,
+                row: 5,
+                col: 0,
+                rows: 2,
+                cols: 2
+            })
+        );
+
+        let mut inf = Coo::new(2, 2);
+        inf.push(1, 0, f32::INFINITY);
+        assert_eq!(
+            inf.validate(),
+            Err(E::NonFiniteEntry {
+                index: 0,
+                row: 1,
+                col: 0
+            })
+        );
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub mod edgelist;
 pub mod graph;
 pub mod normalize;
 pub mod stats;
+pub mod validate;
 
 pub use csr::CsrMat;
 pub use graph::Graph;

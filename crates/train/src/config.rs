@@ -4,7 +4,7 @@ use serde::{Deserialize, Serialize};
 
 /// Hyperparameters of one training run (Table 4's universal + individual
 /// scheme, flattened).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct TrainConfig {
     /// Propagation hops `K` (universal default 10).
     pub hops: usize,
@@ -29,10 +29,24 @@ pub struct TrainConfig {
     /// Cooperative wall-clock budget in seconds (0 = unlimited). Checked
     /// between epochs; exceeding it returns [`crate::TrainError::Timeout`].
     pub time_budget_s: f64,
+    /// Global gradient-norm clipping bound, applied between backward and the
+    /// optimizer step (0 disables). Warm restarts enable this to tame the
+    /// gradients that diverged the first attempt.
+    pub clip_norm: f32,
+    /// Write a periodic checkpoint every N epochs (0 disables). Requires
+    /// [`TrainConfig::ckpt_dir`].
+    pub ckpt_every: usize,
+    /// Directory for checkpoint snapshots; when set, the trainers also
+    /// *resume* from any good snapshot found there at startup.
+    pub ckpt_dir: Option<String>,
     /// Deterministic fault injection: treat the loss as NaN once this
     /// (0-based) epoch completes, so the divergence guard is testable
     /// end-to-end. `None` in every real run.
     pub inject_nan_after_epoch: Option<usize>,
+    /// Deterministic fault injection: simulate a process kill (panic with a
+    /// [`crate::error::Killed`] payload) right after this epoch completes,
+    /// so crash-resume paths are testable in-process. `None` in real runs.
+    pub inject_kill_after_epoch: Option<usize>,
 }
 
 impl Default for TrainConfig {
@@ -51,7 +65,11 @@ impl Default for TrainConfig {
             batch_size: 4096,
             seed: 0,
             time_budget_s: 0.0,
+            clip_norm: 0.0,
+            ckpt_every: 0,
+            ckpt_dir: None,
             inject_nan_after_epoch: None,
+            inject_kill_after_epoch: None,
         }
     }
 }

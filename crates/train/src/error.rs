@@ -19,7 +19,9 @@
 #[derive(Clone, Debug, PartialEq)]
 pub enum TrainError {
     /// The training loss became non-finite at the given (0-based) epoch.
-    Diverged { epoch: usize },
+    /// When the gradient scan could localize the blow-up, `param` names the
+    /// first parameter whose gradient went non-finite.
+    Diverged { epoch: usize, param: Option<String> },
     /// The wall-clock budget expired after the given epoch completed.
     Timeout { epoch: usize, budget_s: f64 },
 }
@@ -27,7 +29,13 @@ pub enum TrainError {
 impl std::fmt::Display for TrainError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            TrainError::Diverged { epoch } => write!(f, "diverged at epoch {epoch}"),
+            TrainError::Diverged { epoch, param: None } => write!(f, "diverged at epoch {epoch}"),
+            TrainError::Diverged {
+                epoch,
+                param: Some(name),
+            } => {
+                write!(f, "diverged at epoch {epoch} (non-finite grad in {name})")
+            }
             TrainError::Timeout { epoch, budget_s } => {
                 write!(f, "timeout after epoch {epoch} (budget {budget_s:.3}s)")
             }
@@ -36,6 +44,13 @@ impl std::fmt::Display for TrainError {
 }
 
 impl std::error::Error for TrainError {}
+
+/// Panic payload of a fault-injected mid-training kill
+/// ([`crate::TrainConfig::inject_kill_after_epoch`]). The cell runner treats
+/// it like a real crash — it re-raises instead of converting to a DNF — so
+/// checkpoint-resume paths can be exercised end-to-end in tests and CI.
+#[derive(Clone, Debug)]
+pub struct Killed(pub String);
 
 /// Non-finite training losses observed (one per diverged run).
 pub(crate) static DIVERGED: sgnn_obs::Counter = sgnn_obs::Counter::new("train.diverged");
@@ -48,8 +63,19 @@ mod tests {
 
     #[test]
     fn display_names_the_failure() {
-        let d = TrainError::Diverged { epoch: 7 };
+        let d = TrainError::Diverged {
+            epoch: 7,
+            param: None,
+        };
         assert_eq!(d.to_string(), "diverged at epoch 7");
+        let d = TrainError::Diverged {
+            epoch: 7,
+            param: Some("theta".into()),
+        };
+        assert_eq!(
+            d.to_string(),
+            "diverged at epoch 7 (non-finite grad in theta)"
+        );
         let t = TrainError::Timeout {
             epoch: 3,
             budget_s: 0.5,

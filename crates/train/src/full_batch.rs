@@ -18,27 +18,39 @@ use sgnn_models::decoupled::{DecoupledConfig, DecoupledModel};
 use sgnn_obs as obs;
 use sgnn_sparse::PropMatrix;
 
+use crate::checkpoint::{Checkpointer, Snapshot, SnapshotStatus};
 use crate::config::{TrainConfig, TrainReport};
 use crate::error::TrainError;
 use crate::memory::DeviceMeter;
 use crate::metrics::{accuracy, binary_scores, roc_auc};
 use crate::timer::StageTimer;
 
-/// The per-epoch failure checks both schemes share: fault-injected NaN,
-/// a non-finite loss (divergence), and the cooperative wall-clock budget.
-/// Called after epoch `epoch` (0-based) completed with training loss `loss`.
+/// The per-epoch failure checks both schemes share: fault-injected kills and
+/// NaNs, a non-finite loss (divergence), and the cooperative wall-clock
+/// budget. Called after epoch `epoch` (0-based) completed with training loss
+/// `loss`; `store` is scanned on divergence to name the parameter whose
+/// gradient went non-finite.
 pub(crate) fn epoch_guard(
     cfg: &TrainConfig,
     epoch: usize,
     mut loss: f64,
     started: std::time::Instant,
+    store: &ParamStore,
 ) -> Result<(), TrainError> {
+    if cfg.inject_kill_after_epoch == Some(epoch) {
+        std::panic::panic_any(crate::error::Killed(format!(
+            "injected kill after epoch {epoch}"
+        )));
+    }
     if cfg.inject_nan_after_epoch.is_some_and(|e| epoch >= e) {
         loss = f64::NAN;
     }
     if !loss.is_finite() {
         crate::error::DIVERGED.incr();
-        return Err(TrainError::Diverged { epoch });
+        return Err(TrainError::Diverged {
+            epoch,
+            param: store.first_nonfinite_grad().map(String::from),
+        });
     }
     if cfg.time_budget_s > 0.0 && started.elapsed().as_secs_f64() > cfg.time_budget_s {
         crate::error::TIMEOUTS.incr();
@@ -140,7 +152,56 @@ pub fn try_train_full_batch_model(
     let mut epochs_run = 0usize;
     let mut prop_hops = 0usize;
 
-    for epoch in 0..cfg.epochs {
+    // Checkpointing: resume from the newest good snapshot for this exact
+    // run (seed + structural config), if one exists.
+    let tag = cfg.structural_tag("FB");
+    let ckpt = cfg
+        .ckpt_dir
+        .as_deref()
+        .map(|d| Checkpointer::create(d).unwrap_or_else(|e| panic!("checkpoint dir {d}: {e}")));
+    let mut start_epoch = 0usize;
+    if let Some(ck) = &ckpt {
+        if let Some(snap) = ck.load_good(cfg.seed, tag) {
+            if snap.apply_model(&mut store, &mut opt).is_ok() {
+                start_epoch = snap.epoch_next;
+                epochs_run = snap.epoch_next;
+                best_valid = snap.best_valid;
+                best_test = snap.best_test;
+                bad_epochs = snap.bad_epochs;
+                prop_hops = snap.prop_hops;
+                device.record_bytes(snap.device_peak);
+                // The FB RNG is only consumed during model initialization,
+                // which already replayed identically above; nothing to
+                // restore from `snap.rng_state`.
+            }
+        }
+    }
+    let snapshot = |status: SnapshotStatus,
+                    epoch_next: usize,
+                    rng: &rand::rngs::SmallRng,
+                    store: &ParamStore,
+                    opt: &Adam,
+                    best_valid: f64,
+                    best_test: f64,
+                    bad_epochs: usize,
+                    prop_hops: usize,
+                    device_peak: usize| Snapshot {
+        seed: cfg.seed,
+        config_tag: tag,
+        status,
+        epoch_next,
+        rng_state: rng.state(),
+        best_valid,
+        best_test,
+        bad_epochs,
+        prop_hops,
+        device_peak,
+        train_idx: Vec::new(),
+        params: store.export_values(),
+        adam: opt.state(),
+    };
+
+    for epoch in start_epoch..cfg.epochs {
         epochs_run = epoch + 1;
         store.zero_grads();
         let (tape, loss_val) = train_timer.time(|| {
@@ -154,6 +215,9 @@ pub fn try_train_full_batch_model(
                 let _sp = obs::span!("epoch.backward");
                 tape.backward(loss, &mut store);
             }
+            if cfg.clip_norm > 0.0 {
+                sgnn_autograd::clip_global_norm(&mut store, cfg.clip_norm);
+            }
             {
                 let _sp = obs::span!("epoch.step");
                 opt.step(&mut store);
@@ -163,7 +227,30 @@ pub fn try_train_full_batch_model(
         crate::EPOCHS.incr();
         device.record_step(&tape, &store, Some(&opt), fixed_bytes);
         prop_hops += 2 * model.filter.filter().hops(); // forward + adjoint
-        epoch_guard(cfg, epoch, loss_val, started)?;
+        if let Err(e) = epoch_guard(cfg, epoch, loss_val, started, &store) {
+            // Keep a final snapshot for post-mortems: out of the periodic
+            // rotation, so a diverged (possibly poisoned) state never evicts
+            // a good resume point.
+            if let Some(ck) = &ckpt {
+                let status = match &e {
+                    TrainError::Diverged { .. } => SnapshotStatus::FinalDiverged,
+                    TrainError::Timeout { .. } => SnapshotStatus::FinalTimeout,
+                };
+                let _ = ck.write_final(&snapshot(
+                    status,
+                    epoch + 1,
+                    &rng,
+                    &store,
+                    &opt,
+                    best_valid,
+                    best_test,
+                    bad_epochs,
+                    prop_hops,
+                    device.peak(),
+                ));
+            }
+            return Err(e);
+        }
 
         // Periodic validation for early stopping.
         if cfg.patience > 0 && (epoch % 5 == 4 || epoch + 1 == cfg.epochs) {
@@ -180,6 +267,30 @@ pub fn try_train_full_batch_model(
                 }
             }
         }
+
+        // Periodic snapshot — after validation, so the captured best-metric
+        // state includes this epoch and a resume replays bit-for-bit.
+        if let Some(ck) = &ckpt {
+            if cfg.ckpt_every > 0 && (epoch + 1) % cfg.ckpt_every == 0 && epoch + 1 < cfg.epochs {
+                ck.write(&snapshot(
+                    SnapshotStatus::Periodic,
+                    epoch + 1,
+                    &rng,
+                    &store,
+                    &opt,
+                    best_valid,
+                    best_test,
+                    bad_epochs,
+                    prop_hops,
+                    device.peak(),
+                ))
+                .unwrap_or_else(|e| panic!("write checkpoint: {e}"));
+            }
+        }
+    }
+    if let Some(ck) = &ckpt {
+        // Training finished: nothing left to resume.
+        ck.clear();
     }
 
     // Final inference (timed separately, evaluation mode).
@@ -267,7 +378,14 @@ mod tests {
         cfg.inject_nan_after_epoch = Some(2);
         let err = try_train_full_batch(make_filter("PPR", cfg.hops).unwrap(), &data, &cfg)
             .expect_err("injected NaN must abort training");
-        assert_eq!(err, TrainError::Diverged { epoch: 2 });
+        assert_eq!(
+            err,
+            TrainError::Diverged {
+                epoch: 2,
+                param: None
+            },
+            "loss injection leaves gradients finite — no parameter to blame"
+        );
     }
 
     #[test]

@@ -20,6 +20,7 @@
 /// `train.epochs` name is registered exactly once).
 pub(crate) static EPOCHS: sgnn_obs::Counter = sgnn_obs::Counter::new("train.epochs");
 
+pub mod checkpoint;
 pub mod config;
 pub mod error;
 pub mod full_batch;
@@ -30,7 +31,8 @@ pub mod mini_batch;
 pub mod regression;
 pub mod timer;
 
+pub use checkpoint::{peek_resumable, Checkpointer, CkptError, Snapshot, SnapshotStatus};
 pub use config::{TrainConfig, TrainReport};
-pub use error::TrainError;
+pub use error::{Killed, TrainError};
 pub use full_batch::{train_full_batch, try_train_full_batch};
 pub use mini_batch::{train_mini_batch, try_train_mini_batch};

@@ -19,6 +19,7 @@ use sgnn_models::decoupled::{gather_terms, DecoupledConfig, DecoupledModel};
 use sgnn_obs as obs;
 use sgnn_sparse::PropMatrix;
 
+use crate::checkpoint::{Checkpointer, Snapshot, SnapshotStatus};
 use crate::config::{TrainConfig, TrainReport};
 use crate::error::TrainError;
 use crate::full_batch::{epoch_guard, evaluate};
@@ -97,7 +98,57 @@ pub fn try_train_mini_batch(
     let mut bad_epochs = 0usize;
     let mut epochs_run = 0usize;
 
-    for epoch in 0..cfg.epochs {
+    // Checkpointing: resume from the newest good snapshot for this exact
+    // run. Unlike full-batch, the MB RNG advances every epoch (shuffling)
+    // and the training order is cumulative, so both are restored.
+    let tag = cfg.structural_tag("MB");
+    let ckpt = cfg
+        .ckpt_dir
+        .as_deref()
+        .map(|d| Checkpointer::create(d).unwrap_or_else(|e| panic!("checkpoint dir {d}: {e}")));
+    let mut start_epoch = 0usize;
+    if let Some(ck) = &ckpt {
+        if let Some(snap) = ck.load_good(cfg.seed, tag) {
+            if snap.train_idx.len() == train_idx.len()
+                && snap.apply_model(&mut store, &mut opt).is_ok()
+            {
+                start_epoch = snap.epoch_next;
+                epochs_run = snap.epoch_next;
+                best_valid = snap.best_valid;
+                best_test = snap.best_test;
+                bad_epochs = snap.bad_epochs;
+                rng.set_state(snap.rng_state);
+                train_idx = snap.train_idx;
+                device.record_bytes(snap.device_peak);
+            }
+        }
+    }
+    let snapshot = |status: SnapshotStatus,
+                    epoch_next: usize,
+                    rng: &rand::rngs::SmallRng,
+                    train_idx: &[u32],
+                    store: &ParamStore,
+                    opt: &Adam,
+                    best_valid: f64,
+                    best_test: f64,
+                    bad_epochs: usize,
+                    device_peak: usize| Snapshot {
+        seed: cfg.seed,
+        config_tag: tag,
+        status,
+        epoch_next,
+        rng_state: rng.state(),
+        best_valid,
+        best_test,
+        bad_epochs,
+        prop_hops: pre_hops,
+        device_peak,
+        train_idx: train_idx.to_vec(),
+        params: store.export_values(),
+        adam: opt.state(),
+    };
+
+    for epoch in start_epoch..cfg.epochs {
         epochs_run = epoch + 1;
         drng::shuffle(&mut train_idx, &mut rng);
         let chunks: Vec<Vec<u32>> = train_idx
@@ -131,6 +182,9 @@ pub fn try_train_mini_batch(
                     let _sp = obs::span!("epoch.backward");
                     tape.backward(loss, &mut store);
                 }
+                if cfg.clip_norm > 0.0 {
+                    sgnn_autograd::clip_global_norm(&mut store, cfg.clip_norm);
+                }
                 {
                     let _sp = obs::span!("epoch.step");
                     opt.step(&mut store);
@@ -139,7 +193,27 @@ pub fn try_train_mini_batch(
             }
         });
         crate::EPOCHS.incr();
-        epoch_guard(cfg, epoch, epoch_loss, started)?;
+        if let Err(e) = epoch_guard(cfg, epoch, epoch_loss, started, &store) {
+            if let Some(ck) = &ckpt {
+                let status = match &e {
+                    TrainError::Diverged { .. } => SnapshotStatus::FinalDiverged,
+                    TrainError::Timeout { .. } => SnapshotStatus::FinalTimeout,
+                };
+                let _ = ck.write_final(&snapshot(
+                    status,
+                    epoch + 1,
+                    &rng,
+                    &train_idx,
+                    &store,
+                    &opt,
+                    best_valid,
+                    best_test,
+                    bad_epochs,
+                    device.peak(),
+                ));
+            }
+            return Err(e);
+        }
 
         if cfg.patience > 0 && (epoch % 5 == 4 || epoch + 1 == cfg.epochs) {
             let logits = infer_mb(&model, &terms, data.nodes(), cfg.batch_size, &store);
@@ -155,6 +229,29 @@ pub fn try_train_mini_batch(
                 }
             }
         }
+
+        // Periodic snapshot — after validation so a resume replays the
+        // best-metric state bit-for-bit.
+        if let Some(ck) = &ckpt {
+            if cfg.ckpt_every > 0 && (epoch + 1) % cfg.ckpt_every == 0 && epoch + 1 < cfg.epochs {
+                ck.write(&snapshot(
+                    SnapshotStatus::Periodic,
+                    epoch + 1,
+                    &rng,
+                    &train_idx,
+                    &store,
+                    &opt,
+                    best_valid,
+                    best_test,
+                    bad_epochs,
+                    device.peak(),
+                ))
+                .unwrap_or_else(|e| panic!("write checkpoint: {e}"));
+            }
+        }
+    }
+    if let Some(ck) = &ckpt {
+        ck.clear();
     }
 
     let mut infer_timer = StageTimer::named("infer");
@@ -235,7 +332,7 @@ mod tests {
         small.epochs = 2;
         small.patience = 0;
         small.batch_size = 64;
-        let mut large = small;
+        let mut large = small.clone();
         large.batch_size = 1024;
         let rs = train_mini_batch(make_filter("PPR", 4).unwrap(), &data, &small);
         let rl = train_mini_batch(make_filter("PPR", 4).unwrap(), &data, &large);
@@ -254,7 +351,13 @@ mod tests {
         cfg.inject_nan_after_epoch = Some(1);
         let err = try_train_mini_batch(make_filter("Monomial", cfg.hops).unwrap(), &data, &cfg)
             .expect_err("injected NaN must abort training");
-        assert_eq!(err, TrainError::Diverged { epoch: 1 });
+        assert_eq!(
+            err,
+            TrainError::Diverged {
+                epoch: 1,
+                param: None
+            }
+        );
     }
 
     #[test]
