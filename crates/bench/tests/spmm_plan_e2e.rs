@@ -1,0 +1,76 @@
+//! End-to-end bit-identity of the propagation plan layer: a `table1` run
+//! (which propagates every filter's basis on cora, exercising the fused
+//! recurrence kernels and the planned SpMM dispatch) must produce
+//! byte-identical stdout with nnz-balanced scheduling on and off, and the
+//! planned run must actually build a plan (counter-asserted via the trace).
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::process::{Command, Output};
+
+use sgnn_obs::json::{self, Value};
+
+fn run_table1(plan: bool, trace: Option<&Path>) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_experiments"));
+    cmd.args(["table1", "--scale", "tiny", "--hops", "4"])
+        // Pin a multi-lane pool so the planned dispatch path is eligible;
+        // scrub ambient config that could perturb either run.
+        .env("SGNN_THREADS", "4")
+        .env("SGNN_SPMM_PLAN", if plan { "1" } else { "0" })
+        .env_remove("SGNN_TRACE")
+        .env_remove("SGNN_FAULTS");
+    if let Some(t) = trace {
+        cmd.env("SGNN_TRACE", t);
+    }
+    cmd.output().expect("spawn experiments")
+}
+
+/// Final value of each counter in a JSONL trace (flushes are cumulative,
+/// so the last event per name wins).
+fn final_counters(trace: &Path) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    for line in std::fs::read_to_string(trace).unwrap().lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).unwrap();
+        if v.get("kind").and_then(Value::as_str) == Some("counter") {
+            let name = v.get("name").and_then(Value::as_str).unwrap().to_string();
+            out.insert(name, v.get("value").and_then(Value::as_u64).unwrap_or(0));
+        }
+    }
+    out
+}
+
+#[test]
+fn table1_stdout_is_byte_identical_with_and_without_plans() {
+    let trace = std::env::temp_dir().join(format!("sgnn_spmm_e2e_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&trace);
+
+    let planned = run_table1(true, Some(&trace));
+    assert!(planned.status.success(), "planned run failed: {planned:?}");
+    let rowsplit = run_table1(false, None);
+    assert!(
+        rowsplit.status.success(),
+        "row-split run failed: {rowsplit:?}"
+    );
+
+    assert!(
+        planned.stdout == rowsplit.stdout,
+        "plan layer changed table1 output:\n--- planned ---\n{}\n--- row-split ---\n{}",
+        String::from_utf8_lossy(&planned.stdout),
+        String::from_utf8_lossy(&rowsplit.stdout),
+    );
+
+    // The planned run must have actually taken the planned path: at least
+    // one plan built, and reused across the run's many propagations.
+    let counters = final_counters(&trace);
+    let built = counters.get("spmm.plan.built").copied().unwrap_or(0);
+    let hits = counters.get("spmm.plan.hit").copied().unwrap_or(0);
+    assert!(built >= 1, "no SpMM plan was built; counters: {counters:?}");
+    assert!(
+        hits > built,
+        "plans were not reused (built {built}, hits {hits})"
+    );
+    let _ = std::fs::remove_file(&trace);
+}

@@ -91,9 +91,8 @@ impl SpectralFilter for Favard {
             terms.push(ctx.prop(1.0, 0.0, x));
         }
         for k in 2..=self.hops {
-            let mut next = ctx.prop(1.0, 0.0, &terms[k - 1]);
-            next.sub_assign_mat(&terms[k - 2]);
-            terms.push(next);
+            // One fused edge pass (bit-identical to prop + subtract).
+            terms.push(ctx.prop_axpy(1.0, 0.0, -1.0, &terms[k - 1], &terms[k - 2]));
         }
         vec![terms]
     }

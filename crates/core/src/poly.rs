@@ -5,9 +5,49 @@
 //! recurrences. Centralizing them keeps each filter definition close to its
 //! formula in Appendix B of the paper.
 
+use std::cell::RefCell;
+
 use sgnn_dense::DMat;
 
 use crate::spec::PropCtx;
+
+/// Retained scratch buffers per pool entry — two suffice for the ping-pong
+/// recurrences, a couple more absorb nested/aborted callers.
+const HOP_POOL_CAP: usize = 4;
+
+thread_local! {
+    /// Pool of hop-sized scratch allocations reused across propagation calls
+    /// so `affine_power_sum`/`affine_power` stop allocating one `n × F`
+    /// matrix per hop.
+    static HOP_POOL: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A pooled `rows × cols` scratch matrix. Interior values are unspecified —
+/// callers must fully overwrite it (every `_into` propagation kernel does).
+fn take_buf(rows: usize, cols: usize) -> DMat {
+    let len = rows * cols;
+    let data = match HOP_POOL.with(|p| p.borrow_mut().pop()) {
+        Some(mut v) => {
+            // Only the grown tail needs initializing; stale interior values
+            // are overwritten by the `_into` kernels.
+            v.truncate(len);
+            v.resize(len, 0.0);
+            v
+        }
+        None => vec![0.0; len],
+    };
+    DMat::from_vec(rows, cols, data)
+}
+
+/// Returns a scratch matrix to the pool (dropped if the pool is full).
+fn give_buf(m: DMat) {
+    HOP_POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < HOP_POOL_CAP {
+            pool.push(m.into_vec());
+        }
+    });
+}
 
 /// Basis terms `[(a·Ã + b·I)^k · x]` for `k = 0..=hops`.
 pub fn affine_power_terms(ctx: &PropCtx<'_>, x: &DMat, a: f32, b: f32, hops: usize) -> Vec<DMat> {
@@ -25,19 +65,39 @@ pub fn affine_power_terms(ctx: &PropCtx<'_>, x: &DMat, a: f32, b: f32, hops: usi
 pub fn affine_power_sum(ctx: &PropCtx<'_>, x: &DMat, a: f32, b: f32, coeffs: &[f32]) -> DMat {
     assert!(!coeffs.is_empty(), "need at least the order-0 coefficient");
     let mut acc = x.scaled(coeffs[0]);
-    let mut cur = x.clone();
-    for &c in &coeffs[1..] {
-        cur = ctx.prop(a, b, &cur);
+    if coeffs.len() == 1 {
+        return acc;
+    }
+    // Ping-pong two pooled scratch buffers; the first hop reads `x` in
+    // place, so `x` is never copied and no per-hop allocation occurs.
+    let mut cur = take_buf(x.rows(), x.cols());
+    let mut next = take_buf(x.rows(), x.cols());
+    ctx.prop_into(a, b, x, &mut cur);
+    acc.axpy(coeffs[1], &cur);
+    for &c in &coeffs[2..] {
+        ctx.prop_into(a, b, &cur, &mut next);
+        std::mem::swap(&mut cur, &mut next);
         acc.axpy(c, &cur);
     }
+    give_buf(cur);
+    give_buf(next);
     acc
 }
 
 /// `(a·Ã + b·I)^k · x` for a single `k` (no intermediate retention).
 pub fn affine_power(ctx: &PropCtx<'_>, x: &DMat, a: f32, b: f32, k: usize) -> DMat {
-    let mut cur = x.clone();
-    for _ in 0..k {
-        cur = ctx.prop(a, b, &cur);
+    if k == 0 {
+        return x.clone();
+    }
+    let mut cur = take_buf(x.rows(), x.cols());
+    ctx.prop_into(a, b, x, &mut cur);
+    if k > 1 {
+        let mut next = take_buf(x.rows(), x.cols());
+        for _ in 1..k {
+            ctx.prop_into(a, b, &cur, &mut next);
+            std::mem::swap(&mut cur, &mut next);
+        }
+        give_buf(next);
     }
     cur
 }
@@ -51,10 +111,9 @@ pub fn chebyshev_terms(ctx: &PropCtx<'_>, x: &DMat, hops: usize) -> Vec<DMat> {
         terms.push(ctx.prop(-1.0, 0.0, x));
     }
     for k in 2..=hops {
-        // T_k = 2(L̃ − I)T_{k−1} − T_{k−2} = −2Ã·T_{k−1} − T_{k−2}.
-        let mut next = ctx.prop(-2.0, 0.0, &terms[k - 1]);
-        next.sub_assign_mat(&terms[k - 2]);
-        terms.push(next);
+        // T_k = 2(L̃ − I)T_{k−1} − T_{k−2} = −2Ã·T_{k−1} − T_{k−2}, fused
+        // into one pass over the edges (bit-identical to prop + subtract).
+        terms.push(ctx.prop_axpy(-2.0, 0.0, -1.0, &terms[k - 1], &terms[k - 2]));
     }
     terms
 }

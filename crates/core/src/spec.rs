@@ -213,6 +213,30 @@ impl<'a> PropCtx<'a> {
         }
     }
 
+    /// One hop into a caller-provided buffer (fully overwritten) — lets the
+    /// polynomial helpers ping-pong scratch buffers instead of allocating an
+    /// `n × F` matrix per hop.
+    pub fn prop_into(&self, a: f32, b: f32, x: &DMat, out: &mut DMat) {
+        self.hops.fetch_add(1, Ordering::Relaxed);
+        if self.adjoint {
+            self.pm.prop_t_into(a, b, x, out);
+        } else {
+            self.pm.prop_into(a, b, x, out);
+        }
+    }
+
+    /// Fused three-term hop `a·Ã·x + b·x + c·z` — one pass over the edges
+    /// for Chebyshev/Legendre/Jacobi-style recurrences. Bit-identical to
+    /// [`prop`](Self::prop) followed by an `axpy(c, z)`.
+    pub fn prop_axpy(&self, a: f32, b: f32, c: f32, x: &DMat, z: &DMat) -> DMat {
+        self.hops.fetch_add(1, Ordering::Relaxed);
+        if self.adjoint {
+            self.pm.prop_t_axpy(a, b, c, x, z)
+        } else {
+            self.pm.prop_axpy(a, b, c, x, z)
+        }
+    }
+
     /// Hops executed through this context so far.
     pub fn hops_used(&self) -> usize {
         self.hops.load(Ordering::Relaxed)

@@ -224,9 +224,8 @@ impl SpectralFilter for Clenshaw {
             terms.push(ctx.prop(-2.0, 0.0, x));
         }
         for k in 2..=self.hops {
-            let mut next = ctx.prop(-2.0, 0.0, &terms[k - 1]);
-            next.sub_assign_mat(&terms[k - 2]);
-            terms.push(next);
+            // U_k = −2Ã·U_{k−1} − U_{k−2}, fused into one edge pass.
+            terms.push(ctx.prop_axpy(-2.0, 0.0, -1.0, &terms[k - 1], &terms[k - 2]));
         }
         vec![terms]
     }
@@ -344,11 +343,15 @@ impl SpectralFilter for Legendre {
             terms.push(ctx.prop(-1.0, 0.0, x));
         }
         for k in 2..=self.hops {
-            // P_k = ((2k−1)(L̃−I)P_{k−1} − (k−1)P_{k−2}) / k.
+            // P_k = ((2k−1)(L̃−I)P_{k−1} − (k−1)P_{k−2}) / k, one edge pass.
             let kf = k as f32;
-            let mut next = ctx.prop(-(2.0 * kf - 1.0) / kf, 0.0, &terms[k - 1]);
-            next.axpy(-(kf - 1.0) / kf, &terms[k - 2]);
-            terms.push(next);
+            terms.push(ctx.prop_axpy(
+                -(2.0 * kf - 1.0) / kf,
+                0.0,
+                -(kf - 1.0) / kf,
+                &terms[k - 1],
+                &terms[k - 2],
+            ));
         }
         vec![terms]
     }
@@ -397,10 +400,14 @@ impl SpectralFilter for Jacobi {
             let d1 = (c * (c - 1.0)) / (2.0 * jf * (jf + a + b));
             let d2 = ((c - 1.0) * (a * a - b * b)) / (2.0 * jf * (jf + a + b) * (c - 2.0));
             let d3 = ((jf + a - 1.0) * (jf + b - 1.0) * c) / (jf * (jf + a + b) * (c - 2.0));
-            // T_k = d1·Ã T_{k−1} + d2·T_{k−1} − d3·T_{k−2}.
-            let mut next = ctx.prop(d1 as f32, d2 as f32, &terms[k - 1]);
-            next.axpy(-(d3 as f32), &terms[k - 2]);
-            terms.push(next);
+            // T_k = d1·Ã T_{k−1} + d2·T_{k−1} − d3·T_{k−2}, one edge pass.
+            terms.push(ctx.prop_axpy(
+                d1 as f32,
+                d2 as f32,
+                -(d3 as f32),
+                &terms[k - 1],
+                &terms[k - 2],
+            ));
         }
         vec![terms]
     }

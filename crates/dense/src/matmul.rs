@@ -7,7 +7,7 @@
 //! persistent worker pool (see [`crate::runtime`]).
 
 use crate::mat::DMat;
-use crate::runtime::run_chunks;
+use crate::runtime::{num_threads, run_chunks, run_map};
 use sgnn_obs as obs;
 
 /// Multiply-accumulate count across all three kernels (2 flops each); the
@@ -48,8 +48,34 @@ pub fn matmul(a: &DMat, b: &DMat) -> DMat {
     out
 }
 
+/// Accumulates `Aᵀ·B` over the given `k`-range into a row-major `m × n`
+/// buffer (the shared inner kernel of [`matmul_at_b`]).
+fn at_b_accumulate(a: &DMat, b: &DMat, ks: std::ops::Range<usize>, out: &mut [f32], n: usize) {
+    for kk in ks {
+        let arow = a.row(kk);
+        let brow = b.row(kk);
+        for (r, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &mut out[r * n..(r + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o = bv.mul_add(av, *o);
+            }
+        }
+    }
+}
+
 /// `Aᵀ (k×m)ᵀ · B (k×n) -> (m×n)`, i.e. `matmul(a.transpose(), b)` without
 /// materializing the transpose. Used for weight gradients `Xᵀ·dY`.
+///
+/// The output is `m × n` (feature × feature, small) but the reduction runs
+/// over `k` (nodes, large), so the parallel path splits `k` across pool
+/// lanes into per-task partial accumulators and sums them in fixed chunk
+/// order. That reduction order is deterministic for a given pool width but
+/// regroups the serial `k`-order sum, so results can differ from the serial
+/// kernel in the last float bits — weight gradients are tolerance-checked,
+/// never byte-compared.
 pub fn matmul_at_b(a: &DMat, b: &DMat) -> DMat {
     assert_eq!(a.rows(), b.rows(), "matmul_at_b leading dimension mismatch");
     let (k, m) = a.shape();
@@ -57,19 +83,22 @@ pub fn matmul_at_b(a: &DMat, b: &DMat) -> DMat {
     let _sp = obs::span!("matmul", m = m, k = k, n = n);
     MATMUL_FLOPS.add(2 * (m * k * n) as u64);
     let mut out = DMat::zeros(m, n);
-    // Serial accumulation over k keeps writes race-free; m and n are small
-    // (both are feature dimensions), so this is never the hot path.
-    for kk in 0..k {
-        let arow = a.row(kk);
-        let brow = b.row(kk);
-        for (r, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let orow = &mut out.data_mut()[r * n..(r + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o = bv.mul_add(av, *o);
-            }
+    let chunks = num_threads().min(k.max(1));
+    if chunks <= 1 || m * k * n < 1 << 14 {
+        at_b_accumulate(a, b, 0..k, out.data_mut(), n);
+        return out;
+    }
+    let per = k.div_ceil(chunks);
+    let partials = run_map(chunks, |i| {
+        let ks = i * per..((i + 1) * per).min(k);
+        let mut part = vec![0.0f32; m * n];
+        at_b_accumulate(a, b, ks, &mut part, n);
+        part
+    });
+    let odat = out.data_mut();
+    for part in &partials {
+        for (o, &p) in odat.iter_mut().zip(part) {
+            *o += p;
         }
     }
     out
@@ -149,6 +178,18 @@ mod tests {
         let a = DMat::from_fn(4, 4, |r, c| (r * 4 + c) as f32);
         approx_eq(&matmul(&a, &DMat::eye(4)), &a, 0.0);
         approx_eq(&matmul(&DMat::eye(4), &a), &a, 0.0);
+    }
+
+    #[test]
+    fn at_b_parallel_path_matches_naive_within_tolerance() {
+        // 2000·16·32 ≈ 1M flops clears the parallel cutoff; values are
+        // mixed-sign so cancellation would expose an incorrect reduction.
+        let a = DMat::from_fn(2000, 16, |r, c| ((r * 13 + c * 7) % 11) as f32 * 0.3 - 1.5);
+        let b = DMat::from_fn(2000, 32, |r, c| ((r * 3 + c * 5) % 9) as f32 * 0.25 - 1.0);
+        let got = matmul_at_b(&a, &b);
+        approx_eq(&got, &naive(&a.transpose(), &b), 1e-1);
+        // Deterministic for a fixed pool width: repeated calls agree exactly.
+        assert_eq!(got, matmul_at_b(&a, &b));
     }
 
     #[test]

@@ -379,6 +379,51 @@ where
     });
 }
 
+/// Runs `f(first_row, chunk)` over *caller-chosen* contiguous row chunks of
+/// `data` — the scheduled counterpart of [`run_chunks`].
+///
+/// `boundaries` must be a monotone row partition starting at 0; chunk `i`
+/// covers rows `boundaries[i]..boundaries[i + 1]` and `data` must have
+/// `boundaries.last() * cols` entries. Chunks are claimed dynamically by the
+/// pool, so callers that weight their boundaries by per-row cost (e.g. the
+/// nnz-balanced SpMM plans in `sgnn-sparse`) get load balancing that a
+/// row-count split cannot provide. Unlike [`run_chunks`] there is no
+/// tiny-problem cutoff: the caller already decided the work is worth
+/// scheduling (empty chunks are skipped). Falls back to one serial call for
+/// width-1 pools and nested invocations, exactly like [`run_chunks`].
+pub fn run_plan<F>(data: &mut [f32], cols: usize, boundaries: &[usize], f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    assert!(
+        boundaries.first() == Some(&0) && boundaries.windows(2).all(|w| w[0] <= w[1]),
+        "boundaries must be a monotone partition starting at 0"
+    );
+    let rows = *boundaries.last().unwrap();
+    assert_eq!(data.len(), rows * cols, "buffer must cover rows*cols");
+    let n_chunks = boundaries.len() - 1;
+    let threads = num_threads().min(n_chunks.max(1));
+    if threads <= 1 || in_worker() {
+        count_inline_fallback();
+        f(0, data);
+        return;
+    }
+    let base = SendPtr(data.as_mut_ptr());
+    dispatch(n_chunks, threads - 1, &|i: usize| {
+        let first = boundaries[i];
+        let take = boundaries[i + 1] - first;
+        if take == 0 {
+            return;
+        }
+        // SAFETY: boundaries are monotone, so chunk i's rows
+        // [first, first + take) are pairwise disjoint from every other
+        // chunk's; `data` outlives the dispatch.
+        let chunk =
+            unsafe { std::slice::from_raw_parts_mut(base.get().add(first * cols), take * cols) };
+        f(first, chunk);
+    });
+}
+
 /// Runs `f(i)` for `i` in `0..n` across the pool, each index exactly once.
 ///
 /// Indices are claimed dynamically, so coarse uneven tasks (e.g. one filter
@@ -475,6 +520,44 @@ mod tests {
         for r in 0..rows {
             assert_eq!(data[r * cols], r as f32, "row {r} written exactly once");
         }
+    }
+
+    #[test]
+    fn run_plan_covers_every_row_exactly_once() {
+        let _g = pin_threads(4);
+        let cols = 17;
+        // Uneven partition, including an empty chunk.
+        let boundaries = [0usize, 1, 1, 40, 200, 203];
+        let rows = *boundaries.last().unwrap();
+        let mut data = vec![0.0f32; rows * cols];
+        run_plan(&mut data, cols, &boundaries, |first, chunk| {
+            for (r, row) in chunk.chunks_exact_mut(cols).enumerate() {
+                for v in row.iter_mut() {
+                    *v += (first + r) as f32 + 1.0;
+                }
+            }
+        });
+        for r in 0..rows {
+            assert_eq!(data[r * cols], r as f32 + 1.0, "row {r} written once");
+        }
+    }
+
+    #[test]
+    fn run_plan_matches_run_chunks_bits() {
+        let _g = pin_threads(3);
+        let (rows, cols) = (257, 65);
+        let kernel = |first: usize, chunk: &mut [f32]| {
+            for (r, row) in chunk.chunks_exact_mut(cols).enumerate() {
+                for (c, v) in row.iter_mut().enumerate() {
+                    *v = ((first + r) as f32).mul_add(0.25, c as f32 * 0.5).sin();
+                }
+            }
+        };
+        let mut a = vec![0.0f32; rows * cols];
+        run_chunks(&mut a, rows, cols, kernel);
+        let mut b = vec![0.0f32; rows * cols];
+        run_plan(&mut b, cols, &[0, 3, 100, 101, 250, 257], kernel);
+        assert_eq!(a, b, "schedule must not change per-row results");
     }
 
     #[test]

@@ -7,23 +7,74 @@
 //! values `f32`, which matches the memory footprint assumptions in the
 //! paper's complexity table.
 
-use sgnn_dense::runtime::run_chunks;
+use std::sync::Arc;
+
+use sgnn_dense::runtime::{num_threads, run_chunks, run_plan};
 use sgnn_dense::DMat;
 use sgnn_obs as obs;
+
+use crate::plan::{self, PlanCell, SpmmPlan};
 
 /// Stored entries visited across all CSR propagations (one per edge·hop).
 static SPMM_NNZ: obs::Counter = obs::Counter::new("spmm.nnz");
 /// Multiply-accumulate work of CSR propagation (2 flops per nnz per column).
 static SPMM_FLOPS: obs::Counter = obs::Counter::new("spmm.flops");
+/// nnz-balanced scheduling plans constructed (once per pattern × pool width).
+static PLAN_BUILT: obs::Counter = obs::Counter::new("spmm.plan.built");
+/// SpMM dispatches served by a cached plan.
+static PLAN_HIT: obs::Counter = obs::Counter::new("spmm.plan.hit");
+
+/// Work (in `nnz + rows` units, times columns) below which a parallel SpMM
+/// dispatch is not worth planning; mirrors the runtime's tiny-problem cutoff.
+const PLAN_CUTOFF: usize = 1 << 14;
 
 /// A sparse matrix in CSR form.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// Carries a lazily built, width-keyed [`SpmmPlan`] so repeated products
+/// against the same sparsity pattern (every hop of every filter, every
+/// epoch) pay the nnz prefix-sum split exactly once. The plan is *not* part
+/// of the matrix's value: `Clone` shares it, `PartialEq` ignores it.
 pub struct CsrMat {
     rows: usize,
     cols: usize,
     indptr: Vec<usize>,
     indices: Vec<u32>,
     values: Vec<f32>,
+    plan: PlanCell,
+}
+
+impl std::fmt::Debug for CsrMat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CsrMat")
+            .field("rows", &self.rows)
+            .field("cols", &self.cols)
+            .field("nnz", &self.nnz())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Clone for CsrMat {
+    fn clone(&self) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            indptr: self.indptr.clone(),
+            indices: self.indices.clone(),
+            values: self.values.clone(),
+            // Same pattern — the cached plan stays valid for the clone.
+            plan: self.plan.share(),
+        }
+    }
+}
+
+impl PartialEq for CsrMat {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.indptr == other.indptr
+            && self.indices == other.indices
+            && self.values == other.values
+    }
 }
 
 impl CsrMat {
@@ -64,6 +115,7 @@ impl CsrMat {
             indptr,
             indices,
             values,
+            plan: PlanCell::new(),
         }
     }
 
@@ -75,6 +127,7 @@ impl CsrMat {
             indptr: vec![0; rows + 1],
             indices: Vec::new(),
             values: Vec::new(),
+            plan: PlanCell::new(),
         }
     }
 
@@ -86,6 +139,7 @@ impl CsrMat {
             indptr: (0..=n).collect(),
             indices: (0..n as u32).collect(),
             values: vec![1.0; n],
+            plan: PlanCell::new(),
         }
     }
 
@@ -187,50 +241,59 @@ impl CsrMat {
             indptr,
             indices,
             values,
+            plan: PlanCell::new(),
         }
     }
 
-    /// Parallel SpMM: `self (r×c) · x (c×F) -> (r×F)`.
-    pub fn spmm(&self, x: &DMat) -> DMat {
-        assert_eq!(self.cols, x.rows(), "spmm dimension mismatch");
-        let f = x.cols();
-        let _sp = obs::span!("spmm.csr", nnz = self.nnz(), cols = f);
-        SPMM_NNZ.add(self.nnz() as u64);
-        SPMM_FLOPS.add(2 * (self.nnz() * f) as u64);
-        let mut out = DMat::zeros(self.rows, f);
-        let xdat = x.data();
-        run_chunks(out.data_mut(), self.rows, f.max(1), |first, chunk| {
-            for (local, orow) in chunk.chunks_exact_mut(f.max(1)).enumerate() {
-                let r = first + local;
-                let (idx, val) = self.row(r);
-                for (&c, &w) in idx.iter().zip(val) {
-                    let xrow = &xdat[c as usize * f..(c as usize + 1) * f];
-                    for (o, &xv) in orow.iter_mut().zip(xrow) {
-                        *o = xv.mul_add(w, *o);
-                    }
-                }
-            }
-        });
-        out
+    /// The nnz-balanced scheduling plan for the current pool width, building
+    /// and caching it on first use (and again if the width changes).
+    pub fn plan(&self) -> Arc<SpmmPlan> {
+        let threads = num_threads();
+        if let Some(p) = self.plan.get(threads) {
+            PLAN_HIT.incr();
+            return p;
+        }
+        let p = Arc::new(SpmmPlan::build(&self.indptr, threads));
+        PLAN_BUILT.incr();
+        if obs::enabled() {
+            obs::gauge_set("spmm.plan.chunks", p.chunks() as u64);
+            // max/mean chunk weight, fixed-point ×1000 (1000 = perfect).
+            obs::gauge_max("spmm.plan.imbalance_x1000", (p.imbalance() * 1000.0) as u64);
+        }
+        self.plan.put(p.clone());
+        p
     }
 
-    /// Fused affine propagation: `a·(self·x) + b·x`, the primitive every
-    /// polynomial basis reduces to (e.g. `L̃x = -Ãx + x` is `a=-1, b=1`).
-    pub fn affine_spmm(&self, a: f32, b: f32, x: &DMat) -> DMat {
-        assert_eq!(
-            self.rows, self.cols,
-            "affine propagation requires square operator"
-        );
+    /// The single fused row kernel every public SpMM entry point dispatches
+    /// to: `out = a·(self·x) [+ b·x] [+ c·z]`, row-parallel.
+    ///
+    /// Each output row is zeroed, accumulated over its stored entries, then
+    /// given its `b`- and `c`-terms — all serially by exactly one task, so
+    /// results are bit-identical under every schedule (row-count split,
+    /// nnz-balanced plan, or the serial fallback). The term order also
+    /// matches the pre-fusion composition `affine_spmm(a, b, x)` followed by
+    /// `DMat::axpy(c, z)` (FMA with an exact scalar is the same rounding),
+    /// which is what the bit-identity tests pin down.
+    fn fused_into(&self, a: f32, b: f32, x: &DMat, cz: Option<(f32, &DMat)>, out: &mut DMat) {
         assert_eq!(self.cols, x.rows(), "spmm dimension mismatch");
+        assert_eq!(out.shape(), (self.rows, x.cols()), "output shape mismatch");
+        if b != 0.0 {
+            assert_eq!(
+                self.rows, self.cols,
+                "affine propagation requires square operator"
+            );
+        }
+        if let Some((_, z)) = cz {
+            assert_eq!(z.shape(), (self.rows, x.cols()), "z-term shape mismatch");
+        }
         let f = x.cols();
-        let _sp = obs::span!("spmm.csr", nnz = self.nnz(), cols = f, affine = true);
-        SPMM_NNZ.add(self.nnz() as u64);
-        SPMM_FLOPS.add(2 * ((self.nnz() + self.rows) * f) as u64);
-        let mut out = DMat::zeros(self.rows, f);
+        let fs = f.max(1);
         let xdat = x.data();
-        run_chunks(out.data_mut(), self.rows, f.max(1), |first, chunk| {
-            for (local, orow) in chunk.chunks_exact_mut(f.max(1)).enumerate() {
+        let zdat = cz.map(|(c, z)| (c, z.data()));
+        let kernel = |first: usize, chunk: &mut [f32]| {
+            for (local, orow) in chunk.chunks_exact_mut(fs).enumerate() {
                 let r = first + local;
+                orow.fill(0.0);
                 let (idx, val) = self.row(r);
                 for (&c, &w) in idx.iter().zip(val) {
                     let xrow = &xdat[c as usize * f..(c as usize + 1) * f];
@@ -245,9 +308,101 @@ impl CsrMat {
                         *o = xv.mul_add(b, *o);
                     }
                 }
+                if let Some((c, zdat)) = zdat {
+                    let zrow = &zdat[r * f..(r + 1) * f];
+                    for (o, &zv) in orow.iter_mut().zip(zrow) {
+                        *o = zv.mul_add(c, *o);
+                    }
+                }
             }
-        });
+        };
+        let work = (self.nnz() + self.rows) * fs;
+        if plan::scheduling_enabled() && num_threads() > 1 && work >= PLAN_CUTOFF {
+            let plan = self.plan();
+            run_plan(out.data_mut(), fs, plan.boundaries(), kernel);
+        } else {
+            run_chunks(out.data_mut(), self.rows, fs, kernel);
+        }
+    }
+
+    /// Parallel SpMM: `self (r×c) · x (c×F) -> (r×F)`.
+    pub fn spmm(&self, x: &DMat) -> DMat {
+        let mut out = DMat::zeros(self.rows, x.cols());
+        self.spmm_into(x, &mut out);
         out
+    }
+
+    /// [`spmm`](Self::spmm) into a caller-provided buffer (fully
+    /// overwritten), for allocation-free hop loops.
+    pub fn spmm_into(&self, x: &DMat, out: &mut DMat) {
+        let f = x.cols();
+        let _sp = obs::span!("spmm.csr", nnz = self.nnz(), cols = f);
+        SPMM_NNZ.add(self.nnz() as u64);
+        SPMM_FLOPS.add(2 * (self.nnz() * f) as u64);
+        // a = 1 multiplies each stored value by exactly 1.0, so this shares
+        // the fused kernel without perturbing a single bit.
+        self.fused_into(1.0, 0.0, x, None, out);
+    }
+
+    /// Fused affine propagation: `a·(self·x) + b·x`, the primitive every
+    /// polynomial basis reduces to (e.g. `L̃x = -Ãx + x` is `a=-1, b=1`).
+    pub fn affine_spmm(&self, a: f32, b: f32, x: &DMat) -> DMat {
+        let mut out = DMat::zeros(self.rows, x.cols());
+        self.affine_spmm_into(a, b, x, &mut out);
+        out
+    }
+
+    /// [`affine_spmm`](Self::affine_spmm) into a caller-provided buffer
+    /// (fully overwritten).
+    pub fn affine_spmm_into(&self, a: f32, b: f32, x: &DMat, out: &mut DMat) {
+        assert_eq!(
+            self.rows, self.cols,
+            "affine propagation requires square operator"
+        );
+        let f = x.cols();
+        let _sp = obs::span!("spmm.csr", nnz = self.nnz(), cols = f, affine = true);
+        SPMM_NNZ.add(self.nnz() as u64);
+        SPMM_FLOPS.add(2 * ((self.nnz() + self.rows) * f) as u64);
+        self.fused_into(a, b, x, None, out);
+    }
+
+    /// Fused three-term recurrence step: `a·(self·x) + b·x + c·z` in one
+    /// pass — Chebyshev's `T_k = −2Ã·T_{k−1} − T_{k−2}` is `(a, b, c) =
+    /// (−2, 0, −1)`, and the Legendre/Jacobi recurrences are the general
+    /// case. Replaces an SpMM followed by a full read+write pass over the
+    /// `n×F` output.
+    pub fn affine_spmm_axpy(&self, a: f32, b: f32, c: f32, x: &DMat, z: &DMat) -> DMat {
+        let mut out = DMat::zeros(self.rows, x.cols());
+        self.affine_spmm_axpy_into(a, b, c, x, z, &mut out);
+        out
+    }
+
+    /// [`affine_spmm_axpy`](Self::affine_spmm_axpy) into a caller-provided
+    /// buffer (fully overwritten).
+    pub fn affine_spmm_axpy_into(
+        &self,
+        a: f32,
+        b: f32,
+        c: f32,
+        x: &DMat,
+        z: &DMat,
+        out: &mut DMat,
+    ) {
+        assert_eq!(
+            self.rows, self.cols,
+            "affine propagation requires square operator"
+        );
+        let f = x.cols();
+        let _sp = obs::span!(
+            "spmm.csr",
+            nnz = self.nnz(),
+            cols = f,
+            affine = true,
+            fused = true
+        );
+        SPMM_NNZ.add(self.nnz() as u64);
+        SPMM_FLOPS.add(2 * ((self.nnz() + 2 * self.rows) * f) as u64);
+        self.fused_into(a, b, x, Some((c, z)), out);
     }
 
     /// Row sums (out-degree for adjacency matrices).
@@ -338,6 +493,85 @@ mod tests {
     }
 
     #[test]
+    fn into_variants_match_allocating_kernels_bitwise() {
+        let a = small();
+        let x = DMat::from_fn(3, 2, |r, c| (r * 2 + c) as f32 * 0.3 - 1.0);
+        let z = DMat::from_fn(3, 2, |r, c| (r + 3 * c) as f32 * 0.7 - 2.0);
+        // Dirty buffers: _into must fully overwrite.
+        let mut out = DMat::filled(3, 2, f32::NAN);
+        a.spmm_into(&x, &mut out);
+        assert_eq!(out, a.spmm(&x));
+        let mut out = DMat::filled(3, 2, 7.5);
+        a.affine_spmm_into(-1.0, 0.5, &x, &mut out);
+        assert_eq!(out, a.affine_spmm(-1.0, 0.5, &x));
+        let mut out = DMat::filled(3, 2, -3.25);
+        a.affine_spmm_axpy_into(-2.0, 0.0, -1.0, &x, &z, &mut out);
+        assert_eq!(out, a.affine_spmm_axpy(-2.0, 0.0, -1.0, &x, &z));
+    }
+
+    #[test]
+    fn fused_axpy_matches_unfused_composition_bitwise() {
+        let a = small();
+        let x = DMat::from_fn(3, 4, |r, c| ((r * 5 + c) % 7) as f32 * 0.21 - 0.6);
+        let z = DMat::from_fn(3, 4, |r, c| ((r + c) % 3) as f32 * 1.4 - 1.0);
+        for &(av, bv, cv) in &[
+            (-2.0f32, 0.0f32, -1.0f32),
+            (0.7, -0.3, 0.9),
+            (1.0, 1.0, 0.0),
+        ] {
+            // The pre-fusion path: affine SpMM, then a separate axpy pass.
+            let mut want = a.affine_spmm(av, bv, &x);
+            want.axpy(cv, &z);
+            let got = a.affine_spmm_axpy(av, bv, cv, &x, &z);
+            assert_eq!(got, want, "a={av} b={bv} c={cv}");
+        }
+    }
+
+    #[test]
+    fn planned_and_rowsplit_schedules_agree_bitwise() {
+        use sgnn_dense::rng as drng;
+        // Large enough to clear the plan cutoff; skewed row lengths.
+        let n = 600;
+        let mut coo = Coo::with_capacity(n, n, 8 * n);
+        let mut rng = 12345u64;
+        let mut next = || {
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (rng >> 33) as usize
+        };
+        for r in 0..n {
+            let deg = if r < 8 { 200 } else { 4 };
+            for _ in 0..deg {
+                coo.push(r as u32, (next() % n) as u32, (next() % 100) as f32 * 0.01);
+            }
+        }
+        let a = coo.into_csr();
+        let x = drng::randn_mat(n, 32, 1.0, &mut drng::seeded(7));
+        let z = drng::randn_mat(n, 32, 1.0, &mut drng::seeded(8));
+        plan::set_scheduling(false);
+        let row_split = a.affine_spmm_axpy(-2.0, 0.1, -1.0, &x, &z);
+        let row_split_plain = a.spmm(&x);
+        plan::set_scheduling(true);
+        let planned = a.affine_spmm_axpy(-2.0, 0.1, -1.0, &x, &z);
+        let planned_plain = a.spmm(&x);
+        plan::reset_scheduling();
+        assert_eq!(planned, row_split);
+        assert_eq!(planned_plain, row_split_plain);
+    }
+
+    #[test]
+    fn plan_is_cached_per_width_and_shared_by_clones() {
+        let a = small();
+        let p1 = a.plan();
+        let p2 = a.plan();
+        assert!(Arc::ptr_eq(&p1, &p2), "second call must hit the cache");
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&p1, &b.plan()), "clones share the cached plan");
+        assert_eq!(*p1.boundaries().last().unwrap(), 3);
+    }
+
+    #[test]
     fn transpose_round_trip() {
         let a = small();
         let t = a.transpose();
@@ -410,6 +644,7 @@ mod tests {
             indptr: vec![0, 1],
             indices: vec![9],
             values: vec![1.0],
+            plan: PlanCell::new(),
         };
         assert_eq!(
             bad_col.validate(),
@@ -425,6 +660,7 @@ mod tests {
             indptr: vec![0, 0],
             indices: vec![],
             values: vec![],
+            plan: PlanCell::new(),
         };
         assert_eq!(
             bad_len.validate(),
@@ -439,6 +675,7 @@ mod tests {
             indptr: vec![0, 1, 0],
             indices: vec![0],
             values: vec![1.0],
+            plan: PlanCell::new(),
         };
         assert_eq!(
             non_monotone.validate(),
@@ -450,6 +687,7 @@ mod tests {
             indptr: vec![0, 2],
             indices: vec![0],
             values: vec![1.0],
+            plan: PlanCell::new(),
         };
         assert_eq!(
             bad_end.validate(),

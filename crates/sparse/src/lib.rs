@@ -11,6 +11,8 @@
 //! * [`edgelist::EdgeList`] — a gather/scatter message-passing backend that
 //!   materializes per-edge messages (the PyG `EdgeIndex`-style "EI" backend
 //!   compared in Table 6),
+//! * [`plan::SpmmPlan`] — lazily cached nnz-balanced row partitions that
+//!   keep SpMM load-balanced on power-law graphs (bit-identical outputs),
 //! * [`graph::Graph`] — an undirected graph with degree utilities,
 //! * [`normalize::PropMatrix`] — the generalized normalized adjacency
 //!   `Ã = D̄^{ρ-1} Ā D̄^{-ρ}` together with the affine propagation
@@ -22,9 +24,11 @@ pub mod csr;
 pub mod edgelist;
 pub mod graph;
 pub mod normalize;
+pub mod plan;
 pub mod stats;
 pub mod validate;
 
 pub use csr::CsrMat;
 pub use graph::Graph;
 pub use normalize::{Backend, PropMatrix};
+pub use plan::SpmmPlan;

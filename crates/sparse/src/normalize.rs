@@ -156,6 +156,31 @@ impl PropMatrix {
         }
     }
 
+    /// [`prop`](Self::prop) into a caller-provided buffer (fully
+    /// overwritten) — the allocation-free hop used by the polynomial
+    /// recurrences. The edge-list backend has no in-place kernel; it
+    /// computes the hop and moves the result into `out`.
+    pub fn prop_into(&self, a: f32, b: f32, x: &DMat, out: &mut DMat) {
+        match self.backend {
+            Backend::Csr => self.adj.affine_spmm_into(a, b, x, out),
+            Backend::EdgeList => *out = self.prop(a, b, x),
+        }
+    }
+
+    /// Fused three-term hop: `a·Ã·x + b·x + c·z` in one pass over the edges
+    /// (the Chebyshev/Legendre/Jacobi recurrence step). Bit-identical to
+    /// [`prop`](Self::prop) followed by `out.axpy(c, z)`.
+    pub fn prop_axpy(&self, a: f32, b: f32, c: f32, x: &DMat, z: &DMat) -> DMat {
+        match self.backend {
+            Backend::Csr => self.adj.affine_spmm_axpy(a, b, c, x, z),
+            Backend::EdgeList => {
+                let mut out = self.prop(a, b, x);
+                out.axpy(c, z);
+                out
+            }
+        }
+    }
+
     /// `a·Ãᵀ·x + b·x` — the adjoint hop used by backpropagation.
     ///
     /// For `ρ = 1/2` the operator is symmetric and this equals
@@ -164,6 +189,22 @@ impl PropMatrix {
         match &self.adj_t {
             None => self.prop(a, b, x),
             Some(t) => t.affine_spmm(a, b, x),
+        }
+    }
+
+    /// [`prop_t`](Self::prop_t) into a caller-provided buffer.
+    pub fn prop_t_into(&self, a: f32, b: f32, x: &DMat, out: &mut DMat) {
+        match &self.adj_t {
+            None => self.prop_into(a, b, x, out),
+            Some(t) => t.affine_spmm_into(a, b, x, out),
+        }
+    }
+
+    /// Adjoint counterpart of [`prop_axpy`](Self::prop_axpy).
+    pub fn prop_t_axpy(&self, a: f32, b: f32, c: f32, x: &DMat, z: &DMat) -> DMat {
+        match &self.adj_t {
+            None => self.prop_axpy(a, b, c, x, z),
+            Some(t) => t.affine_spmm_axpy(a, b, c, x, z),
         }
     }
 

@@ -1,0 +1,146 @@
+//! Property tests for the propagation plan layer: nnz-balanced scheduling
+//! and kernel fusion must be **bit-identical** to the baseline kernels for
+//! any graph shape, degree distribution, pool width, and coefficients —
+//! the benchmark's seeded-reproducibility story depends on it.
+
+use std::sync::{Mutex, MutexGuard};
+
+use proptest::prelude::*;
+use sgnn_dense::runtime::set_threads;
+use sgnn_dense::DMat;
+use sgnn_sparse::{plan, Graph, PropMatrix};
+
+/// `set_threads` and the scheduling override are process-global; tests in
+/// this binary serialize on this lock and restore defaults on drop (even
+/// when an assertion panics).
+static GLOBAL_LOCK: Mutex<()> = Mutex::new(());
+
+struct Pinned(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl Drop for Pinned {
+    fn drop(&mut self) {
+        set_threads(0);
+        plan::reset_scheduling();
+    }
+}
+
+fn pin(threads: usize) -> Pinned {
+    let guard = GLOBAL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    set_threads(threads);
+    Pinned(guard)
+}
+
+/// Undirected graph from raw endpoint samples. `skew` folds endpoints
+/// quadratically toward low node ids, concentrating degree into hubs the
+/// way a power-law graph does; `false` leaves them uniform.
+fn build_graph(n: usize, raw_edges: &[(usize, usize)], skew: bool) -> Graph {
+    let fold = |v: usize| {
+        if skew {
+            ((v * v) / 10_000) % n
+        } else {
+            v % n
+        }
+    };
+    let edges: Vec<(u32, u32)> = raw_edges
+        .iter()
+        .map(|&(u, v)| (fold(u) as u32, fold(v) as u32))
+        .filter(|&(u, v)| u != v)
+        .collect();
+    Graph::from_edges(n, &edges)
+}
+
+/// Deterministic pseudo-random feature matrix.
+fn features(rows: usize, cols: usize, seed: u64) -> DMat {
+    DMat::from_fn(rows, cols, |r, c| {
+        let mut z = ((r * cols + c) as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        ((z >> 40) as f32) * 1e-5 - 80.0
+    })
+}
+
+fn assert_bits_eq(a: &DMat, b: &DMat) {
+    assert_eq!(a.shape(), b.shape());
+    for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "element {i} diverged: {x} vs {y}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Planned scheduling returns the exact bits of the row-count split —
+    /// and of the width-1 serial kernel — on uniform random graphs.
+    #[test]
+    fn planned_spmm_is_bit_identical_on_random_graphs(
+        n in 20usize..500,
+        raw in proptest::collection::vec((0usize..10_000, 0usize..10_000), 30..800),
+        f in 1usize..20,
+        threads in 2usize..8,
+        seed in 0u64..1_000,
+    ) {
+        let g = build_graph(n, &raw, false);
+        let pm = PropMatrix::new(&g, 0.5);
+        let x = features(n, f, seed);
+        let serial = {
+            let _p = pin(1);
+            pm.adj().spmm(&x)
+        };
+        let _p = pin(threads);
+        plan::set_scheduling(false);
+        let rowsplit = pm.adj().spmm(&x);
+        plan::set_scheduling(true);
+        let planned = pm.adj().spmm(&x);
+        assert_bits_eq(&serial, &rowsplit);
+        assert_bits_eq(&rowsplit, &planned);
+    }
+
+    /// Same bit-identity on hub-heavy (power-law-like) graphs, where the
+    /// planned chunk boundaries differ most from the row-count split.
+    #[test]
+    fn planned_spmm_is_bit_identical_on_powerlaw_graphs(
+        n in 50usize..400,
+        raw in proptest::collection::vec((0usize..10_000, 0usize..10_000), 100..900),
+        f in 1usize..16,
+        threads in 2usize..8,
+        a in -2.0f32..2.0,
+        b in -1.5f32..1.5,
+        seed in 0u64..1_000,
+    ) {
+        let g = build_graph(n, &raw, true);
+        let pm = PropMatrix::new(&g, 0.5);
+        let x = features(n, f, seed);
+        let _p = pin(threads);
+        plan::set_scheduling(false);
+        let rowsplit = pm.adj().affine_spmm(a, b, &x);
+        plan::set_scheduling(true);
+        let planned = pm.adj().affine_spmm(a, b, &x);
+        assert_bits_eq(&rowsplit, &planned);
+    }
+
+    /// The fused three-term kernel `a·Ãx + b·x + c·z` returns the exact
+    /// bits of the two-step composition (affine hop, then axpy), for any
+    /// coefficients, under both schedules.
+    #[test]
+    fn fused_axpy_is_bit_identical_to_composition(
+        n in 20usize..300,
+        raw in proptest::collection::vec((0usize..10_000, 0usize..10_000), 30..600),
+        skew in proptest::prelude::any::<bool>(),
+        f in 1usize..12,
+        threads in 1usize..8,
+        a in -3.0f32..3.0,
+        b in -2.0f32..2.0,
+        c in -2.0f32..2.0,
+        seed in 0u64..1_000,
+    ) {
+        let g = build_graph(n, &raw, skew);
+        let pm = PropMatrix::new(&g, 0.5);
+        let x = features(n, f, seed);
+        let z = features(n, f, seed ^ 0xdead_beef);
+        let _p = pin(threads);
+        plan::set_scheduling(true);
+        let mut composed = pm.adj().affine_spmm(a, b, &x);
+        composed.axpy(c, &z);
+        let fused = pm.adj().affine_spmm_axpy(a, b, c, &x, &z);
+        assert_bits_eq(&composed, &fused);
+    }
+}
