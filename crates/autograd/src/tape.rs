@@ -10,6 +10,7 @@ use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 use rand::Rng;
+use sgnn_dense::backend;
 use sgnn_dense::runtime::run_chunks;
 use sgnn_dense::{matmul, rng as drng, DMat};
 use sgnn_sparse::PropMatrix;
@@ -302,9 +303,10 @@ impl Tape {
     pub fn softmax_rows(&mut self, x: NodeId) -> NodeId {
         let mut v = self.value(x).clone();
         let (rows, cols) = v.shape();
+        let be = backend::for_softmax();
         run_chunks(v.data_mut(), rows, cols.max(1), |_, chunk| {
             for row in chunk.chunks_exact_mut(cols.max(1)) {
-                sgnn_dense::stats::softmax_inplace(row);
+                be.softmax_row(row);
             }
         });
         let ng = self.needs(x);
@@ -327,7 +329,8 @@ impl Tape {
 
     /// Rectified linear unit.
     pub fn relu(&mut self, x: NodeId) -> NodeId {
-        let v = self.value(x).map(|t| t.max(0.0));
+        let mut v = self.value(x).clone();
+        backend::for_elementwise().relu(v.data_mut());
         let ng = self.needs(x);
         self.push(v, ng, Op::Relu(x))
     }
@@ -439,9 +442,10 @@ impl Tape {
         assert_eq!(lv.rows(), targets.len(), "one target per logit row");
         let mut probs = lv.clone();
         let mut loss = 0.0f64;
+        let be = backend::for_softmax();
         for (r, &y) in targets.iter().enumerate() {
             let row = probs.row_mut(r);
-            sgnn_dense::stats::log_softmax_inplace(row);
+            be.log_softmax_row(row);
             loss -= row[y as usize] as f64;
             // Convert stored log-probs to probs for the backward pass.
             row.iter_mut().for_each(|v| *v = v.exp());
@@ -618,18 +622,11 @@ impl Tape {
                 let mut g = gout.clone();
                 let (rows, cols) = g.shape();
                 let ydat = y.data();
+                let be = backend::for_softmax();
                 run_chunks(g.data_mut(), rows, cols.max(1), |first, chunk| {
                     for (local, grow) in chunk.chunks_exact_mut(cols.max(1)).enumerate() {
                         let r = first + local;
-                        let yrow = &ydat[r * cols..(r + 1) * cols];
-                        let dot: f64 = yrow
-                            .iter()
-                            .zip(grow.iter())
-                            .map(|(&yy, &gg)| yy as f64 * gg as f64)
-                            .sum();
-                        for (gv, &yy) in grow.iter_mut().zip(yrow) {
-                            *gv = yy * (*gv - dot as f32);
-                        }
+                        be.softmax_bwd_row(&ydat[r * cols..(r + 1) * cols], grow);
                     }
                 });
                 vec![(*x, g)]
@@ -662,11 +659,7 @@ impl Tape {
             }
             Op::Relu(x) => {
                 let mut g = gout.clone();
-                for (gv, &y) in g.data_mut().iter_mut().zip(node.value.data()) {
-                    if y <= 0.0 {
-                        *gv = 0.0;
-                    }
-                }
+                backend::for_elementwise().relu_bwd(node.value.data(), g.data_mut());
                 vec![(*x, g)]
             }
             Op::Tanh(x) => {

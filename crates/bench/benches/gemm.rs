@@ -1,0 +1,157 @@
+//! Scalar-vs-SIMD backend comparison for the dense kernels: the GEMM
+//! microkernel, the SpMM row-AXPY, and softmax, at the paper's feature
+//! widths F ∈ {16, 64, 256}. Writes `BENCH_gemm.json` with a top-level
+//! `speedup` field (the AVX2/scalar GEMM ratio at F = 256 — the acceptance
+//! headline) plus per-kernel, per-width entries.
+//!
+//! Runs the kernels directly through the `Backend` trait objects, so the
+//! numbers isolate the kernel difference from scheduling: the pool is
+//! pinned to one thread and each timing is best-of-`reps` on the same
+//! buffers.
+//!
+//! Environment:
+//! * `SGNN_BENCH_FAST=1` — fewer reps and smaller row counts for CI smoke.
+//! * `SGNN_BENCH_OUT` — override the output path (default
+//!   `<workspace>/BENCH_gemm.json`).
+
+use sgnn_dense::backend::{self, Backend};
+use sgnn_dense::{rng as drng, runtime};
+use std::hint::black_box;
+use std::time::Instant;
+
+struct KernelResult {
+    kernel: &'static str,
+    f: usize,
+    scalar_ms: f64,
+    simd_ms: f64,
+    speedup: f64,
+}
+
+fn time_best(reps: usize, mut body: impl FnMut()) -> f64 {
+    body(); // warmup: faults pages, resolves dispatch
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        body();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// `rows × f` · `f × f` GEMM — the model transformation `H · W`.
+fn bench_gemm(be: &'static dyn Backend, rows: usize, f: usize, reps: usize) -> f64 {
+    let mut rng = drng::seeded(1);
+    let a = drng::randn_mat(rows, f, 1.0, &mut rng);
+    let b = drng::randn_mat(f, f, 1.0, &mut rng);
+    let mut out = vec![0.0f32; rows * f];
+    time_best(reps, || {
+        out.iter_mut().for_each(|v| *v = 0.0);
+        be.gemm_block(a.data(), f, b.data(), f, black_box(&mut out));
+    }) * 1e3
+}
+
+/// `rows` row-AXPYs of width `f` — the SpMM inner loop shape.
+fn bench_axpy(be: &'static dyn Backend, rows: usize, f: usize, reps: usize) -> f64 {
+    let mut rng = drng::seeded(2);
+    let x = drng::randn_mat(rows, f, 1.0, &mut rng);
+    let mut out = vec![0.0f32; rows * f];
+    time_best(reps, || {
+        for (r, xrow) in x.row_iter().enumerate() {
+            let orow = &mut out[r * f..(r + 1) * f];
+            be.axpy(0.37, xrow, black_box(orow));
+        }
+    }) * 1e3
+}
+
+/// `rows` softmax rows of width `f` — attention normalization.
+fn bench_softmax(be: &'static dyn Backend, rows: usize, f: usize, reps: usize) -> f64 {
+    let mut rng = drng::seeded(3);
+    let base = drng::randn_mat(rows, f, 1.0, &mut rng);
+    let mut buf = base.clone();
+    time_best(reps, || {
+        buf.data_mut().copy_from_slice(base.data());
+        for r in 0..rows {
+            be.softmax_row(black_box(buf.row_mut(r)));
+        }
+    }) * 1e3
+}
+
+fn main() {
+    sgnn_obs::init_from_env();
+    // One pool lane: this bench isolates kernel-level vector width, not
+    // scheduling (BENCH_spmm.json covers that axis).
+    runtime::set_threads(1);
+
+    let fast = std::env::var("SGNN_BENCH_FAST").is_ok();
+    let (rows, reps) = if fast {
+        (2_000usize, 3usize)
+    } else {
+        (8_000, 7)
+    };
+
+    let scalar = backend::scalar();
+    let simd = backend::simd();
+    let simd_name = simd.map_or("unavailable", |b| b.name());
+    let simd_or_scalar = simd.unwrap_or(scalar);
+
+    let mut results: Vec<KernelResult> = Vec::new();
+    for &f in &[16usize, 64, 256] {
+        // GEMM flops grow with f², so shrink rows to keep wall time flat.
+        let gemm_rows = (rows / f.max(1)).max(64);
+        type BenchFn = fn(&'static dyn Backend, usize, usize, usize) -> f64;
+        let cases: [(&'static str, BenchFn, usize); 3] = [
+            ("gemm", bench_gemm, gemm_rows),
+            ("axpy", bench_axpy, rows),
+            ("softmax", bench_softmax, rows),
+        ];
+        for (kernel, bench, r) in cases {
+            let scalar_ms = bench(scalar, r, f, reps);
+            let simd_ms = bench(simd_or_scalar, r, f, reps);
+            results.push(KernelResult {
+                kernel,
+                f,
+                scalar_ms,
+                simd_ms,
+                speedup: scalar_ms / simd_ms.max(1e-12),
+            });
+        }
+    }
+
+    // Headline: the GEMM ratio at F = 256 (the acceptance criterion).
+    let headline = results
+        .iter()
+        .find(|r| r.kernel == "gemm" && r.f == 256)
+        .map_or(1.0, |r| r.speedup);
+
+    let entries: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"kernel\": \"{}\", \"feature_width\": {}, \"scalar_ms\": {:.4}, \
+                 \"simd_ms\": {:.4}, \"speedup\": {:.4}}}",
+                r.kernel, r.f, r.scalar_ms, r.simd_ms, r.speedup
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"gemm_backend\",\n  \"scalar\": \"scalar\",\n  \
+         \"simd\": \"{simd_name}\",\n  \"simd_supported\": {},\n  \
+         \"headline\": \"gemm F=256\",\n  \"speedup\": {headline:.4},\n  \
+         \"kernels\": [\n{}\n  ]\n}}\n",
+        backend::simd_supported(),
+        entries.join(",\n"),
+    );
+    let out_path = std::env::var("SGNN_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gemm.json").to_string()
+    });
+    std::fs::write(&out_path, &json).expect("write BENCH_gemm.json");
+
+    for r in &results {
+        println!(
+            "{:>8} F={:<4} scalar {:.3} ms | {} {:.3} ms | {:.2}x",
+            r.kernel, r.f, r.scalar_ms, simd_name, r.simd_ms, r.speedup
+        );
+    }
+    println!("gemm_backend: headline (gemm F=256) {headline:.2}x; BENCH_gemm.json written");
+    sgnn_obs::flush();
+}

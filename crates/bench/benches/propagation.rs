@@ -211,7 +211,11 @@ fn bench_fused(g: &Graph, f: usize, reps: usize) -> (f64, f64, f64) {
         y.axpy(-1.0, &z2);
         y
     }));
+    // Force the one-pass kernel while timing it: a profit recorded earlier
+    // in this process must not silently turn this into unfused-vs-unfused.
+    sgnn_sparse::fused::set_mode(Some(sgnn_sparse::fused::FusedMode::On));
     let fused = time_best(Box::new(move || pm.prop_axpy(-2.0, 0.0, -1.0, &x, &z)));
+    sgnn_sparse::fused::set_mode(None);
     (unfused * 1e3, fused * 1e3, unfused / fused.max(1e-12))
 }
 
@@ -229,6 +233,11 @@ fn bench_spmm_plan() {
     let sorted_g = degree_sorted(&data.graph);
     let sorted = bench_layout("degree_sorted", &sorted_g, f, reps);
     let (unfused_ms, fused_ms, fused_speedup) = bench_fused(&data.graph, f, reps);
+    // Feed the measured profit back into the runtime gate: from here on,
+    // SGNN_SPMM_FUSED=auto dispatches in this process follow the
+    // measurement, and the decision lands in BENCH_spmm.json.
+    sgnn_sparse::fused::record_profit(fused_speedup);
+    let fused_decision = sgnn_sparse::fused::decision();
 
     // On a single hardware core the wall clock cannot show a scheduling
     // effect (total work is unchanged; lanes timeshare one core), so the
@@ -260,7 +269,7 @@ fn bench_spmm_plan() {
          \"feature_width\": {f},\n  \"threads\": {PLAN_THREADS},\n  \"cores\": {cores},\n  \
          \"basis\": \"{basis}\",\n  \"speedup\": {headline:.4},\n  \"layouts\": [\n{},\n{}\n  ],\n  \
          \"fused_cheb\": {{\"unfused_ms\": {unfused_ms:.4}, \"fused_ms\": {fused_ms:.4}, \
-         \"speedup\": {fused_speedup:.4}}}\n}}\n",
+         \"speedup\": {fused_speedup:.4}, \"decision\": \"{fused_decision}\"}}\n}}\n",
         data.edges(),
         layout_json(&natural),
         layout_json(&sorted),
@@ -271,7 +280,7 @@ fn bench_spmm_plan() {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_spmm.json").to_string()
     });
     std::fs::write(&out_path, &json).expect("write BENCH_spmm.json");
-    println!("spmm_plan: headline {headline:.2}x ({basis}), natural model {:.2}x / wall {:.2}x, degree_sorted model {:.2}x / wall {:.2}x, fused cheb {fused_speedup:.2}x",
+    println!("spmm_plan: headline {headline:.2}x ({basis}), natural model {:.2}x / wall {:.2}x, degree_sorted model {:.2}x / wall {:.2}x, fused cheb {fused_speedup:.2}x -> {fused_decision}",
         natural.model_speedup, natural.wall_speedup, sorted.model_speedup, sorted.wall_speedup);
     println!("BENCH_spmm.json written");
 }

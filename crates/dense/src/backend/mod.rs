@@ -1,0 +1,352 @@
+//! Compute-backend dispatch for the dense substrate.
+//!
+//! Every hot dense kernel — the GEMM inner loops of [`crate::matmul`], the
+//! row-AXPY shared with the sparse SpMM (`sgnn_sparse::csr`), softmax
+//! forward/backward, and the elementwise ops on [`crate::DMat`] — dispatches
+//! through the [`Backend`] trait defined here instead of open-coding its
+//! inner loop. Two implementations exist:
+//!
+//! * [`scalar::ScalarBackend`] — the portable reference. Its loops are the
+//!   exact pre-refactor kernels (k-ordered `mul_add` chains), so selecting
+//!   it reproduces historical results bit for bit.
+//! * `avx2::Avx2Backend` (`x86_64` only) — AVX2+FMA microkernels behind
+//!   `std::arch` runtime feature detection: a register-blocked MR×NR panel
+//!   GEMM with packed B panels, 8-lane row-AXPY, and vectorized
+//!   softmax/elementwise loops.
+//!
+//! # Bit-exactness contract
+//!
+//! The SIMD kernels are written to preserve the scalar kernels' reduction
+//! *order*, not just their math: the panel GEMM keeps one FMA accumulator
+//! chain per output element walking `k` in ascending order (vector lanes
+//! parallelize across *columns*, which are independent), AXPY and the
+//! elementwise ops are lane-wise with FMA tails, and softmax vectorizes only
+//! the max-reduction (exact: `max` is associative) and the final scale while
+//! keeping the serial `f64` sum of exponentials. Those kernels are therefore
+//! **bit-identical** across backends and are pinned by the
+//! `backend_equivalence` proptest suite with `to_bits` comparisons.
+//!
+//! The one exception is [`Backend::dot`] (the `A·Bᵀ` inner product): a SIMD
+//! dot product must split the sequential FMA chain into lanes and reduce
+//! horizontally, which reassociates the sum. `matmul_a_bt` under the SIMD
+//! backend is tolerance-tested, exactly like the parallel `matmul_at_b`
+//! reduction documented in [`crate::matmul`].
+//!
+//! # Selection
+//!
+//! `SGNN_BACKEND=scalar|simd|auto` (default `auto`) picks the backend; it is
+//! read once and cached. `auto` probes `is_x86_feature_detected!` at first
+//! use. Requesting `simd` on a host without AVX2+FMA falls back to scalar
+//! (with a one-time stderr note) rather than failing — CI sets
+//! `SGNN_BACKEND=simd` unconditionally. Tests and benches can override the
+//! choice at runtime with [`set_backend`]; the selection is surfaced as the
+//! `backend.selected` gauge (0 = scalar, 1 = simd) and per-kernel
+//! `backend.dispatch.{gemm,axpy,softmax,elementwise}` counters.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+use sgnn_obs as obs;
+
+#[cfg(target_arch = "x86_64")]
+mod avx2;
+mod scalar;
+
+pub use scalar::ScalarBackend;
+
+static GEMM_DISPATCH: obs::Counter = obs::Counter::new("backend.dispatch.gemm");
+static AXPY_DISPATCH: obs::Counter = obs::Counter::new("backend.dispatch.axpy");
+static SOFTMAX_DISPATCH: obs::Counter = obs::Counter::new("backend.dispatch.softmax");
+static ELEMENTWISE_DISPATCH: obs::Counter = obs::Counter::new("backend.dispatch.elementwise");
+
+/// The kernel surface every compute backend implements.
+///
+/// Methods operate on whole rows/row-blocks so the virtual call is amortized
+/// over the inner loop; nothing here is called per element. All slices are
+/// row-major with the strides given by the caller.
+pub trait Backend: Sync {
+    /// Identifier reported in benches, traces, and `BENCH_gemm.json`.
+    fn name(&self) -> &'static str;
+
+    /// `out += A_rows · B` for a block of rows: `a` is `rows × k` (row-major),
+    /// `b` is `k × n`, `out` is `rows × n` but sliced with a row stride of
+    /// `n.max(1)` (mirroring the caller's chunking of degenerate shapes).
+    ///
+    /// Contract: one FMA accumulator chain per output element, `k` ascending
+    /// — implementations must be bit-identical to
+    /// [`ScalarBackend::gemm_block`].
+    fn gemm_block(&self, a: &[f32], k: usize, b: &[f32], n: usize, out: &mut [f32]);
+
+    /// Sequential-FMA inner product `Σ x[i]·y[i]` (the `A·Bᵀ` kernel). SIMD
+    /// implementations may reassociate; see the module docs.
+    fn dot(&self, x: &[f32], y: &[f32]) -> f32;
+
+    /// `out[i] = fma(x[i], alpha, out[i])` — the SpMM row-AXPY and
+    /// [`crate::DMat::axpy`] kernel. Lane-wise, bit-exact.
+    fn axpy(&self, alpha: f32, x: &[f32], out: &mut [f32]);
+
+    /// `x[i] *= s`. Bit-exact.
+    fn scale(&self, s: f32, x: &mut [f32]);
+
+    /// `a[i] += b[i]`. Bit-exact.
+    fn add_assign(&self, a: &mut [f32], b: &[f32]);
+
+    /// `a[i] -= b[i]`. Bit-exact.
+    fn sub_assign(&self, a: &mut [f32], b: &[f32]);
+
+    /// `a[i] *= b[i]` (Hadamard). Bit-exact.
+    fn hadamard(&self, a: &mut [f32], b: &[f32]);
+
+    /// `x[i] = max(x[i], 0)` with scalar `f32::max` NaN semantics
+    /// (`NaN → 0`). Bit-exact.
+    fn relu(&self, x: &mut [f32]);
+
+    /// ReLU backward: `g[i] = 0` where `y[i] <= 0` (NaN `y` keeps `g`,
+    /// matching the scalar comparison). Bit-exact.
+    fn relu_bwd(&self, y: &[f32], g: &mut [f32]);
+
+    /// Numerically stable in-place softmax of one row: subtract the row max,
+    /// exponentiate, normalize by the serial `f64` sum. Bit-exact (the only
+    /// vectorized reductions are `max`, which is associative, and the final
+    /// elementwise scale).
+    fn softmax_row(&self, row: &mut [f32]);
+
+    /// Softmax backward for one row: `g[i] = y[i]·(g[i] − d)` where
+    /// `d = Σ y[i]·g[i]` accumulated serially in `f64`. Bit-exact.
+    fn softmax_bwd_row(&self, y: &[f32], g: &mut [f32]);
+
+    /// Numerically stable in-place log-softmax of one row (the
+    /// cross-entropy kernel): `x[i] −= ln(Σ exp(x[j] − m)) + m` with the
+    /// serial `f64` log-sum-exp. Bit-exact — same reduction split as
+    /// [`softmax_row`](Self::softmax_row).
+    fn log_softmax_row(&self, row: &mut [f32]);
+}
+
+/// Backend choice, as selected by `SGNN_BACKEND` or [`set_backend`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BackendKind {
+    /// Portable reference kernels (pre-refactor bit behaviour).
+    Scalar,
+    /// AVX2+FMA microkernels (requires `x86_64` with both features).
+    Simd,
+}
+
+static SCALAR: ScalarBackend = ScalarBackend;
+#[cfg(target_arch = "x86_64")]
+static SIMD: avx2::Avx2Backend = avx2::Avx2Backend;
+
+/// True when the running CPU supports the SIMD backend (AVX2 and FMA).
+pub fn simd_supported() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        static SUPPORTED: OnceLock<bool> = OnceLock::new();
+        *SUPPORTED.get_or_init(|| {
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+        })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Runtime override: 0 = none (environment default), 1 = scalar, 2 = simd.
+static KIND_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// `SGNN_BACKEND` environment default, read once. `auto` (and unset) probe
+/// the CPU; an explicit `simd` on an unsupported host degrades to scalar
+/// with a one-time note instead of aborting.
+fn env_kind() -> BackendKind {
+    static DEFAULT: OnceLock<BackendKind> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        let want = std::env::var("SGNN_BACKEND").unwrap_or_default();
+        let kind = match want.as_str() {
+            "scalar" | "0" => BackendKind::Scalar,
+            "simd" => {
+                if simd_supported() {
+                    BackendKind::Simd
+                } else {
+                    eprintln!(
+                        "sgnn-dense: SGNN_BACKEND=simd requested but AVX2+FMA not available; \
+                         falling back to the scalar backend"
+                    );
+                    BackendKind::Scalar
+                }
+            }
+            // auto, unset, or anything unrecognized: detect.
+            _ => {
+                if simd_supported() {
+                    BackendKind::Simd
+                } else {
+                    BackendKind::Scalar
+                }
+            }
+        };
+        publish_selection(kind);
+        kind
+    })
+}
+
+fn publish_selection(kind: BackendKind) {
+    obs::gauge_set(
+        "backend.selected",
+        match kind {
+            BackendKind::Scalar => 0,
+            BackendKind::Simd => 1,
+        },
+    );
+}
+
+/// Forces a backend (benchmarks, equivalence tests, the forced-scalar
+/// fallback test); `None` restores the `SGNN_BACKEND` default. Requesting
+/// [`BackendKind::Simd`] on a host without AVX2+FMA is ignored (scalar is
+/// used), so tests can call this unconditionally.
+pub fn set_backend(kind: Option<BackendKind>) {
+    let v = match kind {
+        None => 0,
+        Some(BackendKind::Scalar) => 1,
+        Some(BackendKind::Simd) => 2,
+    };
+    KIND_OVERRIDE.store(v, Ordering::Relaxed);
+    publish_selection(selected_kind());
+}
+
+/// The backend kind dispatches currently resolve to.
+pub fn selected_kind() -> BackendKind {
+    match KIND_OVERRIDE.load(Ordering::Relaxed) {
+        1 => BackendKind::Scalar,
+        2 => {
+            if simd_supported() {
+                BackendKind::Simd
+            } else {
+                BackendKind::Scalar
+            }
+        }
+        _ => env_kind(),
+    }
+}
+
+/// The active backend. First use resolves `SGNN_BACKEND` (cached) and emits
+/// the `backend.selected` gauge.
+#[inline]
+pub fn active() -> &'static dyn Backend {
+    match selected_kind() {
+        BackendKind::Scalar => &SCALAR,
+        #[cfg(target_arch = "x86_64")]
+        BackendKind::Simd => &SIMD,
+        #[cfg(not(target_arch = "x86_64"))]
+        BackendKind::Simd => &SCALAR,
+    }
+}
+
+/// The scalar reference backend, independent of selection (equivalence
+/// tests compare against it directly).
+pub fn scalar() -> &'static dyn Backend {
+    &SCALAR
+}
+
+/// The SIMD backend when this host can run it, independent of selection —
+/// `None` otherwise. The equivalence suite uses this to compare kernels
+/// without mutating the global selection.
+pub fn simd() -> Option<&'static dyn Backend> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if simd_supported() {
+            return Some(&SIMD);
+        }
+    }
+    None
+}
+
+// Dispatch accessors: one per counter family, called once per kernel-level
+// operation (a whole matmul, a whole SpMM, one elementwise pass) — never per
+// row or per element.
+
+/// Backend for a GEMM-family dispatch (counts `backend.dispatch.gemm`).
+#[inline]
+pub fn for_gemm() -> &'static dyn Backend {
+    GEMM_DISPATCH.incr();
+    active()
+}
+
+/// Backend for a row-AXPY dispatch (counts `backend.dispatch.axpy`).
+#[inline]
+pub fn for_axpy() -> &'static dyn Backend {
+    AXPY_DISPATCH.incr();
+    active()
+}
+
+/// Backend for a softmax dispatch (counts `backend.dispatch.softmax`).
+#[inline]
+pub fn for_softmax() -> &'static dyn Backend {
+    SOFTMAX_DISPATCH.incr();
+    active()
+}
+
+/// Backend for an elementwise dispatch (counts
+/// `backend.dispatch.elementwise`).
+#[inline]
+pub fn for_elementwise() -> &'static dyn Backend {
+    ELEMENTWISE_DISPATCH.incr();
+    active()
+}
+
+#[cfg(test)]
+pub(crate) mod test_lock {
+    //! `set_backend` mutates process-global state; tests that touch it
+    //! serialize on this lock (mirroring `runtime::test_lock`).
+
+    use std::sync::{Mutex, MutexGuard};
+
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    pub struct BackendGuard(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+    pub fn pin_backend(kind: super::BackendKind) -> BackendGuard {
+        let guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        super::set_backend(Some(kind));
+        BackendGuard(guard)
+    }
+
+    impl Drop for BackendGuard {
+        fn drop(&mut self) {
+            super::set_backend(None);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_lock::pin_backend;
+    use super::*;
+
+    #[test]
+    fn override_switches_kind_and_restores_default() {
+        {
+            let _g = pin_backend(BackendKind::Scalar);
+            assert_eq!(selected_kind(), BackendKind::Scalar);
+            assert_eq!(active().name(), "scalar");
+        }
+        // Default restored (whatever the environment resolves to).
+        let _ = selected_kind();
+    }
+
+    #[test]
+    fn simd_request_on_unsupported_host_degrades_to_scalar() {
+        let _g = pin_backend(BackendKind::Simd);
+        if simd_supported() {
+            assert_eq!(selected_kind(), BackendKind::Simd);
+            assert_eq!(active().name(), "avx2fma");
+        } else {
+            assert_eq!(selected_kind(), BackendKind::Scalar);
+            assert_eq!(active().name(), "scalar");
+        }
+    }
+
+    #[test]
+    fn scalar_accessor_is_always_scalar() {
+        let _g = pin_backend(BackendKind::Simd);
+        assert_eq!(scalar().name(), "scalar");
+    }
+}

@@ -19,6 +19,7 @@
 //! Values are `f32` (matching the single-precision training of the original
 //! study); reductions accumulate in `f64` to keep metrics stable.
 
+pub mod backend;
 pub mod cheb;
 pub mod eigen;
 pub mod mat;

@@ -189,30 +189,24 @@ impl DMat {
     /// `self += other`.
     pub fn add_assign_mat(&mut self, other: &DMat) {
         assert_eq!(self.shape(), other.shape(), "shape mismatch in add");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += b;
-        }
+        crate::backend::for_elementwise().add_assign(&mut self.data, &other.data);
     }
 
     /// `self -= other`.
     pub fn sub_assign_mat(&mut self, other: &DMat) {
         assert_eq!(self.shape(), other.shape(), "shape mismatch in sub");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a -= b;
-        }
+        crate::backend::for_elementwise().sub_assign(&mut self.data, &other.data);
     }
 
     /// `self += alpha * other` (fused multiply–add over the buffer).
     pub fn axpy(&mut self, alpha: f32, other: &DMat) {
         assert_eq!(self.shape(), other.shape(), "shape mismatch in axpy");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a = b.mul_add(alpha, *a);
-        }
+        crate::backend::for_axpy().axpy(alpha, &other.data, &mut self.data);
     }
 
     /// Multiplies every entry by `s`.
     pub fn scale(&mut self, s: f32) {
-        self.data.iter_mut().for_each(|x| *x *= s);
+        crate::backend::for_elementwise().scale(s, &mut self.data);
     }
 
     /// Returns `self * s` without mutating.
@@ -223,9 +217,7 @@ impl DMat {
     /// Element-wise product, in place.
     pub fn hadamard_assign(&mut self, other: &DMat) {
         assert_eq!(self.shape(), other.shape(), "shape mismatch in hadamard");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a *= b;
-        }
+        crate::backend::for_elementwise().hadamard(&mut self.data, &other.data);
     }
 
     /// Frobenius inner product `⟨self, other⟩`, accumulated in `f64`.

@@ -1,11 +1,19 @@
 //! Dense matrix multiplication kernels.
 //!
 //! The transformation stage of every model reduces to `H · W` (activations ×
-//! weights) plus the two transposed products needed by backprop. Kernels are
-//! written k-outer/j-inner so the inner loop is a contiguous axpy the
-//! compiler auto-vectorizes, and output rows are distributed across the
-//! persistent worker pool (see [`crate::runtime`]).
+//! weights) plus the two transposed products needed by backprop. Output rows
+//! are distributed across the persistent worker pool (see [`crate::runtime`])
+//! and each worker's chunk runs through the active compute backend
+//! ([`crate::backend`]): a register-blocked AVX2+FMA panel kernel when the
+//! host supports it, the portable k-outer/j-inner axpy loop otherwise.
+//!
+//! The historical `av == 0.0` skip in the inner loop is gone with the
+//! backend refactor: activations are dense after the first layer, the branch
+//! blocked vectorization, and `fma(b, 0.0, o) == o` for finite `b`, so its
+//! removal is invisible in results (`BENCH_gemm.json` records the measured
+//! kernel effect).
 
+use crate::backend;
 use crate::mat::DMat;
 use crate::runtime::{num_threads, run_chunks, run_map};
 use sgnn_obs as obs;
@@ -30,38 +38,30 @@ pub fn matmul(a: &DMat, b: &DMat) -> DMat {
     let mut out = DMat::zeros(m, n);
     let bdat = b.data();
     let adat = a.data();
+    let be = backend::for_gemm();
     run_chunks(out.data_mut(), m, n.max(1), |first, chunk| {
-        for (local_r, orow) in chunk.chunks_exact_mut(n.max(1)).enumerate() {
-            let r = first + local_r;
-            let arow = &adat[r * k..(r + 1) * k];
-            for (kk, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = &bdat[kk * n..(kk + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o = bv.mul_add(av, *o);
-                }
-            }
-        }
+        let rows = chunk.len() / n.max(1);
+        let ablock = &adat[first * k..(first + rows) * k];
+        be.gemm_block(ablock, k, bdat, n, chunk);
     });
     out
 }
 
 /// Accumulates `Aᵀ·B` over the given `k`-range into a row-major `m × n`
 /// buffer (the shared inner kernel of [`matmul_at_b`]).
-fn at_b_accumulate(a: &DMat, b: &DMat, ks: std::ops::Range<usize>, out: &mut [f32], n: usize) {
+fn at_b_accumulate(
+    be: &dyn backend::Backend,
+    a: &DMat,
+    b: &DMat,
+    ks: std::ops::Range<usize>,
+    out: &mut [f32],
+    n: usize,
+) {
     for kk in ks {
         let arow = a.row(kk);
         let brow = b.row(kk);
         for (r, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let orow = &mut out[r * n..(r + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o = bv.mul_add(av, *o);
-            }
+            be.axpy(av, brow, &mut out[r * n..(r + 1) * n]);
         }
     }
 }
@@ -83,16 +83,17 @@ pub fn matmul_at_b(a: &DMat, b: &DMat) -> DMat {
     let _sp = obs::span!("matmul", m = m, k = k, n = n);
     MATMUL_FLOPS.add(2 * (m * k * n) as u64);
     let mut out = DMat::zeros(m, n);
+    let be = backend::for_gemm();
     let chunks = num_threads().min(k.max(1));
     if chunks <= 1 || m * k * n < 1 << 14 {
-        at_b_accumulate(a, b, 0..k, out.data_mut(), n);
+        at_b_accumulate(be, a, b, 0..k, out.data_mut(), n);
         return out;
     }
     let per = k.div_ceil(chunks);
     let partials = run_map(chunks, |i| {
         let ks = i * per..((i + 1) * per).min(k);
         let mut part = vec![0.0f32; m * n];
-        at_b_accumulate(a, b, ks, &mut part, n);
+        at_b_accumulate(be, a, b, ks, &mut part, n);
         part
     });
     let odat = out.data_mut();
@@ -106,6 +107,11 @@ pub fn matmul_at_b(a: &DMat, b: &DMat) -> DMat {
 
 /// `A (m×k) · Bᵀ (n×k)ᵀ -> (m×n)` without materializing the transpose.
 /// Used for input gradients `dY·Wᵀ`.
+///
+/// Each output element is a [`backend::Backend::dot`]; the SIMD backend
+/// reduces the lanes horizontally, which reassociates the sum, so this
+/// product is tolerance-checked across backends (like the parallel
+/// [`matmul_at_b`] reduction), never byte-compared.
 pub fn matmul_a_bt(a: &DMat, b: &DMat) -> DMat {
     assert_eq!(a.cols(), b.cols(), "matmul_a_bt inner dimension mismatch");
     let (m, k) = a.shape();
@@ -115,17 +121,13 @@ pub fn matmul_a_bt(a: &DMat, b: &DMat) -> DMat {
     let mut out = DMat::zeros(m, n);
     let adat = a.data();
     let bdat = b.data();
+    let be = backend::for_gemm();
     run_chunks(out.data_mut(), m, n.max(1), |first, chunk| {
         for (local_r, orow) in chunk.chunks_exact_mut(n.max(1)).enumerate() {
             let r = first + local_r;
             let arow = &adat[r * k..(r + 1) * k];
             for (c, o) in orow.iter_mut().enumerate() {
-                let brow = &bdat[c * k..(c + 1) * k];
-                let mut acc = 0.0f32;
-                for (&x, &y) in arow.iter().zip(brow) {
-                    acc = x.mul_add(y, acc);
-                }
-                *o = acc;
+                *o = be.dot(arow, &bdat[c * k..(c + 1) * k]);
             }
         }
     });

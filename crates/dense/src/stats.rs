@@ -14,22 +14,18 @@ pub fn argmax(xs: &[f32]) -> usize {
 }
 
 /// Numerically stable in-place softmax.
+///
+/// Dispatches through the active [`crate::backend`]; both backends keep the
+/// serial `f64` sum of exponentials, so the result is bit-identical across
+/// them (see the backend module docs).
 pub fn softmax_inplace(xs: &mut [f32]) {
-    let m = xs.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
-    let mut sum = 0.0f64;
-    for x in xs.iter_mut() {
-        *x = (*x - m).exp();
-        sum += *x as f64;
-    }
-    let inv = (1.0 / sum) as f32;
-    xs.iter_mut().for_each(|x| *x *= inv);
+    crate::backend::for_softmax().softmax_row(xs);
 }
 
-/// Numerically stable in-place log-softmax.
+/// Numerically stable in-place log-softmax. Backend-dispatched and
+/// bit-identical across backends, like [`softmax_inplace`].
 pub fn log_softmax_inplace(xs: &mut [f32]) {
-    let m = xs.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
-    let lse = (xs.iter().map(|&x| ((x - m) as f64).exp()).sum::<f64>()).ln() as f32 + m;
-    xs.iter_mut().for_each(|x| *x -= lse);
+    crate::backend::for_softmax().log_softmax_row(xs);
 }
 
 /// Mean of a slice, `f64` accumulation.

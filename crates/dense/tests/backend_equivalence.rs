@@ -1,0 +1,305 @@
+//! Backend-equivalence suite: the SIMD kernels against the scalar reference.
+//!
+//! The backend contract (see `sgnn_dense::backend`) splits the kernel
+//! surface in two:
+//!
+//! * **bit-exact** — GEMM, AXPY, the elementwise ops, ReLU fwd/bwd, and
+//!   softmax fwd/bwd preserve the scalar reduction order, so the SIMD
+//!   results are compared with `to_bits` on random shapes, including ragged
+//!   widths (`n % 16 ≠ 0`) that exercise the zero-padded panel tails;
+//! * **tolerance** — `dot` (and therefore `matmul_a_bt`) reassociates the
+//!   FMA chain across lanes and is checked against an `f64` reference, the
+//!   same way the parallel `matmul_at_b` reduction is tested.
+//!
+//! On hosts without AVX2+FMA, `backend::simd()` is `None` and the kernel
+//! comparisons reduce to scalar-vs-scalar (trivially green); the forced
+//! `scalar` selection test at the bottom runs everywhere, including AVX2
+//! hosts, pinning the fallback path.
+
+use std::sync::{Mutex, MutexGuard};
+
+use proptest::prelude::*;
+use sgnn_dense::backend::{self, Backend, BackendKind};
+use sgnn_dense::{matmul, DMat};
+
+/// `set_backend` mutates a process-global; the whole-operator tests
+/// serialize on this lock and restore the default even across panics.
+static BACKEND_LOCK: Mutex<()> = Mutex::new(());
+
+struct Pinned(#[allow(dead_code)] MutexGuard<'static, ()>);
+
+impl Drop for Pinned {
+    fn drop(&mut self) {
+        backend::set_backend(None);
+    }
+}
+
+fn pin(kind: BackendKind) -> Pinned {
+    let guard = BACKEND_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    backend::set_backend(Some(kind));
+    Pinned(guard)
+}
+
+/// Deterministic mixed-sign fill (same generator as the runtime suite).
+fn filled(n: usize, seed: u64) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            let mut z = (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ seed;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            ((z >> 40) as f32) * 1e-5 - 80.0
+        })
+        .collect()
+}
+
+fn assert_bits_eq(a: &[f32], b: &[f32], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: element {i} diverged: {x} vs {y}"
+        );
+    }
+}
+
+/// Scalar and (when present) SIMD backend; the second entry is the scalar
+/// backend again on non-AVX2 hosts, keeping every test runnable everywhere.
+fn pair() -> (&'static dyn Backend, &'static dyn Backend) {
+    (
+        backend::scalar(),
+        backend::simd().unwrap_or(backend::scalar()),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The panel GEMM keeps one k-ascending FMA chain per output element,
+    /// so it must match the scalar kernel bit for bit — including ragged
+    /// column counts that exercise the zero-padded tail panel and row
+    /// counts that exercise the MR=1 tail kernel.
+    #[test]
+    fn gemm_block_is_bit_identical(
+        m in 1usize..33,
+        k in 1usize..40,
+        n in 1usize..70,
+        seed in 0u64..1_000,
+    ) {
+        let (sc, sd) = pair();
+        let a = filled(m * k, seed);
+        let b = filled(k * n, seed ^ 0xABCD);
+        // Accumulate into a dirty (non-zero) output: `out +=`, not `out =`.
+        let base = filled(m * n, seed ^ 0x77);
+        let mut want = base.clone();
+        sc.gemm_block(&a, k, &b, n, &mut want);
+        let mut got = base;
+        sd.gemm_block(&a, k, &b, n, &mut got);
+        assert_bits_eq(&want, &got, "gemm_block");
+    }
+
+    /// Row-AXPY (the SpMM inner loop) is lane-wise FMA: bit-exact.
+    #[test]
+    fn axpy_is_bit_identical(
+        n in 1usize..300,
+        alpha in -4.0f32..4.0,
+        seed in 0u64..1_000,
+    ) {
+        let (sc, sd) = pair();
+        let x = filled(n, seed);
+        let base = filled(n, seed ^ 0x3333);
+        let mut want = base.clone();
+        sc.axpy(alpha, &x, &mut want);
+        let mut got = base;
+        sd.axpy(alpha, &x, &mut got);
+        assert_bits_eq(&want, &got, "axpy");
+    }
+
+    /// Scale / add / sub / hadamard / relu fwd+bwd are all lane-wise:
+    /// bit-exact at every ragged length.
+    #[test]
+    fn elementwise_ops_are_bit_identical(
+        n in 1usize..300,
+        s in -3.0f32..3.0,
+        seed in 0u64..1_000,
+    ) {
+        let (sc, sd) = pair();
+        let a = filled(n, seed);
+        let b = filled(n, seed ^ 0x5555);
+
+        let run = |be: &dyn Backend| {
+            let mut scaled = a.clone();
+            be.scale(s, &mut scaled);
+            let mut added = a.clone();
+            be.add_assign(&mut added, &b);
+            let mut subbed = a.clone();
+            be.sub_assign(&mut subbed, &b);
+            let mut had = a.clone();
+            be.hadamard(&mut had, &b);
+            let mut rl = a.clone();
+            be.relu(&mut rl);
+            let mut rg = b.clone();
+            be.relu_bwd(&a, &mut rg);
+            (scaled, added, subbed, had, rl, rg)
+        };
+        let want = run(sc);
+        let got = run(sd);
+        assert_bits_eq(&want.0, &got.0, "scale");
+        assert_bits_eq(&want.1, &got.1, "add_assign");
+        assert_bits_eq(&want.2, &got.2, "sub_assign");
+        assert_bits_eq(&want.3, &got.3, "hadamard");
+        assert_bits_eq(&want.4, &got.4, "relu");
+        assert_bits_eq(&want.5, &got.5, "relu_bwd");
+    }
+
+    /// Softmax forward and backward keep the serial f64 reductions; only
+    /// the max (associative) and the elementwise tails vectorize: bit-exact.
+    #[test]
+    fn softmax_fwd_bwd_are_bit_identical(
+        n in 1usize..200,
+        seed in 0u64..1_000,
+    ) {
+        let (sc, sd) = pair();
+        // Softmax-scaled inputs (logit range) rather than the ±80 fill.
+        let logits: Vec<f32> = filled(n, seed).iter().map(|v| v * 0.1).collect();
+        let grad: Vec<f32> = filled(n, seed ^ 0x9999).iter().map(|v| v * 0.05).collect();
+
+        let mut want = logits.clone();
+        sc.softmax_row(&mut want);
+        let mut got = logits.clone();
+        sd.softmax_row(&mut got);
+        assert_bits_eq(&want, &got, "softmax_row");
+
+        let mut gwant = grad.clone();
+        sc.softmax_bwd_row(&want, &mut gwant);
+        let mut ggot = grad;
+        sd.softmax_bwd_row(&got, &mut ggot);
+        assert_bits_eq(&gwant, &ggot, "softmax_bwd_row");
+
+        let mut lwant = logits.clone();
+        sc.log_softmax_row(&mut lwant);
+        let mut lgot = logits;
+        sd.log_softmax_row(&mut lgot);
+        assert_bits_eq(&lwant, &lgot, "log_softmax_row");
+    }
+
+    /// `dot` reassociates under SIMD (horizontal lane reduction), so it is
+    /// tolerance-checked against an f64 reference — the documented
+    /// exception to the bit-exact contract.
+    #[test]
+    fn dot_matches_f64_reference_within_tolerance(
+        n in 1usize..400,
+        seed in 0u64..1_000,
+    ) {
+        let (sc, sd) = pair();
+        let x: Vec<f32> = filled(n, seed).iter().map(|v| v * 0.01).collect();
+        let y: Vec<f32> = filled(n, seed ^ 0x1212).iter().map(|v| v * 0.01).collect();
+        let reference: f64 = x.iter().zip(&y).map(|(&a, &b)| a as f64 * b as f64).sum();
+        let tol = 1e-4 * (1.0 + reference.abs());
+        prop_assert!((sc.dot(&x, &y) as f64 - reference).abs() <= tol);
+        prop_assert!((sd.dot(&x, &y) as f64 - reference).abs() <= tol);
+    }
+}
+
+/// ReLU edge semantics must agree across backends on the values where IEEE
+/// gives implementations room: NaN inputs (forward clamps to the `f32::max`
+/// result, backward keeps the gradient) and signed zeros.
+#[test]
+fn relu_edge_semantics_agree() {
+    let (sc, sd) = pair();
+    let edge = [
+        f32::NAN,
+        -0.0,
+        0.0,
+        -1.5,
+        1.5,
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        -0.0,
+    ];
+
+    let mut want = edge;
+    sc.relu(&mut want);
+    let mut got = edge;
+    sd.relu(&mut got);
+    assert_bits_eq(&want, &got, "relu edge values");
+
+    let grad = [1.0f32; 8];
+    let mut gwant = grad;
+    sc.relu_bwd(&edge, &mut gwant);
+    let mut ggot = grad;
+    sd.relu_bwd(&edge, &mut ggot);
+    assert_bits_eq(&gwant, &ggot, "relu_bwd edge values");
+}
+
+/// Whole-operator check: `matmul` through the public API produces the same
+/// bits under both selections (the worker-pool chunking composes with the
+/// backend kernels without perturbing anything).
+#[test]
+fn matmul_is_bit_identical_across_selections() {
+    let a = DMat::from_vec(37, 19, filled(37 * 19, 1));
+    let b = DMat::from_vec(19, 53, filled(19 * 53, 2));
+    let want = {
+        let _p = pin(BackendKind::Scalar);
+        matmul::matmul(&a, &b)
+    };
+    let got = {
+        let _p = pin(BackendKind::Simd);
+        matmul::matmul(&a, &b)
+    };
+    assert_bits_eq(want.data(), got.data(), "matmul across selections");
+}
+
+/// `matmul_a_bt` is the tolerance-class product: compare selections against
+/// an f64 reference rather than bitwise.
+#[test]
+fn matmul_a_bt_matches_across_selections_within_tolerance() {
+    let a = DMat::from_vec(
+        23,
+        40,
+        filled(23 * 40, 3).iter().map(|v| v * 0.01).collect(),
+    );
+    let b = DMat::from_vec(
+        31,
+        40,
+        filled(31 * 40, 4).iter().map(|v| v * 0.01).collect(),
+    );
+    let mut reference = DMat::zeros(23, 31);
+    for r in 0..23 {
+        for c in 0..31 {
+            let d: f64 = a
+                .row(r)
+                .iter()
+                .zip(b.row(c))
+                .map(|(&x, &y)| x as f64 * y as f64)
+                .sum();
+            reference.set(r, c, d as f32);
+        }
+    }
+    for kind in [BackendKind::Scalar, BackendKind::Simd] {
+        let _p = pin(kind);
+        let got = matmul::matmul_a_bt(&a, &b);
+        for (g, w) in got.data().iter().zip(reference.data()) {
+            assert!(
+                (g - w).abs() <= 1e-4 * (1.0 + w.abs()),
+                "a_bt under {kind:?}: {g} vs {w}"
+            );
+        }
+    }
+}
+
+/// The forced-`scalar` fallback must engage even on AVX2 hosts: selection
+/// reports the scalar backend and whole operators run its kernels.
+#[test]
+fn forced_scalar_selection_wins_on_any_host() {
+    let _p = pin(BackendKind::Scalar);
+    assert_eq!(backend::selected_kind(), BackendKind::Scalar);
+    assert_eq!(backend::active().name(), "scalar");
+    // A matmul under the forced selection matches the scalar kernel run
+    // directly — the dispatch layer really routed to scalar.
+    let a = DMat::from_vec(9, 24, filled(9 * 24, 7));
+    let b = DMat::from_vec(24, 33, filled(24 * 33, 8));
+    let got = matmul::matmul(&a, &b);
+    let mut want = vec![0.0f32; 9 * 33];
+    backend::scalar().gemm_block(a.data(), 24, b.data(), 33, &mut want);
+    assert_bits_eq(got.data(), &want, "forced scalar matmul");
+}

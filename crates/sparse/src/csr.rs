@@ -9,10 +9,12 @@
 
 use std::sync::Arc;
 
+use sgnn_dense::backend;
 use sgnn_dense::runtime::{num_threads, run_chunks, run_plan};
 use sgnn_dense::DMat;
 use sgnn_obs as obs;
 
+use crate::fused;
 use crate::plan::{self, PlanCell, SpmmPlan};
 
 /// Stored entries visited across all CSR propagations (one per edge·hop).
@@ -290,6 +292,10 @@ impl CsrMat {
         let fs = f.max(1);
         let xdat = x.data();
         let zdat = cz.map(|(c, z)| (c, z.data()));
+        // One dispatch per SpMM; the row-AXPY inner loops below run through
+        // the selected backend (8-lane FMA under AVX2, the identical
+        // `mul_add` loop under scalar — bit-exact either way).
+        let be = backend::for_axpy();
         let kernel = |first: usize, chunk: &mut [f32]| {
             for (local, orow) in chunk.chunks_exact_mut(fs).enumerate() {
                 let r = first + local;
@@ -297,22 +303,13 @@ impl CsrMat {
                 let (idx, val) = self.row(r);
                 for (&c, &w) in idx.iter().zip(val) {
                     let xrow = &xdat[c as usize * f..(c as usize + 1) * f];
-                    let aw = a * w;
-                    for (o, &xv) in orow.iter_mut().zip(xrow) {
-                        *o = xv.mul_add(aw, *o);
-                    }
+                    be.axpy(a * w, xrow, orow);
                 }
                 if b != 0.0 {
-                    let xrow = &xdat[r * f..(r + 1) * f];
-                    for (o, &xv) in orow.iter_mut().zip(xrow) {
-                        *o = xv.mul_add(b, *o);
-                    }
+                    be.axpy(b, &xdat[r * f..(r + 1) * f], orow);
                 }
                 if let Some((c, zdat)) = zdat {
-                    let zrow = &zdat[r * f..(r + 1) * f];
-                    for (o, &zv) in orow.iter_mut().zip(zrow) {
-                        *o = zv.mul_add(c, *o);
-                    }
+                    be.axpy(c, &zdat[r * f..(r + 1) * f], orow);
                 }
             }
         };
@@ -379,6 +376,13 @@ impl CsrMat {
 
     /// [`affine_spmm_axpy`](Self::affine_spmm_axpy) into a caller-provided
     /// buffer (fully overwritten).
+    ///
+    /// Whether the three terms actually run in one fused pass is decided by
+    /// [`crate::fused`] (`SGNN_SPMM_FUSED=on|off|auto`): when the
+    /// propagation bench has recorded the fused kernel unprofitable on this
+    /// host, `auto` composes the affine SpMM with a separate `axpy` pass
+    /// instead. Both paths are bit-identical (FMA with an exact scalar `c`
+    /// rounds the same either way), so the gate is a pure performance knob.
     pub fn affine_spmm_axpy_into(
         &self,
         a: f32,
@@ -393,16 +397,23 @@ impl CsrMat {
             "affine propagation requires square operator"
         );
         let f = x.cols();
+        let fused_on = fused::fused_enabled();
         let _sp = obs::span!(
             "spmm.csr",
             nnz = self.nnz(),
             cols = f,
             affine = true,
-            fused = true
+            fused = fused_on
         );
         SPMM_NNZ.add(self.nnz() as u64);
         SPMM_FLOPS.add(2 * ((self.nnz() + 2 * self.rows) * f) as u64);
-        self.fused_into(a, b, x, Some((c, z)), out);
+        fused::note(fused_on);
+        if fused_on {
+            self.fused_into(a, b, x, Some((c, z)), out);
+        } else {
+            self.fused_into(a, b, x, None, out);
+            out.axpy(c, z);
+        }
     }
 
     /// Row sums (out-degree for adjacency matrices).
@@ -507,6 +518,33 @@ mod tests {
         let mut out = DMat::filled(3, 2, -3.25);
         a.affine_spmm_axpy_into(-2.0, 0.0, -1.0, &x, &z, &mut out);
         assert_eq!(out, a.affine_spmm_axpy(-2.0, 0.0, -1.0, &x, &z));
+    }
+
+    #[test]
+    fn fused_gate_modes_agree_bitwise() {
+        // on / off / auto (with and without a recorded profit) must all
+        // produce identical bits — the gate only picks which of two
+        // bit-identical paths runs.
+        let a = small();
+        let x = DMat::from_fn(3, 5, |r, c| ((r * 3 + c) % 5) as f32 * 0.4 - 0.9);
+        let z = DMat::from_fn(3, 5, |r, c| ((r + 2 * c) % 4) as f32 * 0.8 - 1.1);
+        let _g = fused::test_lock::hold();
+        fused::set_mode(Some(fused::FusedMode::On));
+        let on = a.affine_spmm_axpy(-2.0, 0.3, -1.0, &x, &z);
+        fused::set_mode(Some(fused::FusedMode::Off));
+        let off = a.affine_spmm_axpy(-2.0, 0.3, -1.0, &x, &z);
+        fused::set_mode(Some(fused::FusedMode::Auto));
+        fused::record_profit(0.8); // auto resolves to the unfused path
+        let auto_unprofitable = a.affine_spmm_axpy(-2.0, 0.3, -1.0, &x, &z);
+        assert!(!fused::fused_enabled());
+        fused::record_profit(1.3); // auto resolves back to fused
+        let auto_profitable = a.affine_spmm_axpy(-2.0, 0.3, -1.0, &x, &z);
+        assert!(fused::fused_enabled());
+        fused::reset_profit();
+        fused::set_mode(None);
+        assert_eq!(on, off);
+        assert_eq!(on, auto_unprofitable);
+        assert_eq!(on, auto_profitable);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! re-run.
 
 use crate::csr::CsrMat;
+use sgnn_dense::backend;
 use sgnn_dense::runtime::run_chunks;
 use sgnn_dense::DMat;
 use sgnn_obs as obs;
@@ -83,12 +84,12 @@ impl EdgeList {
         // message row is independent, so the gather runs over the pool.
         let mut messages = DMat::zeros(self.len(), f);
         let (src, w) = (&self.src, &self.w);
+        let be = backend::for_elementwise();
         run_chunks(messages.data_mut(), self.len(), f.max(1), |first, chunk| {
             for (local, m) in chunk.chunks_exact_mut(f.max(1)).enumerate() {
                 let e = first + local;
-                let wv = w[e];
                 m.copy_from_slice(x.row(src[e] as usize));
-                m.iter_mut().for_each(|v| *v *= wv);
+                be.scale(w[e], m);
             }
         });
         // Stage 2: scatter-add into destinations. Stays serial: multiple
@@ -97,10 +98,7 @@ impl EdgeList {
         // memory behaviour to be faithful).
         let mut out = DMat::zeros(self.n, f);
         for (e, &d) in self.dst.iter().enumerate() {
-            let orow = out.row_mut(d as usize);
-            for (o, &mv) in orow.iter_mut().zip(messages.row(e)) {
-                *o += mv;
-            }
+            be.add_assign(out.row_mut(d as usize), messages.row(e));
         }
         out
     }

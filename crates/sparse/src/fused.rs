@@ -1,0 +1,175 @@
+//! Measured-profit gating for the fused three-term recurrence kernel.
+//!
+//! [`CsrMat::affine_spmm_axpy_into`](crate::CsrMat::affine_spmm_axpy_into)
+//! can run either as one fused pass (`a·Ãx + b·x + c·z` while the output row
+//! is hot) or as the affine SpMM followed by a separate `axpy` sweep. The
+//! fused form saves a full read+write of the `n×F` output, but on this
+//! benchmark's memory-bound kernels the win is not guaranteed — the
+//! propagation bench has measured it *below* parity (0.99×) on some hosts.
+//!
+//! `SGNN_SPMM_FUSED` picks the policy:
+//!
+//! * `on` / `1` — always fuse,
+//! * `off` / `0` — always compose (SpMM + axpy),
+//! * `auto` (default) — fuse unless the propagation bench has recorded a
+//!   sub-1.0× speedup in this process via [`record_profit`]; the bench
+//!   writes the same decision into `BENCH_spmm.json` (`fused_cheb.decision`)
+//!   so offline runs can see what the host resolved to.
+//!
+//! Both paths are bit-identical (pinned by
+//! `fused_axpy_matches_unfused_composition_bitwise`), so the gate is purely
+//! a performance decision. The choice taken per dispatch is counted as
+//! `spmm.fused.used` / `spmm.fused.bypass`.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+use sgnn_obs as obs;
+
+/// Fused dispatches that ran the one-pass kernel.
+static FUSED_USED: obs::Counter = obs::Counter::new("spmm.fused.used");
+/// Fused dispatches that fell back to SpMM + separate axpy.
+static FUSED_BYPASS: obs::Counter = obs::Counter::new("spmm.fused.bypass");
+
+/// Gating policy for the fused three-term kernel.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FusedMode {
+    /// Always run the one-pass fused kernel.
+    On,
+    /// Always compose the affine SpMM with a separate axpy pass.
+    Off,
+    /// Fuse unless [`record_profit`] has reported a sub-parity speedup.
+    Auto,
+}
+
+/// Runtime override: 0 = none (environment default), 1 = on, 2 = off,
+/// 3 = auto. Mirrors `plan::SCHED_OVERRIDE`.
+static MODE_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Measured profit state: 0 = unmeasured, 1 = profitable (≥1.0×),
+/// 2 = unprofitable (<1.0×).
+static PROFIT: AtomicU8 = AtomicU8::new(0);
+
+fn env_mode() -> FusedMode {
+    static DEFAULT: OnceLock<FusedMode> = OnceLock::new();
+    *DEFAULT.get_or_init(|| match std::env::var("SGNN_SPMM_FUSED").as_deref() {
+        Ok("on") | Ok("1") => FusedMode::On,
+        Ok("off") | Ok("0") => FusedMode::Off,
+        _ => FusedMode::Auto,
+    })
+}
+
+/// Forces a gating mode (tests, benches); `None` restores the
+/// `SGNN_SPMM_FUSED` default.
+pub fn set_mode(mode: Option<FusedMode>) {
+    let v = match mode {
+        None => 0,
+        Some(FusedMode::On) => 1,
+        Some(FusedMode::Off) => 2,
+        Some(FusedMode::Auto) => 3,
+    };
+    MODE_OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// The gating mode dispatches currently resolve under.
+pub fn mode() -> FusedMode {
+    match MODE_OVERRIDE.load(Ordering::Relaxed) {
+        1 => FusedMode::On,
+        2 => FusedMode::Off,
+        3 => FusedMode::Auto,
+        _ => env_mode(),
+    }
+}
+
+/// Records the fused-vs-unfused speedup the propagation bench measured on
+/// this host; `auto` dispatches consult it from then on. Also exported as
+/// the `spmm.fused.profit_x1000` gauge.
+pub fn record_profit(speedup: f64) {
+    PROFIT.store(if speedup >= 1.0 { 1 } else { 2 }, Ordering::Relaxed);
+    obs::gauge_set(
+        "spmm.fused.profit_x1000",
+        (speedup.max(0.0) * 1000.0) as u64,
+    );
+}
+
+/// Clears the recorded profit (tests).
+pub fn reset_profit() {
+    PROFIT.store(0, Ordering::Relaxed);
+}
+
+/// Whether the next three-term dispatch should run fused.
+pub fn fused_enabled() -> bool {
+    match mode() {
+        FusedMode::On => true,
+        FusedMode::Off => false,
+        // Unmeasured hosts fuse: the kernel's model says it saves a full
+        // output sweep, and the bench corrects the call where that fails.
+        FusedMode::Auto => PROFIT.load(Ordering::Relaxed) != 2,
+    }
+}
+
+/// The decision string the bench records in `BENCH_spmm.json`.
+pub fn decision() -> &'static str {
+    if fused_enabled() {
+        "fused"
+    } else {
+        "unfused"
+    }
+}
+
+/// Counts which path a dispatch took (called by the CSR kernel).
+pub(crate) fn note(fused: bool) {
+    if fused {
+        FUSED_USED.incr();
+    } else {
+        FUSED_BYPASS.incr();
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_lock {
+    //! Mode and profit are process globals; every test that mutates them
+    //! (here and in `csr`) serializes on this lock.
+
+    use std::sync::{Mutex, MutexGuard};
+
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    pub fn hold() -> MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_follows_recorded_profit() {
+        let _g = test_lock::hold();
+        set_mode(Some(FusedMode::Auto));
+        reset_profit();
+        assert!(fused_enabled(), "unmeasured hosts default to fused");
+        record_profit(0.99);
+        assert!(!fused_enabled());
+        assert_eq!(decision(), "unfused");
+        record_profit(1.17);
+        assert!(fused_enabled());
+        assert_eq!(decision(), "fused");
+        reset_profit();
+        set_mode(None);
+    }
+
+    #[test]
+    fn explicit_modes_ignore_profit() {
+        let _g = test_lock::hold();
+        set_mode(Some(FusedMode::Off));
+        record_profit(2.0);
+        assert!(!fused_enabled());
+        set_mode(Some(FusedMode::On));
+        record_profit(0.5);
+        assert!(fused_enabled());
+        reset_profit();
+        set_mode(None);
+    }
+}

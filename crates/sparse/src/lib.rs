@@ -22,6 +22,7 @@
 pub mod coo;
 pub mod csr;
 pub mod edgelist;
+pub mod fused;
 pub mod graph;
 pub mod normalize;
 pub mod plan;
