@@ -8,6 +8,17 @@
 //! every call, via `std::thread::scope`); `persistent_pool` is the shipped
 //! [`sgnn_dense::runtime`] path. The pool must win: it pays one condvar
 //! wake instead of a thread create + join per chunk.
+//!
+//! The `persistent_pool_traced` variant re-runs the pool path with
+//! observability enabled (aggregation mode, no sink) and doubles as the
+//! overhead-contract check: with tracing **disabled** every instrumentation
+//! site costs one relaxed atomic load (`obs::enabled()`), so `scoped_spawn`
+//! vs `persistent_pool` is unpolluted; with tracing **enabled** each span
+//! close is a push into the closing thread's own lock-free ring and each
+//! histogram sample a handful of relaxed atomic adds — no shared lock on
+//! the dispatch path — so `persistent_pool_traced` is expected to sit
+//! within ~5% of `persistent_pool`. A larger gap means an emit path grew a
+//! lock or an allocation and should be treated as a regression.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sgnn_dense::runtime::{num_threads, run_chunks, set_threads};
@@ -120,6 +131,17 @@ fn bench_dispatch(c: &mut Criterion) {
             run_chunks(&mut buf, 256, 64, touch_kernel);
             black_box(buf[0]);
         })
+    });
+    // Same dispatch with tracing live: spans land in per-thread rings,
+    // dispatch latency in the lock-free histogram. Expected within ~5% of
+    // `persistent_pool` (see the overhead contract in the header).
+    group.bench_function("persistent_pool_traced", |bch| {
+        sgnn_obs::enable_aggregation();
+        bch.iter(|| {
+            run_chunks(&mut buf, 256, 64, touch_kernel);
+            black_box(buf[0]);
+        });
+        sgnn_obs::disable();
     });
     group.finish();
     set_threads(0);

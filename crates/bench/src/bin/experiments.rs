@@ -4,6 +4,11 @@
 //! experiments <target> [flags]
 //! experiments trace-summary <trace.jsonl> [--require span1,span2]
 //!                                         [--require-counter c1,c2]
+//! experiments trace-flame <trace.jsonl>      collapsed-stack flamegraph
+//!                                            (self-time ns) on stdout
+//! experiments bench-regress [--baseline P] [--dir D] [--tolerance F]
+//!                                            gate BENCH_*.json against
+//!                                            results/bench_baseline.json
 //!
 //! targets: table1 table3 table5 table6 table7 table9 table10 table11
 //!          fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10   all
@@ -105,11 +110,58 @@ fn trace_summary(args: &[String]) -> Result<String, String> {
     trace::summarize_file(std::path::Path::new(path), &require, &require_counters)
 }
 
+/// `trace-flame <file.jsonl>`: collapsed-stack flamegraph (frames joined
+/// root-first by `;`, weight = self-time ns) on stdout; pipe into any
+/// flamegraph renderer.
+fn trace_flame(args: &[String]) -> Result<String, String> {
+    let Some(path) = args.first() else {
+        return Err("usage: experiments trace-flame <trace.jsonl>".into());
+    };
+    if let Some(flag) = args.get(1) {
+        return Err(format!("unknown flag {flag}"));
+    }
+    flame::collapse_file(std::path::Path::new(path))
+}
+
+/// `bench-regress [--baseline PATH] [--dir DIR] [--tolerance F]`: gate the
+/// current bench artifacts against the checked-in baseline. `Err` = could
+/// not gate (missing files, bad baseline); `Ok((report, true))` = gated
+/// and regressed.
+fn bench_regress(args: &[String]) -> Result<(String, bool), String> {
+    let mut baseline = std::path::PathBuf::from("results/bench_baseline.json");
+    let mut dir = std::path::PathBuf::from(".");
+    let mut tolerance = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--baseline" => {
+                i += 1;
+                baseline = args.get(i).ok_or("--baseline needs a value")?.into();
+            }
+            "--dir" => {
+                i += 1;
+                dir = args.get(i).ok_or("--dir needs a value")?.into();
+            }
+            "--tolerance" => {
+                i += 1;
+                let raw = args.get(i).ok_or("--tolerance needs a value")?;
+                tolerance = Some(
+                    raw.parse::<f64>()
+                        .map_err(|_| format!("bad tolerance `{raw}`"))?,
+                );
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    regress::check(&baseline, &dir, tolerance)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(target) = args.first().cloned() else {
         progress(&format!(
-            "usage: experiments <target> [flags]; targets: {} all trace-summary",
+            "usage: experiments <target> [flags]; targets: {} all trace-summary trace-flame bench-regress",
             ALL_TARGETS.join(" ")
         ));
         std::process::exit(2);
@@ -117,6 +169,31 @@ fn main() {
     if target == "trace-summary" {
         match trace_summary(&args[1..]) {
             Ok(out) => println!("{out}"),
+            Err(e) => {
+                progress(&format!("error: {e}"));
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if target == "trace-flame" {
+        match trace_flame(&args[1..]) {
+            Ok(out) => print!("{out}"),
+            Err(e) => {
+                progress(&format!("error: {e}"));
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if target == "bench-regress" {
+        match bench_regress(&args[1..]) {
+            Ok((report, regressed)) => {
+                println!("{report}");
+                if regressed {
+                    std::process::exit(1);
+                }
+            }
             Err(e) => {
                 progress(&format!("error: {e}"));
                 std::process::exit(1);
@@ -175,7 +252,7 @@ fn main() {
         Ok(true) => {}
         Ok(false) => {
             progress(&format!(
-                "unknown target {target}; targets: {} all trace-summary",
+                "unknown target {target}; targets: {} all trace-summary trace-flame bench-regress",
                 ALL_TARGETS.join(" ")
             ));
             std::process::exit(2);

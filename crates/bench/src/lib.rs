@@ -23,7 +23,9 @@ pub mod exp_table6;
 pub mod exp_table7;
 pub mod exp_table9;
 pub mod faults;
+pub mod flame;
 pub mod harness;
+pub mod regress;
 pub mod runner;
 pub mod store;
 pub mod trace;

@@ -1,26 +1,45 @@
 //! Offline analysis of JSONL traces (`experiments trace-summary`).
 //!
 //! Reads a trace produced with `--trace`/`SGNN_TRACE`, re-aggregates the
-//! span events, and renders the top spans by total time, the counters and
-//! gauges from the final flush, pool utilization, and peak RAM per stage.
-//! Every line must parse; a malformed line, a missing required span name, or
-//! a missing/zero required counter is an error (the CI smoke steps rely on
+//! span events, and renders: the top spans by total time with **self-time**
+//! (exclusive of child spans), per-name duration quantiles (p50/p99,
+//! rebuilt through the same log-bucket scheme the live histograms use),
+//! net memory delta and peak RAM per span name; pool utilization; the
+//! counters, gauges, and latency histograms from the final flush. Every
+//! line must parse; a malformed line, a missing required span name, or a
+//! missing/zero required counter is an error (the CI smoke steps rely on
 //! all three).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 use std::path::Path;
 
 use sgnn_obs::json::{self, Value};
+use sgnn_obs::{bucket_index, quantile_from_counts, NUM_BUCKETS};
 
 /// Aggregate of one span name reconstructed from the trace.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 struct SpanAgg {
     count: u64,
     total_s: f64,
+    self_s: f64,
     max_s: f64,
+    /// Net allocation across all closes (`mem_delta` sums; 0 = no sampler).
+    mem_delta: i64,
     /// Largest `ram_peak` sampled at any close of this span (0 = no sampler).
     ram_peak: u64,
+    /// Duration distribution in nanoseconds (log-bucketed).
+    dur_buckets: Vec<u64>,
+}
+
+/// One `hist` event from the flush (last write wins).
+#[derive(Clone, Copy, Debug, Default)]
+struct HistLine {
+    count: u64,
+    p50: u64,
+    p90: u64,
+    p99: u64,
+    max: u64,
 }
 
 /// Summarizes `path`, failing if any line is malformed, any name in
@@ -35,9 +54,13 @@ pub fn summarize_file(
 
     let mut spans: BTreeMap<String, SpanAgg> = BTreeMap::new();
     let mut counters: BTreeMap<String, u64> = BTreeMap::new();
-    let mut gauges: BTreeMap<String, u64> = BTreeMap::new();
+    let mut gauges: BTreeMap<String, String> = BTreeMap::new();
+    let mut hists: BTreeMap<String, HistLine> = BTreeMap::new();
     let mut messages = 0usize;
     let mut lines = 0usize;
+    // Fallback self-time bookkeeping for traces without a `self_s` field:
+    // span id -> accumulated duration of already-seen children.
+    let mut pending_child_s: HashMap<u64, f64> = HashMap::new();
 
     for (lineno, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
@@ -59,22 +82,66 @@ pub fn summarize_file(
                     .get("dur_s")
                     .and_then(Value::as_f64)
                     .ok_or_else(|| format!("line {}: span without dur_s", lineno + 1))?;
+                // Self-time: written by the collector; recomputed from the
+                // id/parent links for traces that predate the field. Children
+                // drain before their parent, so one forward pass suffices.
+                let self_s = match event.get("self_s").and_then(Value::as_f64) {
+                    Some(s) => s,
+                    None => {
+                        let id = event.get("id").and_then(Value::as_u64).unwrap_or(0);
+                        let child_s = pending_child_s.remove(&id).unwrap_or(0.0);
+                        (dur - child_s).max(0.0)
+                    }
+                };
+                if let Some(parent) = event.get("parent").and_then(Value::as_u64) {
+                    if parent != 0 {
+                        *pending_child_s.entry(parent).or_insert(0.0) += dur;
+                    }
+                }
                 let agg = spans.entry(name.to_string()).or_default();
                 agg.count += 1;
                 agg.total_s += dur;
+                agg.self_s += self_s;
                 agg.max_s = agg.max_s.max(dur);
+                if agg.dur_buckets.is_empty() {
+                    agg.dur_buckets = vec![0; NUM_BUCKETS];
+                }
+                let dur_ns = (dur.max(0.0) * 1e9).round().min(u64::MAX as f64) as u64;
+                agg.dur_buckets[bucket_index(dur_ns)] += 1;
                 if let Some(peak) = event.get("ram_peak").and_then(Value::as_u64) {
                     agg.ram_peak = agg.ram_peak.max(peak);
                 }
+                if let Some(delta) = event.get("mem_delta").and_then(Value::as_i64) {
+                    agg.mem_delta += delta;
+                }
             }
-            // Counters/gauges are flushed cumulatively; the last event wins.
+            // Counters/gauges/hists are flushed cumulatively; last wins.
             "counter" => {
                 let v = event.get("value").and_then(Value::as_u64).unwrap_or(0);
                 counters.insert(name.to_string(), v);
             }
             "gauge" => {
-                let v = event.get("value").and_then(Value::as_u64).unwrap_or(0);
-                gauges.insert(name.to_string(), v);
+                // Gauges may be integers (exact u64) or floats; keep the
+                // source formatting either way.
+                let rendered = match event.get("value") {
+                    Some(Value::Int(v)) => v.to_string(),
+                    Some(Value::Num(v)) => v.to_string(),
+                    _ => "0".to_string(),
+                };
+                gauges.insert(name.to_string(), rendered);
+            }
+            "hist" => {
+                let field = |k: &str| event.get(k).and_then(Value::as_u64).unwrap_or(0);
+                hists.insert(
+                    name.to_string(),
+                    HistLine {
+                        count: field("count"),
+                        p50: field("p50"),
+                        p90: field("p90"),
+                        p99: field("p99"),
+                        max: field("max"),
+                    },
+                );
             }
             "msg" => messages += 1,
             other => return Err(format!("line {}: unknown kind `{other}`", lineno + 1)),
@@ -105,18 +172,31 @@ pub fn summarize_file(
     if !by_total.is_empty() {
         let _ = writeln!(
             out,
-            "{:<24} {:>8} {:>12} {:>12} {:>12} {:>12}",
-            "span", "count", "total(s)", "mean(s)", "max(s)", "peak RAM"
+            "{:<24} {:>8} {:>12} {:>12} {:>11} {:>11} {:>12} {:>11} {:>11}",
+            "span",
+            "count",
+            "total(s)",
+            "self(s)",
+            "p50(s)",
+            "p99(s)",
+            "max(s)",
+            "Δmem",
+            "peak RAM"
         );
         for (name, agg) in &by_total {
+            let p50 = quantile_from_counts(&agg.dur_buckets, agg.count, 0.50) as f64 / 1e9;
+            let p99 = quantile_from_counts(&agg.dur_buckets, agg.count, 0.99) as f64 / 1e9;
             let _ = writeln!(
                 out,
-                "{:<24} {:>8} {:>12.6} {:>12.6} {:>12.6} {:>12}",
+                "{:<24} {:>8} {:>12.6} {:>12.6} {:>11.6} {:>11.6} {:>12.6} {:>11} {:>11}",
                 name,
                 agg.count,
                 agg.total_s,
-                agg.total_s / agg.count.max(1) as f64,
+                agg.self_s,
+                p50,
+                p99,
                 agg.max_s,
+                fmt_delta(agg.mem_delta),
                 if agg.ram_peak > 0 {
                     sgnn_train::memory::fmt_bytes(agg.ram_peak as usize)
                 } else {
@@ -139,10 +219,29 @@ pub fn summarize_file(
     for (name, v) in &gauges {
         let _ = writeln!(out, "gauge   {name:<28} {v}");
     }
+    for (name, h) in &hists {
+        let _ = writeln!(
+            out,
+            "hist    {name:<28} count={} p50={} p90={} p99={} max={}",
+            h.count, h.p50, h.p90, h.p99, h.max
+        );
+    }
     if messages > 0 {
         let _ = writeln!(out, "({messages} progress messages)");
     }
     Ok(out)
+}
+
+/// Signed byte delta for the span table (`-` when no sampler contributed).
+fn fmt_delta(delta: i64) -> String {
+    if delta == 0 {
+        return "-".into();
+    }
+    let sign = if delta < 0 { "-" } else { "+" };
+    format!(
+        "{sign}{}",
+        sgnn_train::memory::fmt_bytes(delta.unsigned_abs() as usize)
+    )
 }
 
 /// Busy fraction of the pool's dispatch lanes, when the run dispatched.
@@ -186,6 +285,76 @@ mod tests {
         assert!(out.contains("device.peak_bytes"));
         assert!(out.contains("2.00 MiB"));
         assert!(out.contains("(1 progress messages)"));
+    }
+
+    #[test]
+    fn self_time_comes_from_field_or_parent_links() {
+        // First pair: explicit self_s. Second pair: v1-style lines where
+        // self must be recomputed from id/parent (child drains first).
+        let path = write_temp(
+            "sgnn_trace_summary_self.jsonl",
+            concat!(
+                "{\"ts_rel\":0.1,\"kind\":\"span\",\"name\":\"inner\",\"dur_s\":0.75,\"self_s\":0.75,\"id\":2,\"parent\":1,\"seq\":0,\"thread\":0,\"depth\":1}\n",
+                "{\"ts_rel\":0.2,\"kind\":\"span\",\"name\":\"outer\",\"dur_s\":1.0,\"self_s\":0.25,\"id\":1,\"parent\":0,\"seq\":1,\"thread\":0,\"depth\":0}\n",
+                "{\"ts_rel\":0.3,\"kind\":\"span\",\"name\":\"inner\",\"dur_s\":0.5,\"id\":4,\"parent\":3,\"thread\":0,\"depth\":1}\n",
+                "{\"ts_rel\":0.4,\"kind\":\"span\",\"name\":\"outer\",\"dur_s\":2.0,\"id\":3,\"parent\":0,\"thread\":0,\"depth\":0}\n",
+            ),
+        );
+        let out = summarize_file(&path, &[], &[]).unwrap();
+        // outer: total 3.0, self 0.25 + (2.0 - 0.5) = 1.75.
+        let outer = out.lines().find(|l| l.starts_with("outer")).unwrap();
+        assert!(outer.contains("3.000000"), "{outer}");
+        assert!(outer.contains("1.750000"), "{outer}");
+        // inner is a leaf: self == total.
+        let inner = out.lines().find(|l| l.starts_with("inner")).unwrap();
+        assert!(inner.contains("1.250000"), "{inner}");
+    }
+
+    #[test]
+    fn mem_delta_and_hist_events_render() {
+        let path = write_temp(
+            "sgnn_trace_summary_hist.jsonl",
+            concat!(
+                "{\"ts_rel\":0.1,\"kind\":\"span\",\"name\":\"alloc\",\"dur_s\":0.5,\"self_s\":0.5,\"id\":1,\"parent\":0,\"thread\":0,\"depth\":0,\"ram_cur\":4096,\"ram_peak\":2097152,\"mem_delta\":1048576}\n",
+                "{\"ts_rel\":0.2,\"kind\":\"span\",\"name\":\"alloc\",\"dur_s\":0.5,\"self_s\":0.5,\"id\":2,\"parent\":0,\"thread\":0,\"depth\":0,\"ram_cur\":0,\"ram_peak\":2097152,\"mem_delta\":-524288}\n",
+                "{\"ts_rel\":0.4,\"kind\":\"hist\",\"name\":\"pool.dispatch_ns\",\"count\":17,\"sum\":82000,\"max\":9216,\"p50\":4096,\"p90\":8192,\"p99\":9216}\n",
+                "{\"ts_rel\":0.4,\"kind\":\"gauge\",\"name\":\"spmm.plan.imbalance\",\"value\":1.062}\n",
+            ),
+        );
+        let out = summarize_file(&path, &[], &[]).unwrap();
+        // Net delta: +1 MiB - 512 KiB = +0.50 MiB.
+        assert!(out.contains("+0.50 MiB"), "{out}");
+        assert!(out.contains("hist    pool.dispatch_ns"), "{out}");
+        assert!(out.contains("p50=4096"), "{out}");
+        assert!(out.contains("p99=9216"), "{out}");
+        // Float gauges keep their fractional value.
+        assert!(out.contains("1.062"), "{out}");
+    }
+
+    #[test]
+    fn span_duration_quantiles_from_bucketed_durations() {
+        // 30 spans of ~1µs and one of 1ms: p50 stays µs-scale, while the
+        // nearest-rank p99 (rank ceil(0.99·31) = 31) picks up the outlier's
+        // bucket (within the 12.5% bucket width).
+        let mut content = String::new();
+        for i in 0..30 {
+            content.push_str(&format!(
+                "{{\"ts_rel\":0.1,\"kind\":\"span\",\"name\":\"q\",\"dur_s\":1e-6,\"self_s\":1e-6,\"id\":{},\"parent\":0,\"thread\":0,\"depth\":0}}\n",
+                i + 1
+            ));
+        }
+        content.push_str(
+            "{\"ts_rel\":0.2,\"kind\":\"span\",\"name\":\"q\",\"dur_s\":0.001,\"self_s\":0.001,\"id\":31,\"parent\":0,\"thread\":0,\"depth\":0}\n",
+        );
+        let path = write_temp("sgnn_trace_summary_quant.jsonl", &content);
+        let out = summarize_file(&path, &[], &[]).unwrap();
+        let line = out.lines().find(|l| l.starts_with("q ")).unwrap();
+        let cols: Vec<&str> = line.split_whitespace().collect();
+        // span count total self p50 p99 max Δmem peak
+        let p50: f64 = cols[4].parse().unwrap();
+        let p99: f64 = cols[5].parse().unwrap();
+        assert!((8e-7..=1.1e-6).contains(&p50), "p50={p50}");
+        assert!((8e-4..=1.1e-3).contains(&p99), "p99={p99}");
     }
 
     #[test]

@@ -22,6 +22,11 @@ use sgnn_obs as obs;
 /// transformation-side twin of `spmm.flops`.
 static MATMUL_FLOPS: obs::Counter = obs::Counter::new("matmul.flops");
 
+/// Per-chunk GEMM microkernel time: one sample per row-chunk a lane runs
+/// through the backend, so the spread exposes chunk imbalance and packing
+/// stalls rather than just the whole-matmul wall time.
+static GEMM_BLOCK_NS: obs::Histogram = obs::Histogram::new("gemm.block_ns");
+
 /// `A (m×k) · B (k×n) -> (m×n)`.
 pub fn matmul(a: &DMat, b: &DMat) -> DMat {
     assert_eq!(
@@ -40,9 +45,13 @@ pub fn matmul(a: &DMat, b: &DMat) -> DMat {
     let adat = a.data();
     let be = backend::for_gemm();
     run_chunks(out.data_mut(), m, n.max(1), |first, chunk| {
+        let t = obs::enabled().then(std::time::Instant::now);
         let rows = chunk.len() / n.max(1);
         let ablock = &adat[first * k..(first + rows) * k];
         be.gemm_block(ablock, k, bdat, n, chunk);
+        if let Some(t) = t {
+            GEMM_BLOCK_NS.record_duration(t.elapsed());
+        }
     });
     out
 }

@@ -62,6 +62,8 @@ static SERIAL_INLINE: obs::Counter = obs::Counter::new("pool.serial_inline");
 static NESTED_INLINE: obs::Counter = obs::Counter::new("pool.nested_inline");
 static BUSY_NS: obs::Counter = obs::Counter::new("pool.busy_ns");
 static LANE_NS: obs::Counter = obs::Counter::new("pool.lane_ns");
+/// End-to-end dispatch latency (post → all tasks done), per dispatch.
+static DISPATCH_NS: obs::Histogram = obs::Histogram::new("pool.dispatch_ns");
 
 /// Counts a serial fallback: nested calls inside a pool task separately
 /// from width-1 / tiny-problem inlining.
@@ -323,6 +325,7 @@ fn dispatch(n: usize, max_helpers: usize, task: &(dyn Fn(usize) + Sync)) {
         let wall = t.elapsed().as_nanos() as u64;
         let lanes = job.joiners.load(Ordering::Relaxed).min(max_helpers) as u64 + 1;
         LANE_NS.add(wall.saturating_mul(lanes));
+        DISPATCH_NS.record(wall);
     }
 
     if job.panicked.load(Ordering::Relaxed) {

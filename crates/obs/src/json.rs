@@ -49,6 +49,20 @@ impl Value {
             _ => None,
         }
     }
+
+    /// Signed integer view: covers `mem_delta`-style fields, which the
+    /// sink writes as plain (possibly negative) integers.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => i64::try_from(*n).ok(),
+            Value::Num(n)
+                if n.fract() == 0.0 && (i64::MIN as f64..=i64::MAX as f64).contains(n) =>
+            {
+                Some(*n as i64)
+            }
+            _ => None,
+        }
+    }
 }
 
 /// Parses one complete JSON document; trailing non-whitespace is an error.
@@ -332,5 +346,14 @@ mod tests {
         // Fractions and negatives still go through f64.
         assert_eq!(parse("-3").unwrap().as_f64(), Some(-3.0));
         assert_eq!(parse("2.5").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn signed_integer_view() {
+        assert_eq!(parse("-4096").unwrap().as_i64(), Some(-4096));
+        assert_eq!(parse("4096").unwrap().as_i64(), Some(4096));
+        assert_eq!(parse("0").unwrap().as_i64(), Some(0));
+        assert_eq!(parse("2.5").unwrap().as_i64(), None);
+        assert_eq!(parse(&u64::MAX.to_string()).unwrap().as_i64(), None);
     }
 }

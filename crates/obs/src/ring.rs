@@ -1,0 +1,300 @@
+//! Per-thread lock-free span-event buffers.
+//!
+//! Each traced thread owns one SPSC ring: the owning thread is the only
+//! producer, and whichever thread holds the collector lock in `lib.rs` is
+//! the only consumer at any moment. Rings self-register in a global list
+//! the first time a thread buffers an event — that registration is the one
+//! mutex acquisition a thread ever performs on the span path, and it
+//! happens once per thread, not per event.
+//!
+//! A full ring **drops** the incoming event rather than blocking or
+//! resizing; every drop is counted on the ring (and surfaced through
+//! [`total_dropped`] / the `obs.dropped` counter) so events are never lost
+//! *silently*. Sequence numbers are assigned only to successfully buffered
+//! events, so per-thread sequences are strictly consecutive — a gap in a
+//! drained trace can only come from the documented drop accounting, never
+//! from reordering.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::AttrValue;
+
+/// Ring capacity in events (power of two). With the collector's half-full
+/// watermark drain this bounds un-drained history per thread, and sizes the
+/// one-time per-thread allocation (~0.5 MiB) made on first traced event.
+pub(crate) const CAPACITY: usize = 4096;
+
+/// Memory sample attached to a span close.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct MemInfo {
+    /// Current heap bytes at span close.
+    pub cur: u64,
+    /// Process-wide peak heap bytes at span close.
+    pub peak: u64,
+    /// `current(close) - current(open)` — net allocation inside the span
+    /// (negative when the span freed more than it allocated). `None` for
+    /// post-hoc recorded spans, which have no entry sample.
+    pub delta: Option<i64>,
+}
+
+/// One buffered span close, drained and interpreted by the collector.
+#[derive(Debug)]
+pub(crate) struct SpanEvent {
+    pub name: &'static str,
+    /// Unique nonzero span id (`tree::open_span` / `tree::leaf_id`).
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, 0 for roots.
+    pub parent: u64,
+    /// Strictly consecutive per-thread sequence number (from 0).
+    pub seq: u64,
+    pub thread: u64,
+    pub depth: u32,
+    pub ts_rel: f64,
+    pub dur_s: f64,
+    pub mem: Option<MemInfo>,
+    pub attrs: Vec<(&'static str, AttrValue)>,
+}
+
+struct Slot(UnsafeCell<MaybeUninit<SpanEvent>>);
+
+pub(crate) struct Ring {
+    slots: Box<[Slot]>,
+    /// Producer cursor: next write position (monotonic, masked on use).
+    head: AtomicU64,
+    /// Consumer cursor: next read position.
+    tail: AtomicU64,
+    /// Events rejected because the ring was full.
+    dropped: AtomicU64,
+    /// Next sequence number (producer-only).
+    next_seq: AtomicU64,
+}
+
+// SAFETY: slot access follows the SPSC protocol — the owning thread is the
+// sole producer (writes `slots[head]` then Release-stores `head`), and
+// consumers are serialized by the collector mutex in `lib.rs` (Acquire-load
+// `head`, read `slots[tail]`, Release-store `tail`). Producer and consumer
+// therefore never touch the same slot concurrently.
+unsafe impl Sync for Ring {}
+unsafe impl Send for Ring {}
+
+impl Ring {
+    fn new() -> Self {
+        let slots: Vec<Slot> = (0..CAPACITY)
+            .map(|_| Slot(UnsafeCell::new(MaybeUninit::uninit())))
+            .collect();
+        Self {
+            slots: slots.into_boxed_slice(),
+            head: AtomicU64::new(0),
+            tail: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            next_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Buffered events (approximate when racing the producer).
+    fn len(&self) -> usize {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Relaxed);
+        head.wrapping_sub(tail) as usize
+    }
+
+    /// Producer side; must only be called from the owning thread.
+    fn push(&self, mut ev: SpanEvent) -> bool {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        if head.wrapping_sub(tail) as usize >= CAPACITY {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        ev.seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(head as usize) & (CAPACITY - 1)];
+        // SAFETY: `head - tail < CAPACITY` means the consumer has finished
+        // with this slot; we own it until the Release store below.
+        unsafe { (*slot.0.get()).write(ev) };
+        self.head.store(head.wrapping_add(1), Ordering::Release);
+        true
+    }
+
+    /// Consumer side; caller must hold the collector lock.
+    fn pop(&self) -> Option<SpanEvent> {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Acquire);
+        if tail == head {
+            return None;
+        }
+        let slot = &self.slots[(tail as usize) & (CAPACITY - 1)];
+        // SAFETY: `tail < head` means the producer's Release store made this
+        // slot's contents visible; the producer will not reuse it until our
+        // Release store of the new tail.
+        let ev = unsafe { (*slot.0.get()).assume_init_read() };
+        self.tail.store(tail.wrapping_add(1), Ordering::Release);
+        Some(ev)
+    }
+}
+
+impl Drop for Ring {
+    fn drop(&mut self) {
+        while self.pop().is_some() {}
+    }
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<Ring>>> {
+    static RINGS: OnceLock<Mutex<Vec<Arc<Ring>>>> = OnceLock::new();
+    RINGS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static MY_RING: std::cell::OnceCell<Arc<Ring>> = const { std::cell::OnceCell::new() };
+}
+
+fn my_ring(f: impl FnOnce(&Ring) -> bool) -> bool {
+    MY_RING.with(|cell| {
+        let ring = cell.get_or_init(|| {
+            let ring = Arc::new(Ring::new());
+            registry().lock().unwrap().push(ring.clone());
+            ring
+        });
+        f(ring)
+    })
+}
+
+/// Buffers `ev` on this thread's ring. Returns `false` when the event was
+/// dropped (full ring); the drop is already accounted on the ring either
+/// way. The caller decides whether to trigger an opportunistic drain via
+/// [`over_watermark`].
+pub(crate) fn push(ev: SpanEvent) -> bool {
+    my_ring(|ring| ring.push(ev))
+}
+
+/// True when this thread's ring is at least half full — the hint `lib.rs`
+/// uses to attempt a non-blocking drain before drops become possible.
+pub(crate) fn over_watermark() -> bool {
+    MY_RING.with(|cell| match cell.get() {
+        Some(ring) => ring.len() >= CAPACITY / 2,
+        None => false,
+    })
+}
+
+/// Drains every registered ring into `f`.
+///
+/// The caller must be the unique consumer (hold the collector lock in
+/// `lib.rs`): ring `pop` is not safe under concurrent consumers. Events
+/// from one ring arrive in push order (so a span's children, which close
+/// first, always precede it); cross-ring order is unspecified.
+pub(crate) fn drain_all(f: &mut dyn FnMut(SpanEvent)) {
+    let rings: Vec<Arc<Ring>> = registry().lock().unwrap().clone();
+    for ring in rings {
+        while let Some(ev) = ring.pop() {
+            f(ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(id: u64) -> SpanEvent {
+        SpanEvent {
+            name: "t",
+            id,
+            parent: 0,
+            seq: 0,
+            thread: 0,
+            depth: 0,
+            ts_rel: 0.0,
+            dur_s: 0.0,
+            mem: None,
+            attrs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn push_pop_preserves_order_and_assigns_seq() {
+        let ring = Ring::new();
+        for i in 0..10 {
+            assert!(ring.push(ev(i)));
+        }
+        for i in 0..10 {
+            let e = ring.pop().unwrap();
+            assert_eq!(e.id, i);
+            assert_eq!(e.seq, i);
+        }
+        assert!(ring.pop().is_none());
+    }
+
+    #[test]
+    fn full_ring_drops_and_accounts() {
+        let ring = Ring::new();
+        for i in 0..CAPACITY as u64 {
+            assert!(ring.push(ev(i)));
+        }
+        assert!(!ring.push(ev(999)));
+        assert_eq!(ring.dropped.load(Ordering::Relaxed), 1);
+        // Seq of the dropped event was never assigned: drain stays gapless.
+        ring.pop().unwrap();
+        assert!(ring.push(ev(1000)));
+        let mut last_seq = 0;
+        while let Some(e) = ring.pop() {
+            if last_seq > 0 {
+                assert_eq!(e.seq, last_seq + 1);
+            }
+            last_seq = e.seq;
+        }
+        assert_eq!(last_seq, CAPACITY as u64);
+    }
+
+    #[test]
+    fn wraparound_keeps_fifo() {
+        let ring = Ring::new();
+        for round in 0..3u64 {
+            for i in 0..CAPACITY as u64 {
+                assert!(ring.push(ev(round * CAPACITY as u64 + i)));
+            }
+            for i in 0..CAPACITY as u64 {
+                assert_eq!(ring.pop().unwrap().id, round * CAPACITY as u64 + i);
+            }
+        }
+    }
+
+    #[test]
+    fn spsc_cross_thread_handoff() {
+        let ring = Arc::new(Ring::new());
+        let prod = {
+            let ring = ring.clone();
+            std::thread::spawn(move || {
+                let mut dropped = 0u64;
+                for i in 0..20_000u64 {
+                    if !ring.push(ev(i)) {
+                        dropped += 1;
+                    }
+                }
+                dropped
+            })
+        };
+        let mut seen = 0u64;
+        let mut last = None::<u64>;
+        loop {
+            match ring.pop() {
+                Some(e) => {
+                    if let Some(l) = last {
+                        assert!(e.id > l, "ids must stay ordered");
+                    }
+                    last = Some(e.id);
+                    seen += 1;
+                }
+                None => {
+                    if prod.is_finished() && ring.len() == 0 {
+                        break;
+                    }
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        let dropped = prod.join().unwrap();
+        assert_eq!(seen + dropped, 20_000);
+    }
+}

@@ -1,27 +1,33 @@
 //! The JSONL event sink.
 //!
-//! One JSON object per line, written through a buffered writer behind a
-//! mutex (pool workers and the dispatcher all report). Event kinds:
+//! One JSON object per line. Span events are written by the **collector**
+//! while it drains the per-thread rings — never by the instrumented thread
+//! itself — so the writer mutex is uncontended on hot paths. Event kinds:
 //!
 //! ```json
-//! {"ts_rel":0.01,"kind":"span","name":"spmm.csr","dur_s":1.2e-4,"thread":0,"depth":1,"ram_cur":1024,"ram_peak":4096,"attrs":{"nnz":52}}
+//! {"ts_rel":0.01,"kind":"span","name":"spmm.csr","dur_s":1.2e-4,"self_s":9.0e-5,"id":3,"parent":2,"seq":7,"thread":0,"depth":1,"ram_cur":1024,"ram_peak":4096,"mem_delta":512,"attrs":{"nnz":52}}
 //! {"ts_rel":0.02,"kind":"counter","name":"pool.dispatches","value":17}
-//! {"ts_rel":0.02,"kind":"gauge","name":"device.peak_bytes","value":1048576}
+//! {"ts_rel":0.02,"kind":"gauge","name":"spmm.plan.imbalance","value":1.062}
+//! {"ts_rel":0.02,"kind":"hist","name":"pool.dispatch_ns","count":17,"sum":82000,"max":9216,"p50":4096,"p90":8192,"p99":9216}
 //! {"ts_rel":0.03,"kind":"msg","name":"progress","text":"table1 done"}
 //! ```
 //!
-//! `ram_cur`/`ram_peak` appear only when a memory sampler is installed
-//! (see [`crate::set_mem_sampler`]); `attrs` only when the span has any.
+//! `id` is the process-unique span id, `parent` the enclosing span on the
+//! same thread (0 for roots), `seq` the per-thread sequence number
+//! (strictly consecutive; a gap means the documented `obs.dropped`
+//! accounting fired). `ram_cur`/`ram_peak`/`mem_delta` appear only when a
+//! memory sampler is installed (see [`crate::set_mem_sampler`]); `attrs`
+//! only when the span has any.
 
-use std::cell::Cell;
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{BufWriter, Write as _};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
-use crate::AttrValue;
+use crate::hist::HistStat;
+use crate::ring::SpanEvent;
+use crate::GaugeValue;
 
 fn writer() -> &'static Mutex<Option<BufWriter<File>>> {
     static WRITER: OnceLock<Mutex<Option<BufWriter<File>>>> = OnceLock::new();
@@ -48,23 +54,6 @@ fn write_line(line: &str) {
     if let Some(w) = writer().lock().unwrap().as_mut() {
         let _ = writeln!(w, "{line}");
     }
-}
-
-/// Small dense thread ids for the trace (`ThreadId` has no stable integer).
-fn thread_ord() -> u64 {
-    static NEXT: AtomicU64 = AtomicU64::new(0);
-    thread_local! {
-        static ORD: Cell<Option<u64>> = const { Cell::new(None) };
-    }
-    ORD.with(|c| {
-        if let Some(v) = c.get() {
-            v
-        } else {
-            let v = NEXT.fetch_add(1, Ordering::Relaxed);
-            c.set(Some(v));
-            v
-        }
-    })
 }
 
 /// Writes a finite float as a JSON number (round-trip `Display`), or `null`
@@ -97,7 +86,7 @@ pub(crate) fn escape_into(out: &mut String, s: &str) {
 }
 
 fn event_head(kind: &str, ts_rel: f64, name: &str) -> String {
-    let mut s = String::with_capacity(160);
+    let mut s = String::with_capacity(200);
     s.push_str("{\"ts_rel\":");
     push_f64(&mut s, ts_rel);
     let _ = write!(s, ",\"kind\":\"{kind}\",\"name\":\"");
@@ -106,24 +95,27 @@ fn event_head(kind: &str, ts_rel: f64, name: &str) -> String {
     s
 }
 
-pub(crate) fn span_event(
-    ts_rel: f64,
-    name: &str,
-    dur_s: f64,
-    depth: u32,
-    attrs: &[(&'static str, AttrValue)],
-    mem: Option<(u64, u64)>,
-) {
-    let mut s = event_head("span", ts_rel, name);
+/// Writes one drained span close. Collector-only.
+pub(crate) fn span_event(ev: &SpanEvent, self_s: f64) {
+    let mut s = event_head("span", ev.ts_rel, ev.name);
     s.push_str(",\"dur_s\":");
-    push_f64(&mut s, dur_s);
-    let _ = write!(s, ",\"thread\":{},\"depth\":{depth}", thread_ord());
-    if let Some((cur, peak)) = mem {
-        let _ = write!(s, ",\"ram_cur\":{cur},\"ram_peak\":{peak}");
+    push_f64(&mut s, ev.dur_s);
+    s.push_str(",\"self_s\":");
+    push_f64(&mut s, self_s);
+    let _ = write!(
+        s,
+        ",\"id\":{},\"parent\":{},\"seq\":{},\"thread\":{},\"depth\":{}",
+        ev.id, ev.parent, ev.seq, ev.thread, ev.depth
+    );
+    if let Some(m) = ev.mem {
+        let _ = write!(s, ",\"ram_cur\":{},\"ram_peak\":{}", m.cur, m.peak);
+        if let Some(d) = m.delta {
+            let _ = write!(s, ",\"mem_delta\":{d}");
+        }
     }
-    if !attrs.is_empty() {
+    if !ev.attrs.is_empty() {
         s.push_str(",\"attrs\":{");
-        for (i, (k, v)) in attrs.iter().enumerate() {
+        for (i, (k, v)) in ev.attrs.iter().enumerate() {
             if i > 0 {
                 s.push(',');
             }
@@ -142,9 +134,26 @@ pub(crate) fn counter_event(ts_rel: f64, name: &str, value: u64) {
     write_line(&s);
 }
 
-pub(crate) fn gauge_event(ts_rel: f64, name: &str, value: u64) {
+pub(crate) fn gauge_event(ts_rel: f64, name: &str, value: GaugeValue) {
     let mut s = event_head("gauge", ts_rel, name);
-    let _ = write!(s, ",\"value\":{value}}}");
+    s.push_str(",\"value\":");
+    match value {
+        GaugeValue::U64(v) => {
+            let _ = write!(s, "{v}");
+        }
+        GaugeValue::F64(v) => push_f64(&mut s, v),
+    }
+    s.push('}');
+    write_line(&s);
+}
+
+pub(crate) fn hist_event(ts_rel: f64, name: &str, stat: &HistStat) {
+    let mut s = event_head("hist", ts_rel, name);
+    let _ = write!(
+        s,
+        ",\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+        stat.count, stat.sum, stat.max, stat.p50, stat.p90, stat.p99
+    );
     write_line(&s);
 }
 

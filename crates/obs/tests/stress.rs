@@ -1,0 +1,150 @@
+//! Concurrent-tracing stress test: hammer spans, counters, and histograms
+//! from many threads while a collector drains concurrently, then audit the
+//! written trace for the profiler's core guarantees:
+//!
+//! * **No silent loss** — span events in the file plus the `obs.dropped`
+//!   accounting equal the exact number of span closes attempted.
+//! * **Monotonic per-thread sequences** — strictly consecutive, because
+//!   sequence numbers are only assigned to successfully buffered events.
+//! * **Parent resolution** — every non-root parent id belongs to the same
+//!   thread's span stack (ids embed the thread ordinal) and closes after
+//!   its children in that thread's event order.
+//!
+//! Runs as an integration test so it owns the process-global obs state.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use sgnn_obs::json::{parse, Value};
+use sgnn_obs::{span, Counter, Histogram};
+
+const THREADS: usize = 8;
+const ITERS: usize = 2_000;
+/// Span closes per iteration: 1 outer + 3 inner guards + 1 record_span.
+const SPANS_PER_ITER: u64 = 5;
+
+static STRESS_EVENTS: Counter = Counter::new("stress.events");
+static STRESS_NS: Histogram = Histogram::new("stress.latency_ns");
+
+#[test]
+fn concurrent_tracing_loses_nothing_silently() {
+    let path = std::env::temp_dir().join("sgnn_obs_stress.jsonl");
+    sgnn_obs::init_trace(&path).expect("open trace");
+
+    // Producers: nested spans + counters + histograms from every lane.
+    let stop = Arc::new(AtomicBool::new(false));
+    let drainer = {
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            // Concurrent collector: drains while producers push, so pops
+            // race pushes on every ring.
+            while !stop.load(Ordering::Relaxed) {
+                sgnn_obs::collect();
+                std::thread::yield_now();
+            }
+        })
+    };
+    let producers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                for i in 0..ITERS {
+                    let _outer = span!("stress.outer", lane = t, iter = i);
+                    for _ in 0..3 {
+                        let _inner = span!("stress.inner");
+                        STRESS_NS.record((t * 101 + i) as u64 % 5_000);
+                    }
+                    sgnn_obs::record_span("stress.stage", 1e-6);
+                    STRESS_EVENTS.add(1);
+                }
+            })
+        })
+        .collect();
+    for p in producers {
+        p.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    drainer.join().unwrap();
+
+    let snap = sgnn_obs::snapshot();
+    sgnn_obs::flush();
+    sgnn_obs::disable();
+
+    // Aggregate accounting: recorded + dropped == attempted, exactly.
+    let attempted = (THREADS * ITERS) as u64 * SPANS_PER_ITER;
+    let recorded: u64 = ["stress.outer", "stress.inner", "stress.stage"]
+        .iter()
+        .map(|n| snap.span(n).map_or(0, |s| s.count))
+        .sum();
+    assert_eq!(
+        recorded + snap.dropped,
+        attempted,
+        "lost events without accounting"
+    );
+    assert_eq!(
+        snap.counter("stress.events"),
+        Some((THREADS * ITERS) as u64)
+    );
+    let hist = snap.hist("stress.latency_ns").expect("histogram recorded");
+    assert_eq!(hist.count, (THREADS * ITERS * 3) as u64);
+    assert!(hist.p50 <= hist.p90 && hist.p90 <= hist.p99 && hist.p99 <= hist.max);
+
+    // File-level audit.
+    let text = std::fs::read_to_string(&path).expect("read trace");
+    let mut file_spans = 0u64;
+    let mut file_dropped = 0u64;
+    let mut last_seq: HashMap<u64, u64> = HashMap::new();
+    let mut closed_ids: HashMap<u64, HashSet<u64>> = HashMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let v = parse(line).unwrap_or_else(|e| panic!("line {}: {e}", lineno + 1));
+        match v.get("kind").and_then(Value::as_str) {
+            Some("span") => {
+                file_spans += 1;
+                let thread = v.get("thread").and_then(Value::as_u64).expect("thread");
+                let seq = v.get("seq").and_then(Value::as_u64).expect("seq");
+                let id = v.get("id").and_then(Value::as_u64).expect("id");
+                let parent = v.get("parent").and_then(Value::as_u64).expect("parent");
+                assert_ne!(id, 0, "span ids are nonzero");
+                assert_eq!(id >> 40, thread, "id embeds the owning thread");
+                // Strictly consecutive per-thread sequence numbers.
+                if let Some(prev) = last_seq.insert(thread, seq) {
+                    assert_eq!(seq, prev + 1, "seq gap on thread {thread}");
+                }
+                if parent != 0 {
+                    assert_eq!(
+                        parent >> 40,
+                        thread,
+                        "parent must come from the same thread's stack"
+                    );
+                    // The parent is still open: it must not have closed yet
+                    // in this thread's (push-ordered) event stream.
+                    assert!(
+                        !closed_ids
+                            .get(&thread)
+                            .is_some_and(|closed| closed.contains(&parent)),
+                        "child drained after its parent closed"
+                    );
+                }
+                closed_ids.entry(thread).or_default().insert(id);
+            }
+            Some("counter") if v.get("name").and_then(Value::as_str) == Some("obs.dropped") => {
+                file_dropped = v.get("value").and_then(Value::as_u64).unwrap_or(0);
+            }
+            Some("hist") if v.get("name").and_then(Value::as_str) == Some("stress.latency_ns") => {
+                let count = v.get("count").and_then(Value::as_u64).unwrap();
+                assert_eq!(count, (THREADS * ITERS * 3) as u64);
+                assert!(v.get("p50").and_then(Value::as_u64).is_some());
+                assert!(v.get("p99").and_then(Value::as_u64).is_some());
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(
+        file_spans + file_dropped,
+        attempted,
+        "trace file loses events beyond the accounted drops"
+    );
+    assert_eq!(file_dropped, snap.dropped);
+
+    let _ = std::fs::remove_file(&path);
+}

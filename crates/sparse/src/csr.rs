@@ -25,6 +25,10 @@ static SPMM_FLOPS: obs::Counter = obs::Counter::new("spmm.flops");
 static PLAN_BUILT: obs::Counter = obs::Counter::new("spmm.plan.built");
 /// SpMM dispatches served by a cached plan.
 static PLAN_HIT: obs::Counter = obs::Counter::new("spmm.plan.hit");
+/// Per-chunk SpMM execution time: one sample per plan chunk (or row-split
+/// chunk) a lane executes, so the distribution — not just a scalar gauge —
+/// shows how well the nnz-balanced plan equalizes work.
+static SPMM_CHUNK_NS: obs::Histogram = obs::Histogram::new("spmm.chunk_ns");
 
 /// Work (in `nnz + rows` units, times columns) below which a parallel SpMM
 /// dispatch is not worth planning; mirrors the runtime's tiny-problem cutoff.
@@ -259,7 +263,9 @@ impl CsrMat {
         PLAN_BUILT.incr();
         if obs::enabled() {
             obs::gauge_set("spmm.plan.chunks", p.chunks() as u64);
-            // max/mean chunk weight, fixed-point ×1000 (1000 = perfect).
+            // max/mean chunk weight (1.0 = perfectly balanced).
+            obs::gauge_max_f64("spmm.plan.imbalance", p.imbalance());
+            // Compat alias for pre-float-gauge consumers, fixed-point ×1000.
             obs::gauge_max("spmm.plan.imbalance_x1000", (p.imbalance() * 1000.0) as u64);
         }
         self.plan.put(p.clone());
@@ -297,6 +303,7 @@ impl CsrMat {
         // `mul_add` loop under scalar — bit-exact either way).
         let be = backend::for_axpy();
         let kernel = |first: usize, chunk: &mut [f32]| {
+            let t = obs::enabled().then(std::time::Instant::now);
             for (local, orow) in chunk.chunks_exact_mut(fs).enumerate() {
                 let r = first + local;
                 orow.fill(0.0);
@@ -311,6 +318,9 @@ impl CsrMat {
                 if let Some((c, zdat)) = zdat {
                     be.axpy(c, &zdat[r * f..(r + 1) * f], orow);
                 }
+            }
+            if let Some(t) = t {
+                SPMM_CHUNK_NS.record_duration(t.elapsed());
             }
         };
         let work = (self.nnz() + self.rows) * fs;
