@@ -1,0 +1,133 @@
+//! Online-serving load benchmark: trains a tiny model, exports its serving
+//! bundle through the real codecs, boots the TCP server on an ephemeral
+//! port, and drives closed-loop load at 1 / 4 / 16 / 64 concurrent
+//! clients. Writes `BENCH_serve.json` with per-point QPS and latency
+//! percentiles plus a top-level `qps_scaling` headline (QPS at 64 clients
+//! over QPS at 1 client) — the batching dividend: if the batcher
+//! serialized requests instead of coalescing them, scaling would collapse
+//! toward 1.
+//!
+//! Environment:
+//! * `SGNN_BENCH_FAST=1` — short load windows for CI smoke.
+//! * `SGNN_BENCH_OUT` — override the output path (default
+//!   `<workspace>/BENCH_serve.json`).
+//! * `SGNN_TRACE` — forwarded to the obs layer; the request-path spans and
+//!   counters (`serve.batch`, `serve.requests`, …) land in the trace.
+
+use std::time::Duration;
+
+use sgnn_core::make_filter;
+use sgnn_data::{dataset_spec, GenScale};
+use sgnn_serve::bundle::{load_engine, train_and_export};
+use sgnn_serve::{serve, LoadConfig, LoadReport, ServeConfig};
+use sgnn_train::TrainConfig;
+
+const CLIENT_POINTS: [usize; 4] = [1, 4, 16, 64];
+
+fn main() {
+    sgnn_obs::init_from_env();
+    sgnn_obs::enable_aggregation();
+
+    let fast = std::env::var("SGNN_BENCH_FAST").is_ok();
+    let window = if fast {
+        Duration::from_millis(400)
+    } else {
+        Duration::from_secs(2)
+    };
+
+    // Train once, serve for the whole sweep. The bundle round-trips through
+    // the on-disk codecs so the bench measures the same load path as
+    // production, not an in-memory shortcut.
+    let dir = std::env::temp_dir().join(format!("sgnn-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench scratch dir");
+    let data = dataset_spec("cora").unwrap().generate(GenScale::Tiny, 42);
+    let mut cfg = TrainConfig::fast_test(42);
+    cfg.epochs = 5;
+    cfg.patience = 0;
+    cfg.hops = 3;
+    cfg.hidden = 32;
+    cfg.batch_size = 256;
+    train_and_export(
+        &dir,
+        make_filter("Monomial", cfg.hops).unwrap(),
+        &data,
+        &cfg,
+    )
+    .unwrap_or_else(|e| panic!("bundle export: {e}"));
+    let engine = load_engine(&dir).expect("reload serving bundle");
+    let nodes = engine.nodes();
+
+    let server = serve(engine, ServeConfig::default()).expect("boot server");
+    let addr = server.addr();
+
+    let mut reports: Vec<LoadReport> = Vec::new();
+    for (i, &clients) in CLIENT_POINTS.iter().enumerate() {
+        let report = sgnn_serve::loadgen::run(
+            addr,
+            &LoadConfig {
+                clients,
+                duration: window,
+                nodes_per_query: 4,
+                node_range: nodes as u32,
+                deadline_ms: 0,
+                seed: 0x5EED + i as u64,
+            },
+        );
+        println!(
+            "clients {:>3}: {:>8.0} qps | p50 {:>6} us | p99 {:>6} us | ok {} err {}",
+            report.clients, report.qps, report.p50_us, report.p99_us, report.ok, report.errors
+        );
+        reports.push(report);
+    }
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let failed: Vec<usize> = reports
+        .iter()
+        .filter(|r| r.ok == 0 || r.errors > 0)
+        .map(|r| r.clients)
+        .collect();
+
+    let qps_at = |clients: usize| {
+        reports
+            .iter()
+            .find(|r| r.clients == clients)
+            .map_or(0.0, |r| r.qps)
+    };
+    let qps_scaling = if qps_at(1) > 0.0 {
+        qps_at(64) / qps_at(1)
+    } else {
+        0.0
+    };
+
+    let entries: Vec<String> = reports
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"clients\": {}, \"qps\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \
+                 \"requests\": {}, \"errors\": {}}}",
+                r.clients, r.qps, r.p50_us, r.p99_us, r.ok, r.errors
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"serve_load\",\n  \"dataset\": \"cora-tiny\",\n  \
+         \"nodes\": {nodes},\n  \"window_s\": {:.2},\n  \
+         \"headline\": \"qps at 64 clients / qps at 1 client\",\n  \
+         \"qps_scaling\": {qps_scaling:.4},\n  \"points\": [\n{}\n  ]\n}}\n",
+        window.as_secs_f64(),
+        entries.join(",\n"),
+    );
+    let out_path = std::env::var("SGNN_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json").to_string()
+    });
+    std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
+    println!("serve_load: qps_scaling {qps_scaling:.2}x; BENCH_serve.json written");
+    sgnn_obs::flush();
+
+    if !failed.is_empty() {
+        eprintln!("serve bench: load points with zero requests or errors at clients={failed:?}");
+        std::process::exit(1);
+    }
+}

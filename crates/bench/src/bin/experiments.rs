@@ -9,6 +9,15 @@
 //! experiments bench-regress [--baseline P] [--dir D] [--tolerance F]
 //!                                            gate BENCH_*.json against
 //!                                            results/bench_baseline.json
+//! experiments serve --dir DIR [--train] [--duration-s S] [--faults SPEC]
+//!                   [--max-batch N] [--linger-us U]
+//!                                            boot the online inference
+//!                                            server from a bundle dir
+//! experiments serve-load <addr> [--clients N] [--duration-s S]
+//!                   [--nodes-per-query K] [--node-range N]
+//!                   [--deadline-ms D] [--seed S]
+//!                                            closed-loop load against a
+//!                                            running server
 //!
 //! targets: table1 table3 table5 table6 table7 table9 table10 table11
 //!          fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10   all
@@ -161,7 +170,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(target) = args.first().cloned() else {
         progress(&format!(
-            "usage: experiments <target> [flags]; targets: {} all trace-summary trace-flame bench-regress",
+            "usage: experiments <target> [flags]; targets: {} all trace-summary trace-flame bench-regress serve serve-load",
             ALL_TARGETS.join(" ")
         ));
         std::process::exit(2);
@@ -179,6 +188,21 @@ fn main() {
     if target == "trace-flame" {
         match trace_flame(&args[1..]) {
             Ok(out) => print!("{out}"),
+            Err(e) => {
+                progress(&format!("error: {e}"));
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if target == "serve" || target == "serve-load" {
+        let run = if target == "serve" {
+            serve_cli::serve_cmd(&args[1..])
+        } else {
+            serve_cli::serve_load(&args[1..])
+        };
+        match run {
+            Ok(out) => println!("{out}"),
             Err(e) => {
                 progress(&format!("error: {e}"));
                 std::process::exit(1);

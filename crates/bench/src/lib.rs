@@ -27,6 +27,7 @@ pub mod flame;
 pub mod harness;
 pub mod regress;
 pub mod runner;
+pub mod serve_cli;
 pub mod store;
 pub mod trace;
 

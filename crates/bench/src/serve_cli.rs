@@ -1,0 +1,184 @@
+//! `experiments serve` / `experiments serve-load`: boot the online
+//! inference server from a bundle directory, and drive closed-loop load
+//! against a running server. Both parse their own flags (like
+//! `trace-summary`) because they share nothing with the table/figure
+//! harness options.
+
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use sgnn_core::make_filter;
+use sgnn_data::{dataset_spec, GenScale};
+use sgnn_serve::bundle::{load_engine, train_and_export, CKPT_FILE, TERMS_FILE};
+use sgnn_serve::{serve, LoadConfig, ServeConfig};
+use sgnn_train::TrainConfig;
+
+/// `serve --dir DIR [--train] [--duration-s S] [--faults SPEC]
+/// [--max-batch N] [--linger-us U]`
+///
+/// Loads the bundle in `DIR` (training a tiny demo bundle first when the
+/// files are absent or `--train` is passed), boots the server on an
+/// ephemeral port, prints the address, and serves for `--duration-s`
+/// (default 10) before a clean shutdown.
+pub fn serve_cmd(args: &[String]) -> Result<String, String> {
+    let mut dir: Option<PathBuf> = None;
+    let mut train = false;
+    let mut duration = Duration::from_secs(10);
+    let mut faults_spec: Option<String> = None;
+    let mut cfg = ServeConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--dir" => {
+                i += 1;
+                dir = Some(args.get(i).ok_or("--dir needs a value")?.into());
+            }
+            "--train" => train = true,
+            "--duration-s" => {
+                i += 1;
+                let raw = args.get(i).ok_or("--duration-s needs a value")?;
+                duration = Duration::from_secs_f64(
+                    raw.parse().map_err(|_| format!("bad duration `{raw}`"))?,
+                );
+            }
+            "--faults" => {
+                i += 1;
+                faults_spec = Some(args.get(i).ok_or("--faults needs a value")?.clone());
+            }
+            "--max-batch" => {
+                i += 1;
+                let raw = args.get(i).ok_or("--max-batch needs a value")?;
+                cfg.max_batch_rows = raw.parse().map_err(|_| format!("bad batch `{raw}`"))?;
+            }
+            "--linger-us" => {
+                i += 1;
+                let raw = args.get(i).ok_or("--linger-us needs a value")?;
+                cfg.linger =
+                    Duration::from_micros(raw.parse().map_err(|_| format!("bad linger `{raw}`"))?);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    let dir = dir.ok_or("usage: experiments serve --dir DIR [--train] [--duration-s S]")?;
+    // The table/figure path arms tracing via `--trace`; this subcommand
+    // returns before those options parse, so honor SGNN_TRACE here.
+    sgnn_obs::init_from_env();
+
+    if train || !bundle_present(&dir) {
+        std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        let data = dataset_spec("cora")
+            .ok_or("dataset registry missing cora")?
+            .generate(GenScale::Tiny, 42);
+        let mut tc = TrainConfig::fast_test(42);
+        tc.epochs = 5;
+        tc.patience = 0;
+        tc.hops = 3;
+        tc.hidden = 32;
+        tc.batch_size = 256;
+        let filter = make_filter("Monomial", tc.hops).ok_or("unknown filter Monomial")?;
+        let report = train_and_export(&dir, filter, &data, &tc).map_err(|e| e.to_string())?;
+        println!(
+            "[serve] trained demo bundle into {} (test acc {:.3})",
+            dir.display(),
+            report.test_metric
+        );
+    }
+
+    if let Some(spec) = &faults_spec {
+        let plan = sgnn_serve::faults::parse(spec)?;
+        println!("[serve] faults armed: {spec}");
+        sgnn_serve::faults::install(plan);
+    }
+
+    let engine = load_engine(&dir).map_err(|e| e.to_string())?;
+    let (nodes, classes) = (engine.nodes(), engine.classes());
+    let server = serve(engine, cfg).map_err(|e| e.to_string())?;
+    println!(
+        "[serve] listening on {} ({nodes} nodes, {classes} classes) for {:.1}s",
+        server.addr(),
+        duration.as_secs_f64()
+    );
+    std::thread::sleep(duration);
+    server.shutdown();
+    sgnn_serve::faults::clear();
+    sgnn_obs::flush();
+    Ok(format!(
+        "[serve] shut down after {:.1}s",
+        duration.as_secs_f64()
+    ))
+}
+
+fn bundle_present(dir: &Path) -> bool {
+    dir.join(CKPT_FILE).is_file() && dir.join(TERMS_FILE).is_file()
+}
+
+/// `serve-load <addr> [--clients N] [--duration-s S] [--nodes-per-query K]
+/// [--node-range N] [--deadline-ms D] [--seed S]`
+///
+/// Closed-loop load against an already-running server; prints QPS and
+/// latency percentiles. Errors (including failed connects) make the
+/// command exit nonzero via the returned `Err`.
+pub fn serve_load(args: &[String]) -> Result<String, String> {
+    let Some(raw_addr) = args.first() else {
+        return Err("usage: experiments serve-load <addr> [--clients N] [--duration-s S]".into());
+    };
+    let addr: SocketAddr = raw_addr
+        .parse()
+        .map_err(|_| format!("bad address `{raw_addr}`"))?;
+    let mut cfg = LoadConfig {
+        node_range: 256,
+        ..LoadConfig::default()
+    };
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--clients" => {
+                i += 1;
+                let raw = args.get(i).ok_or("--clients needs a value")?;
+                cfg.clients = raw.parse().map_err(|_| format!("bad clients `{raw}`"))?;
+            }
+            "--duration-s" => {
+                i += 1;
+                let raw = args.get(i).ok_or("--duration-s needs a value")?;
+                cfg.duration = Duration::from_secs_f64(
+                    raw.parse().map_err(|_| format!("bad duration `{raw}`"))?,
+                );
+            }
+            "--nodes-per-query" => {
+                i += 1;
+                let raw = args.get(i).ok_or("--nodes-per-query needs a value")?;
+                cfg.nodes_per_query = raw.parse().map_err(|_| format!("bad count `{raw}`"))?;
+            }
+            "--node-range" => {
+                i += 1;
+                let raw = args.get(i).ok_or("--node-range needs a value")?;
+                cfg.node_range = raw.parse().map_err(|_| format!("bad range `{raw}`"))?;
+            }
+            "--deadline-ms" => {
+                i += 1;
+                let raw = args.get(i).ok_or("--deadline-ms needs a value")?;
+                cfg.deadline_ms = raw.parse().map_err(|_| format!("bad deadline `{raw}`"))?;
+            }
+            "--seed" => {
+                i += 1;
+                let raw = args.get(i).ok_or("--seed needs a value")?;
+                cfg.seed = raw.parse().map_err(|_| format!("bad seed `{raw}`"))?;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    let report = sgnn_serve::loadgen::run(addr, &cfg);
+    if report.errors > 0 && report.ok == 0 {
+        return Err(format!(
+            "load run failed: {} errors, 0 successful replies",
+            report.errors
+        ));
+    }
+    Ok(format!(
+        "serve-load {addr}: clients {} | {:.0} qps | p50 {} us | p99 {} us | ok {} err {}",
+        report.clients, report.qps, report.p50_us, report.p99_us, report.ok, report.errors
+    ))
+}

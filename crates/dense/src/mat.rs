@@ -264,6 +264,16 @@ impl DMat {
         out
     }
 
+    /// [`gather_rows`](Self::gather_rows) into a caller-owned buffer —
+    /// repeated gathers (a serving hot path) reuse one allocation.
+    pub fn gather_rows_into(&self, idx: &[u32], out: &mut DMat) {
+        assert_eq!(out.rows(), idx.len(), "gather output row mismatch");
+        assert_eq!(out.cols(), self.cols, "gather output column mismatch");
+        for (o, &i) in idx.iter().enumerate() {
+            out.row_mut(o).copy_from_slice(self.row(i as usize));
+        }
+    }
+
     /// Scatter-adds `src` rows back into `self` at the listed positions
     /// (reverse of [`gather_rows`](Self::gather_rows)).
     pub fn scatter_add_rows(&mut self, idx: &[u32], src: &DMat) {
@@ -354,6 +364,18 @@ mod tests {
         assert_eq!(m.shape(), (2, 3));
         assert_eq!(m.get(1, 2), 5.0);
         assert_eq!(m.row(1), &[3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn gather_rows_into_matches_gather_rows() {
+        let m = DMat::from_fn(5, 3, |r, c| (r * 10 + c) as f32);
+        let idx = [4u32, 0, 4, 2];
+        let mut out = DMat::zeros(idx.len(), 3);
+        m.gather_rows_into(&idx, &mut out);
+        assert_eq!(out, m.gather_rows(&idx));
+        // Reuse: a second gather overwrites every row of the same buffer.
+        m.gather_rows_into(&[1, 1, 1, 1], &mut out);
+        assert_eq!(out.row(3), m.row(1));
     }
 
     #[test]

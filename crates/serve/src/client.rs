@@ -1,0 +1,173 @@
+//! A blocking client for the serve protocol: one connection, one
+//! outstanding request at a time, nonce-checked replies.
+
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use sgnn_dense::DMat;
+
+use crate::wire::{
+    self, decode_response, encode_request, ErrorCode, FrameIo, Request, Response, WireError,
+    MAX_BODY,
+};
+
+/// Why a client call failed (transport or protocol — a typed *error reply*
+/// from the server is not a `ClientError`, it's [`Reply::Error`]).
+#[derive(Debug)]
+pub enum ClientError {
+    Io(std::io::Error),
+    Wire(WireError),
+    /// The reply's echoed nonce does not match the request — a cross-wired
+    /// response, which the e2e suite treats as fatal.
+    NonceMismatch {
+        sent: u64,
+        got: u64,
+    },
+    /// Server closed the connection without replying.
+    Closed,
+    /// Got a Pong where logits were expected (or vice versa).
+    UnexpectedReply,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client I/O: {e}"),
+            ClientError::Wire(e) => write!(f, "client decode: {e}"),
+            ClientError::NonceMismatch { sent, got } => {
+                write!(f, "nonce mismatch: sent {sent}, got {got}")
+            }
+            ClientError::Closed => write!(f, "server closed the connection"),
+            ClientError::UnexpectedReply => write!(f, "unexpected reply kind"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A query's outcome: logits, or one of the server's typed errors.
+#[derive(Debug, PartialEq)]
+pub enum Reply {
+    /// Row-major logits, one row per requested node, in request order.
+    Logits(DMat),
+    Error {
+        code: ErrorCode,
+        msg: String,
+    },
+}
+
+pub struct Client {
+    stream: TcpStream,
+    next_nonce: u64,
+}
+
+impl Client {
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            next_nonce: 1,
+        })
+    }
+
+    /// Like [`connect`](Self::connect), but gives up after `timeout`.
+    pub fn connect_timeout(addr: SocketAddr, timeout: Duration) -> std::io::Result<Self> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            next_nonce: 1,
+        })
+    }
+
+    fn roundtrip(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let sent = req.nonce();
+        wire::write_frame(&mut self.stream, &encode_request(req))?;
+        let body = match wire::read_frame(&mut self.stream, MAX_BODY) {
+            Ok(Some(body)) => body,
+            Ok(None) => return Err(ClientError::Closed),
+            Err(FrameIo::Io(e)) => return Err(ClientError::Io(e)),
+            Err(FrameIo::TooLarge(_)) => {
+                return Err(ClientError::Wire(WireError::Malformed(
+                    "oversized reply".into(),
+                )))
+            }
+        };
+        let resp = decode_response(&body).map_err(ClientError::Wire)?;
+        // `BadFrame` replies carry nonce 0 (the server could not trust the
+        // frame enough to echo anything); everything else must echo ours.
+        let got = resp.nonce();
+        let is_badframe = matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::BadFrame,
+                ..
+            }
+        );
+        if got != sent && !is_badframe {
+            return Err(ClientError::NonceMismatch { sent, got });
+        }
+        Ok(resp)
+    }
+
+    fn fresh_nonce(&mut self) -> u64 {
+        let n = self.next_nonce;
+        self.next_nonce += 1;
+        n
+    }
+
+    /// Queries logits for `nodes` with no deadline.
+    pub fn query(&mut self, nodes: &[u32]) -> Result<Reply, ClientError> {
+        self.query_deadline(nodes, 0)
+    }
+
+    /// Queries logits for `nodes`; `deadline_ms > 0` asks the server to
+    /// reply `Timeout` instead of serving a stale answer.
+    pub fn query_deadline(
+        &mut self,
+        nodes: &[u32],
+        deadline_ms: u32,
+    ) -> Result<Reply, ClientError> {
+        let req = Request::Query {
+            nonce: self.fresh_nonce(),
+            deadline_ms,
+            nodes: nodes.to_vec(),
+        };
+        match self.roundtrip(&req)? {
+            Response::Logits {
+                rows, cols, data, ..
+            } => {
+                if data.len() != rows as usize * cols as usize {
+                    return Err(ClientError::Wire(WireError::Malformed(
+                        "logit shape/data mismatch".into(),
+                    )));
+                }
+                Ok(Reply::Logits(DMat::from_vec(
+                    rows as usize,
+                    cols as usize,
+                    data,
+                )))
+            }
+            Response::Error { code, msg, .. } => Ok(Reply::Error { code, msg }),
+            Response::Pong { .. } => Err(ClientError::UnexpectedReply),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let req = Request::Ping {
+            nonce: self.fresh_nonce(),
+        };
+        match self.roundtrip(&req)? {
+            Response::Pong { .. } => Ok(()),
+            _ => Err(ClientError::UnexpectedReply),
+        }
+    }
+}

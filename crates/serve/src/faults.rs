@@ -1,0 +1,178 @@
+//! Deterministic fault injection for the request path — the serving
+//! counterpart of `sgnn_bench::faults` (PR 3), same `;`-separated
+//! `kind key=value` grammar, applied per *batch* instead of per grid cell.
+//!
+//! ```text
+//! slow [batch=K] [dur=S]   sleep S seconds (default 0.005) before batch K
+//!                          (every batch when K is omitted) computes —
+//!                          drives deadline-timeout and coalescing tests
+//! fail [batch=K]           the handler for batch K (every batch when K is
+//!                          omitted) fails; all requests in it get a typed
+//!                          `Internal` error reply, the server stays up
+//! ```
+//!
+//! Faults install process-globally ([`install`]/[`clear`]), or from the
+//! `SGNN_SERVE_FAULTS` environment variable; injections count into the
+//! `serve.faults.injected` counter.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use sgnn_obs::Counter;
+
+static INJECTED: Counter = Counter::new("serve.faults.injected");
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeFault {
+    Slow {
+        /// Batch sequence number to hit; `None` = every batch.
+        batch: Option<u64>,
+        dur: Duration,
+    },
+    Fail {
+        batch: Option<u64>,
+    },
+}
+
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    pub faults: Vec<ServeFault>,
+}
+
+static PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);
+
+/// Parses a fault spec. Empty spec = empty plan.
+pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+    let mut faults = Vec::new();
+    for clause in spec.split(';') {
+        let clause = clause.trim();
+        if clause.is_empty() {
+            continue;
+        }
+        let mut parts = clause.split_whitespace();
+        let kind = parts.next().expect("clause is non-empty");
+        let mut batch = None;
+        let mut dur = None;
+        for kv in parts {
+            let (key, value) = kv
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got `{kv}`"))?;
+            match key {
+                "batch" => {
+                    batch = Some(
+                        value
+                            .parse::<u64>()
+                            .map_err(|_| format!("bad batch `{value}`"))?,
+                    )
+                }
+                "dur" => {
+                    let s = value
+                        .parse::<f64>()
+                        .map_err(|_| format!("bad dur `{value}`"))?;
+                    if !(s >= 0.0 && s.is_finite()) {
+                        return Err(format!("dur must be finite and >= 0, got {value}"));
+                    }
+                    dur = Some(Duration::from_secs_f64(s));
+                }
+                other => return Err(format!("unknown key `{other}` in `{clause}`")),
+            }
+        }
+        match kind {
+            "slow" => faults.push(ServeFault::Slow {
+                batch,
+                dur: dur.unwrap_or(Duration::from_millis(5)),
+            }),
+            "fail" => {
+                if dur.is_some() {
+                    return Err("`fail` takes no dur".into());
+                }
+                faults.push(ServeFault::Fail { batch });
+            }
+            other => return Err(format!("unknown fault kind `{other}`")),
+        }
+    }
+    Ok(FaultPlan { faults })
+}
+
+/// Arms a plan process-globally (replacing any previous one).
+pub fn install(plan: FaultPlan) {
+    *PLAN.lock().unwrap() = Some(plan);
+}
+
+/// Disarms fault injection.
+pub fn clear() {
+    *PLAN.lock().unwrap() = None;
+}
+
+/// Arms from `SGNN_SERVE_FAULTS` when set; panics on a malformed spec (a
+/// misspelled fault test is a bug, not a condition to tolerate).
+pub fn install_from_env() {
+    if let Ok(spec) = std::env::var("SGNN_SERVE_FAULTS") {
+        let plan = parse(&spec).unwrap_or_else(|e| panic!("bad SGNN_SERVE_FAULTS: {e}"));
+        install(plan);
+    }
+}
+
+/// What the batch handler must do about an armed fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Injected {
+    /// Reply `Internal` to every request in the batch.
+    Fail,
+}
+
+/// Hook called once per batch with its sequence number. `slow` faults sleep
+/// here (inline, so queueing backs up exactly as a slow model would);
+/// `fail` faults return [`Injected::Fail`].
+pub fn on_batch(seq: u64) -> Option<Injected> {
+    let plan = PLAN.lock().unwrap().clone()?;
+    let mut out = None;
+    for fault in &plan.faults {
+        match fault {
+            ServeFault::Slow { batch, dur } if batch.is_none() || *batch == Some(seq) => {
+                INJECTED.incr();
+                std::thread::sleep(*dur);
+            }
+            ServeFault::Fail { batch } if batch.is_none() || *batch == Some(seq) => {
+                INJECTED.incr();
+                out = Some(Injected::Fail);
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_grammar() {
+        let plan = parse("slow batch=3 dur=0.01; fail batch=5;slow").unwrap();
+        assert_eq!(
+            plan.faults,
+            vec![
+                ServeFault::Slow {
+                    batch: Some(3),
+                    dur: Duration::from_millis(10)
+                },
+                ServeFault::Fail { batch: Some(5) },
+                ServeFault::Slow {
+                    batch: None,
+                    dur: Duration::from_millis(5)
+                },
+            ]
+        );
+        assert!(parse("").unwrap().faults.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(parse("explode").is_err());
+        assert!(parse("slow batch").is_err());
+        assert!(parse("slow dur=-1").is_err());
+        assert!(parse("slow dur=nan").is_err());
+        assert!(parse("fail dur=0.1").is_err());
+        assert!(parse("slow what=3").is_err());
+    }
+}

@@ -1,0 +1,151 @@
+//! A multi-client load generator: N threads of closed-loop queries against
+//! one server, exact latency percentiles from the pooled samples.
+//!
+//! Used by the `serve` bench (`BENCH_serve.json` at 1/4/16/64 clients), the
+//! `experiments serve-load` subcommand, and the CI smoke step.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use crate::client::{Client, Reply};
+
+#[derive(Clone, Debug)]
+pub struct LoadConfig {
+    /// Concurrent closed-loop clients (one connection each).
+    pub clients: usize,
+    /// Wall-clock run length.
+    pub duration: Duration,
+    /// Nodes per query (drawn uniformly from `0..node_range`).
+    pub nodes_per_query: usize,
+    /// Exclusive upper bound on generated node ids.
+    pub node_range: u32,
+    /// Per-request deadline forwarded to the server; 0 = none.
+    pub deadline_ms: u32,
+    /// Base seed; client `i` streams from `seed + i`.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        Self {
+            clients: 4,
+            duration: Duration::from_secs(2),
+            nodes_per_query: 1,
+            node_range: 1,
+            deadline_ms: 0,
+            seed: 1,
+        }
+    }
+}
+
+/// Aggregated outcome of one load run.
+#[derive(Clone, Debug, Default)]
+pub struct LoadReport {
+    pub clients: usize,
+    /// Successful logit replies.
+    pub ok: u64,
+    /// Typed error replies (backpressure, timeout, ...).
+    pub errors: u64,
+    pub elapsed_s: f64,
+    /// Successful replies per second.
+    pub qps: f64,
+    /// Exact percentiles over successful-request latencies, microseconds.
+    pub p50_us: f64,
+    pub p99_us: f64,
+}
+
+/// Deterministic per-thread id stream (splitmix-style LCG) — no shared RNG,
+/// no rand dependency in the hot loop.
+struct IdStream {
+    state: u64,
+    range: u32,
+}
+
+impl IdStream {
+    fn next(&mut self) -> u32 {
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((self.state >> 33) % self.range.max(1) as u64) as u32
+    }
+}
+
+/// Runs the load and pools every client's samples.
+///
+/// Closed-loop: each client issues its next query as soon as the previous
+/// reply lands, so offered load scales with `clients` and queue pressure —
+/// hence coalescing — emerges naturally at higher client counts.
+pub fn run(addr: SocketAddr, cfg: &LoadConfig) -> LoadReport {
+    let stop_at = Instant::now() + cfg.duration;
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(cfg.clients);
+    for i in 0..cfg.clients {
+        let cfg = cfg.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut lat_ns: Vec<u64> = Vec::new();
+            let mut ok = 0u64;
+            let mut errors = 0u64;
+            let Ok(mut client) = Client::connect_timeout(addr, Duration::from_secs(5)) else {
+                return (lat_ns, ok, u64::MAX); // connection failure poisons the run
+            };
+            let mut ids = IdStream {
+                state: cfg
+                    .seed
+                    .wrapping_add(i as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                range: cfg.node_range,
+            };
+            let mut nodes = vec![0u32; cfg.nodes_per_query];
+            while Instant::now() < stop_at {
+                for slot in nodes.iter_mut() {
+                    *slot = ids.next();
+                }
+                let t0 = Instant::now();
+                match client.query_deadline(&nodes, cfg.deadline_ms) {
+                    Ok(Reply::Logits(_)) => {
+                        ok += 1;
+                        lat_ns.push(t0.elapsed().as_nanos() as u64);
+                    }
+                    Ok(Reply::Error { .. }) => errors += 1,
+                    Err(_) => {
+                        errors += 1;
+                        break; // transport gone; this client is done
+                    }
+                }
+            }
+            (lat_ns, ok, errors)
+        }));
+    }
+    let mut all_lat: Vec<u64> = Vec::new();
+    let mut ok = 0u64;
+    let mut errors = 0u64;
+    for h in handles {
+        let (lat, o, e) = h.join().expect("load client panicked");
+        all_lat.extend(lat);
+        ok += o;
+        errors = errors.saturating_add(e);
+    }
+    let elapsed_s = started.elapsed().as_secs_f64();
+    all_lat.sort_unstable();
+    let pct = |q: f64| -> f64 {
+        if all_lat.is_empty() {
+            return 0.0;
+        }
+        let idx = ((all_lat.len() as f64 * q) as usize).min(all_lat.len() - 1);
+        all_lat[idx] as f64 / 1_000.0
+    };
+    LoadReport {
+        clients: cfg.clients,
+        ok,
+        errors,
+        elapsed_s,
+        qps: if elapsed_s > 0.0 {
+            ok as f64 / elapsed_s
+        } else {
+            0.0
+        },
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+    }
+}

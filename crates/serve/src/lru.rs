@@ -1,0 +1,121 @@
+//! A small LRU cache for hot-node logits.
+//!
+//! Recency is tracked with lazy invalidation: every touch pushes a fresh
+//! `(tick, key)` pair onto a queue, and eviction pops pairs until it finds
+//! one whose tick still matches the live entry — amortized O(1) per
+//! operation with no linked-list juggling. Values are `Arc<[f32]>` so a
+//! cached logit row is shared, never copied, into response assembly.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+pub struct LruCache {
+    cap: usize,
+    tick: u64,
+    map: HashMap<u32, (u64, Arc<[f32]>)>,
+    queue: VecDeque<(u64, u32)>,
+}
+
+impl LruCache {
+    /// `cap == 0` disables caching entirely (every lookup misses).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap,
+            tick: 0,
+            map: HashMap::new(),
+            queue: VecDeque::new(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up a node's logits, refreshing its recency on hit.
+    pub fn get(&mut self, key: u32) -> Option<Arc<[f32]>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let (stamp, val) = self.map.get_mut(&key)?;
+        *stamp = tick;
+        let val = Arc::clone(val);
+        self.queue.push_back((tick, key));
+        Some(val)
+    }
+
+    /// Inserts (or refreshes) a node's logits, evicting the least recently
+    /// used entries past capacity.
+    pub fn put(&mut self, key: u32, val: Arc<[f32]>) {
+        if self.cap == 0 {
+            return;
+        }
+        self.tick += 1;
+        self.map.insert(key, (self.tick, val));
+        self.queue.push_back((self.tick, key));
+        while self.map.len() > self.cap {
+            let Some((tick, key)) = self.queue.pop_front() else {
+                break;
+            };
+            // Stale queue pairs (the entry was touched again later) are
+            // skipped; only a pair matching the live stamp evicts.
+            if self.map.get(&key).is_some_and(|(t, _)| *t == tick) {
+                self.map.remove(&key);
+            }
+        }
+        // The queue grows one pair per touch; compact when it gets far
+        // ahead of the live set so it cannot grow without bound.
+        if self.queue.len() > 8 * self.cap.max(16) {
+            self.queue
+                .retain(|(t, k)| self.map.get(k).is_some_and(|(live, _)| live == t));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(v: f32) -> Arc<[f32]> {
+        Arc::from(vec![v].into_boxed_slice())
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.put(1, row(1.0));
+        c.put(2, row(2.0));
+        assert!(c.get(1).is_some()); // 2 is now the LRU entry
+        c.put(3, row(3.0));
+        assert!(c.get(2).is_none(), "LRU entry must be evicted");
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_cache() {
+        let mut c = LruCache::new(0);
+        c.put(1, row(1.0));
+        assert!(c.get(1).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn refresh_updates_value_and_queue_stays_bounded() {
+        let mut c = LruCache::new(4);
+        for i in 0..10_000u32 {
+            c.put(i % 4, row(i as f32));
+            assert!(c.get(i % 4).is_some());
+        }
+        assert!(c.len() <= 4);
+        assert!(
+            c.queue.len() <= 8 * 16 + 2,
+            "queue must stay compacted, got {}",
+            c.queue.len()
+        );
+        assert_eq!(c.get(3).unwrap()[0], 9999.0);
+    }
+}

@@ -1,0 +1,490 @@
+//! The TCP serving loop: accept → decode → batching queue → one dense
+//! transform per coalesced batch → per-request replies.
+//!
+//! Threading model: connection I/O lives on plain OS threads (blocking
+//! socket reads poll a shutdown flag via a read timeout), while all dense
+//! math inside a batch — the gathers and GEMMs of the forward pass — runs
+//! on the shared `sgnn_dense::runtime` worker pool, exactly like training.
+//! One *batcher* thread owns the [`ServeEngine`] and the LRU cache; it
+//! drains the bounded request queue, lingering up to
+//! [`ServeConfig::linger`] to coalesce concurrent queries into one
+//! transform of at most [`ServeConfig::max_batch_rows`] rows.
+//!
+//! Degradation ladder (never a crash, never a hang):
+//!
+//! 1. malformed frame → `BadFrame` reply, connection closed (framing lost);
+//! 2. oversized / out-of-range query → typed reply, connection stays;
+//! 3. full queue → immediate `Backpressure` reply;
+//! 4. expired deadline → `Timeout` reply (checked at dequeue *and* again
+//!    after the transform);
+//! 5. injected/internal batch failure → `Internal` reply to the whole
+//!    batch, server keeps serving.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use sgnn_obs::{self as obs, Counter, Histogram};
+
+use crate::engine::ServeEngine;
+use crate::faults::{self, Injected};
+use crate::lru::LruCache;
+use crate::wire::{
+    self, decode_request, encode_response, ErrorCode, FrameIo, Request, Response, MAX_BODY,
+};
+
+// Request-path observability (ISSUE 8): counts, queue/transform latency,
+// and batch shape. `serve.batch` / `serve.requests` are CI-required.
+static SERVE_REQUESTS: Counter = Counter::new("serve.requests");
+static SERVE_BATCHES: Counter = Counter::new("serve.batches");
+static SERVE_COALESCED: Counter = Counter::new("serve.batch.coalesced");
+static SERVE_CACHE_HIT: Counter = Counter::new("serve.cache.hit");
+static SERVE_CACHE_MISS: Counter = Counter::new("serve.cache.miss");
+static SERVE_BACKPRESSURE: Counter = Counter::new("serve.backpressure");
+static SERVE_TIMEOUTS: Counter = Counter::new("serve.timeouts");
+static SERVE_BADFRAME: Counter = Counter::new("serve.badframe");
+static BATCH_SIZE: Histogram = Histogram::new("serve.batch_size");
+static QUEUE_NS: Histogram = Histogram::new("serve.queue_ns");
+static TRANSFORM_NS: Histogram = Histogram::new("serve.transform_ns");
+static REQUEST_NS: Histogram = Histogram::new("serve.request_ns");
+
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// A batch closes once it holds this many node rows.
+    pub max_batch_rows: usize,
+    /// How long a non-full batch waits for more requests to coalesce.
+    pub linger: Duration,
+    /// Bounded queue depth (in requests); beyond it, `Backpressure`.
+    pub queue_cap: usize,
+    /// LRU capacity in cached node rows; 0 disables the cache.
+    pub cache_cap: usize,
+    /// Per-query node cap; beyond it, `TooLarge`.
+    pub max_nodes_per_query: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            max_batch_rows: 64,
+            linger: Duration::from_micros(500),
+            queue_cap: 256,
+            cache_cap: 4096,
+            max_nodes_per_query: 4096,
+        }
+    }
+}
+
+/// How often blocking accept/read/recv loops wake to poll shutdown.
+const POLL: Duration = Duration::from_millis(20);
+
+/// One decoded query waiting in the batching queue.
+struct Pending {
+    nonce: u64,
+    nodes: Vec<u32>,
+    arrived: Instant,
+    deadline: Option<Instant>,
+    conn: Arc<ConnWriter>,
+}
+
+/// The write half of a connection, shared by the reader thread (immediate
+/// error replies) and the batcher (logit replies). Replies on one
+/// connection may arrive out of submission order — clients match on the
+/// echoed nonce.
+struct ConnWriter {
+    stream: Mutex<TcpStream>,
+}
+
+impl ConnWriter {
+    /// Best-effort send: a peer that hung up loses its reply, nobody else.
+    fn send(&self, resp: &Response) {
+        let frame = encode_response(resp);
+        let mut stream = self.stream.lock().unwrap();
+        let _ = stream.write_all(&frame).and_then(|_| stream.flush());
+    }
+}
+
+/// A running server; dropping (or calling [`shutdown`](Self::shutdown))
+/// stops the accept loop, drains the threads, and joins them.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    batcher: Option<JoinHandle<()>>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the resolved ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals every loop to stop and joins all server threads.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // Accept has exited, so the reader list is final; readers notice
+        // the flag at their next read timeout.
+        let readers = std::mem::take(&mut *self.readers.lock().unwrap());
+        for h in readers {
+            let _ = h.join();
+        }
+        // All queue senders are gone now; the batcher drains and exits.
+        if let Some(h) = self.batcher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Boots a server for `engine` and returns once the socket is listening.
+pub fn serve(engine: ServeEngine, cfg: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = mpsc::sync_channel::<Pending>(cfg.queue_cap);
+    let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let batcher = {
+        let stop = Arc::clone(&stop);
+        let cfg = cfg.clone();
+        std::thread::Builder::new()
+            .name("sgnn-serve-batch".into())
+            .spawn(move || batcher_loop(engine, rx, &cfg, &stop))?
+    };
+
+    let accept = {
+        let stop = Arc::clone(&stop);
+        let readers = Arc::clone(&readers);
+        let cfg = cfg.clone();
+        std::thread::Builder::new()
+            .name("sgnn-serve-accept".into())
+            .spawn(move || accept_loop(listener, tx, readers, &cfg, &stop))?
+    };
+
+    Ok(ServerHandle {
+        addr,
+        stop,
+        accept: Some(accept),
+        batcher: Some(batcher),
+        readers,
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    tx: SyncSender<Pending>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    cfg: &ServeConfig,
+    stop: &Arc<AtomicBool>,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let tx = tx.clone();
+                let stop = Arc::clone(stop);
+                let cfg = cfg.clone();
+                let handle = std::thread::Builder::new()
+                    .name("sgnn-serve-conn".into())
+                    .spawn(move || reader_loop(stream, tx, &cfg, &stop))
+                    .expect("spawn connection reader");
+                readers.lock().unwrap().push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL);
+            }
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+}
+
+fn reader_loop(stream: TcpStream, tx: SyncSender<Pending>, cfg: &ServeConfig, stop: &AtomicBool) {
+    // The read timeout doubles as the shutdown poll interval.
+    if stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(ConnWriter {
+            stream: Mutex::new(w),
+        }),
+        Err(_) => return,
+    };
+    let mut stream = stream;
+    while !stop.load(Ordering::SeqCst) {
+        let body = match wire::read_frame(&mut stream, MAX_BODY) {
+            Ok(Some(body)) => body,
+            Ok(None) => return, // clean close
+            Err(FrameIo::Io(e))
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(FrameIo::Io(_)) => return, // torn frame / dead peer
+            Err(FrameIo::TooLarge(len)) => {
+                // Rung 1 of the ladder: reply, then close — after a frame
+                // this malformed the stream offset is unrecoverable.
+                SERVE_BADFRAME.incr();
+                writer.send(&Response::Error {
+                    nonce: 0,
+                    code: ErrorCode::BadFrame,
+                    msg: format!("declared body of {len} bytes exceeds cap"),
+                });
+                return;
+            }
+        };
+        let req = match decode_request(&body) {
+            Ok(req) => req,
+            Err(e) => {
+                SERVE_BADFRAME.incr();
+                writer.send(&Response::Error {
+                    nonce: 0,
+                    code: ErrorCode::BadFrame,
+                    msg: e.to_string(),
+                });
+                return;
+            }
+        };
+        match req {
+            Request::Ping { nonce } => writer.send(&Response::Pong { nonce }),
+            Request::Query {
+                nonce,
+                deadline_ms,
+                nodes,
+            } => {
+                SERVE_REQUESTS.incr();
+                if nodes.is_empty() || nodes.len() > cfg.max_nodes_per_query {
+                    writer.send(&Response::Error {
+                        nonce,
+                        code: ErrorCode::TooLarge,
+                        msg: format!(
+                            "{} nodes (allowed 1..={})",
+                            nodes.len(),
+                            cfg.max_nodes_per_query
+                        ),
+                    });
+                    continue;
+                }
+                let arrived = Instant::now();
+                let deadline =
+                    (deadline_ms > 0).then(|| arrived + Duration::from_millis(deadline_ms as u64));
+                let pending = Pending {
+                    nonce,
+                    nodes,
+                    arrived,
+                    deadline,
+                    conn: Arc::clone(&writer),
+                };
+                match tx.try_send(pending) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(p)) => {
+                        // Rung 3: bounded queue, typed refusal, no hang.
+                        SERVE_BACKPRESSURE.incr();
+                        p.conn.send(&Response::Error {
+                            nonce: p.nonce,
+                            code: ErrorCode::Backpressure,
+                            msg: "batch queue full".into(),
+                        });
+                    }
+                    Err(TrySendError::Disconnected(p)) => {
+                        p.conn.send(&Response::Error {
+                            nonce: p.nonce,
+                            code: ErrorCode::Shutdown,
+                            msg: "server shutting down".into(),
+                        });
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn batcher_loop(
+    mut engine: ServeEngine,
+    rx: Receiver<Pending>,
+    cfg: &ServeConfig,
+    stop: &AtomicBool,
+) {
+    let nodes_in_graph = engine.nodes() as u32;
+    let mut cache = LruCache::new(cfg.cache_cap);
+    let mut seq: u64 = 0;
+    loop {
+        let first = match rx.recv_timeout(POLL) {
+            Ok(p) => p,
+            Err(RecvTimeoutError::Timeout) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        let mut batch = vec![first];
+        let mut rows = batch[0].nodes.len();
+        // Linger: hold the batch open briefly so concurrent queries ride
+        // the same transform. A full batch closes immediately.
+        let close_at = Instant::now() + cfg.linger;
+        while rows < cfg.max_batch_rows {
+            let now = Instant::now();
+            if now >= close_at {
+                break;
+            }
+            match rx.recv_timeout(close_at - now) {
+                Ok(p) => {
+                    rows += p.nodes.len();
+                    batch.push(p);
+                }
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        run_batch(&mut engine, &mut cache, batch, nodes_in_graph, seq);
+        seq += 1;
+    }
+}
+
+fn run_batch(
+    engine: &mut ServeEngine,
+    cache: &mut LruCache,
+    batch: Vec<Pending>,
+    nodes_in_graph: u32,
+    seq: u64,
+) {
+    let requests = batch.len();
+    let rows: usize = batch.iter().map(|p| p.nodes.len()).sum();
+    let _sp = obs::span!("serve.batch", requests = requests, rows = rows);
+    SERVE_BATCHES.incr();
+    if requests > 1 {
+        SERVE_COALESCED.add(requests as u64 - 1);
+    }
+    BATCH_SIZE.record(rows as u64);
+    for p in &batch {
+        QUEUE_NS.record_duration(p.arrived.elapsed());
+    }
+
+    // Injected faults fire before the deadline checks, so a `slow` fault
+    // deterministically expires short-deadline requests.
+    let injected = faults::on_batch(seq);
+    if injected == Some(Injected::Fail) {
+        for p in &batch {
+            p.conn.send(&Response::Error {
+                nonce: p.nonce,
+                code: ErrorCode::Internal,
+                msg: "injected batch failure".into(),
+            });
+        }
+        return;
+    }
+
+    // Rung 4a: drop requests that expired while queued.
+    let now = Instant::now();
+    let (batch, expired): (Vec<_>, Vec<_>) = batch
+        .into_iter()
+        .partition(|p| p.deadline.is_none_or(|d| now < d));
+    for p in expired {
+        SERVE_TIMEOUTS.incr();
+        p.conn.send(&Response::Error {
+            nonce: p.nonce,
+            code: ErrorCode::Timeout,
+            msg: "deadline expired in queue".into(),
+        });
+    }
+    if batch.is_empty() {
+        return;
+    }
+
+    // Validate ids (rung 2) and split the surviving rows into cache hits
+    // and a deduplicated miss list.
+    let mut resolved: HashMap<u32, std::sync::Arc<[f32]>> = HashMap::new();
+    let mut misses: Vec<u32> = Vec::new();
+    let (mut hits, mut miss_rows) = (0u64, 0u64);
+    let mut valid = Vec::with_capacity(batch.len());
+    'req: for p in batch {
+        for &id in &p.nodes {
+            if id >= nodes_in_graph {
+                p.conn.send(&Response::Error {
+                    nonce: p.nonce,
+                    code: ErrorCode::NodeOutOfRange,
+                    msg: format!("node {id} >= {nodes_in_graph}"),
+                });
+                continue 'req;
+            }
+        }
+        for &id in &p.nodes {
+            if resolved.contains_key(&id) || misses.contains(&id) {
+                continue;
+            }
+            if let Some(row) = cache.get(id) {
+                hits += 1;
+                resolved.insert(id, row);
+            } else {
+                miss_rows += 1;
+                misses.push(id);
+            }
+        }
+        valid.push(p);
+    }
+    SERVE_CACHE_HIT.add(hits);
+    SERVE_CACHE_MISS.add(miss_rows);
+
+    // One dense transform for every miss in the coalesced batch.
+    if !misses.is_empty() {
+        let t0 = Instant::now();
+        let logits = engine.logits(&misses);
+        TRANSFORM_NS.record_duration(t0.elapsed());
+        for (r, &id) in misses.iter().enumerate() {
+            let row: std::sync::Arc<[f32]> =
+                std::sync::Arc::from(logits.row(r).to_vec().into_boxed_slice());
+            cache.put(id, std::sync::Arc::clone(&row));
+            resolved.insert(id, row);
+        }
+    }
+
+    // Assemble and send replies; rung 4b re-checks deadlines after the
+    // transform (it may have been slowed by an injected fault or load).
+    let classes = engine.classes();
+    let now = Instant::now();
+    for p in valid {
+        if p.deadline.is_some_and(|d| now >= d) {
+            SERVE_TIMEOUTS.incr();
+            p.conn.send(&Response::Error {
+                nonce: p.nonce,
+                code: ErrorCode::Timeout,
+                msg: "deadline expired during transform".into(),
+            });
+            continue;
+        }
+        let mut data = Vec::with_capacity(p.nodes.len() * classes);
+        for id in &p.nodes {
+            data.extend_from_slice(&resolved[id]);
+        }
+        p.conn.send(&Response::Logits {
+            nonce: p.nonce,
+            rows: p.nodes.len() as u32,
+            cols: classes as u32,
+            data,
+        });
+        REQUEST_NS.record_duration(p.arrived.elapsed());
+    }
+}

@@ -1,0 +1,506 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! Every frame is a `u32` little-endian body length followed by the body;
+//! the body ends in a CRC32-IEEE of everything before it, verified *first*
+//! on decode so any single-bit corruption is a deterministic
+//! [`WireError::CrcMismatch`] rather than a parse of garbage.
+//!
+//! Request body:
+//!
+//! ```text
+//! u8   protocol version (1)
+//! u8   opcode            1 = Query, 2 = Ping
+//! u64  nonce             echoed verbatim in the reply
+//! u32  deadline_ms       Query only; 0 = no deadline
+//! u32  n                 Query only
+//! u32×n node ids         Query only
+//! u32  crc
+//! ```
+//!
+//! Response body:
+//!
+//! ```text
+//! u8   protocol version (1)
+//! u8   status            0 = Logits, 1 = Error, 2 = Pong
+//! u64  nonce
+//! u32  rows, u32 cols, f32×rows·cols   (Logits)
+//! u8   code, u32 len, bytes            (Error)
+//! u32  crc
+//! ```
+
+use std::io::{Read, Write};
+
+pub const WIRE_VERSION: u8 = 1;
+
+/// Largest body either side will read. Replies are `rows × classes` floats;
+/// with the per-query node cap this is far more than any legal frame.
+pub const MAX_BODY: usize = 16 * 1024 * 1024;
+
+const OP_QUERY: u8 = 1;
+const OP_PING: u8 = 2;
+const ST_LOGITS: u8 = 0;
+const ST_ERROR: u8 = 1;
+const ST_PONG: u8 = 2;
+
+/// Why a frame body failed to decode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Body shorter than its fixed fields claim.
+    Truncated,
+    /// First byte is not [`WIRE_VERSION`].
+    BadVersion(u8),
+    /// Unknown opcode / status byte.
+    BadTag(u8),
+    /// Body does not match its trailing CRC.
+    CrcMismatch,
+    /// Structurally invalid (bad error code, trailing bytes, non-UTF-8
+    /// message).
+    Malformed(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::BadTag(t) => write!(f, "unknown opcode/status {t}"),
+            WireError::CrcMismatch => write!(f, "frame CRC mismatch"),
+            WireError::Malformed(why) => write!(f, "malformed frame: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Typed error codes a server can reply with — the degradation ladder.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request frame did not decode; the connection is closed after
+    /// this reply (framing may be lost).
+    BadFrame,
+    /// The batching queue is full; retry later.
+    Backpressure,
+    /// The per-request deadline expired before the reply was ready.
+    Timeout,
+    /// A node id is outside the served graph.
+    NodeOutOfRange,
+    /// More nodes than the server's per-query cap.
+    TooLarge,
+    /// Server-side failure (e.g. an injected fault).
+    Internal,
+    /// The server is shutting down.
+    Shutdown,
+}
+
+impl ErrorCode {
+    pub fn to_byte(self) -> u8 {
+        match self {
+            ErrorCode::BadFrame => 0,
+            ErrorCode::Backpressure => 1,
+            ErrorCode::Timeout => 2,
+            ErrorCode::NodeOutOfRange => 3,
+            ErrorCode::TooLarge => 4,
+            ErrorCode::Internal => 5,
+            ErrorCode::Shutdown => 6,
+        }
+    }
+
+    pub fn from_byte(b: u8) -> Result<Self, WireError> {
+        Ok(match b {
+            0 => ErrorCode::BadFrame,
+            1 => ErrorCode::Backpressure,
+            2 => ErrorCode::Timeout,
+            3 => ErrorCode::NodeOutOfRange,
+            4 => ErrorCode::TooLarge,
+            5 => ErrorCode::Internal,
+            6 => ErrorCode::Shutdown,
+            other => return Err(WireError::Malformed(format!("error code {other}"))),
+        })
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    Query {
+        nonce: u64,
+        /// 0 = no deadline.
+        deadline_ms: u32,
+        nodes: Vec<u32>,
+    },
+    Ping {
+        nonce: u64,
+    },
+}
+
+impl Request {
+    pub fn nonce(&self) -> u64 {
+        match self {
+            Request::Query { nonce, .. } | Request::Ping { nonce } => *nonce,
+        }
+    }
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    Logits {
+        nonce: u64,
+        rows: u32,
+        cols: u32,
+        /// Row-major `rows × cols` logits, bit-exact f32.
+        data: Vec<f32>,
+    },
+    Error {
+        nonce: u64,
+        code: ErrorCode,
+        msg: String,
+    },
+    Pong {
+        nonce: u64,
+    },
+}
+
+impl Response {
+    pub fn nonce(&self) -> u64 {
+        match self {
+            Response::Logits { nonce, .. }
+            | Response::Error { nonce, .. }
+            | Response::Pong { nonce } => *nonce,
+        }
+    }
+}
+
+fn seal(mut body: Vec<u8>) -> Vec<u8> {
+    let crc = sgnn_train::checkpoint::crc32(&body);
+    body.extend_from_slice(&crc.to_le_bytes());
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Encodes a request as a complete frame (length prefix included).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut b = Vec::new();
+    b.push(WIRE_VERSION);
+    match req {
+        Request::Query {
+            nonce,
+            deadline_ms,
+            nodes,
+        } => {
+            b.push(OP_QUERY);
+            b.extend_from_slice(&nonce.to_le_bytes());
+            b.extend_from_slice(&deadline_ms.to_le_bytes());
+            b.extend_from_slice(&(nodes.len() as u32).to_le_bytes());
+            for &id in nodes {
+                b.extend_from_slice(&id.to_le_bytes());
+            }
+        }
+        Request::Ping { nonce } => {
+            b.push(OP_PING);
+            b.extend_from_slice(&nonce.to_le_bytes());
+        }
+    }
+    seal(b)
+}
+
+/// Encodes a response as a complete frame (length prefix included).
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut b = Vec::new();
+    b.push(WIRE_VERSION);
+    match resp {
+        Response::Logits {
+            nonce,
+            rows,
+            cols,
+            data,
+        } => {
+            b.push(ST_LOGITS);
+            b.extend_from_slice(&nonce.to_le_bytes());
+            b.extend_from_slice(&rows.to_le_bytes());
+            b.extend_from_slice(&cols.to_le_bytes());
+            for &v in data {
+                b.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+        }
+        Response::Error { nonce, code, msg } => {
+            b.push(ST_ERROR);
+            b.extend_from_slice(&nonce.to_le_bytes());
+            b.push(code.to_byte());
+            b.extend_from_slice(&(msg.len() as u32).to_le_bytes());
+            b.extend_from_slice(msg.as_bytes());
+        }
+        Response::Pong { nonce } => {
+            b.push(ST_PONG);
+            b.extend_from_slice(&nonce.to_le_bytes());
+        }
+    }
+    seal(b)
+}
+
+/// A cursor over a CRC-verified body.
+struct Cur<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.b.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.b[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn done(&self) -> Result<(), WireError> {
+        if self.pos != self.b.len() {
+            return Err(WireError::Malformed(format!(
+                "{} trailing bytes",
+                self.b.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Verifies the trailing CRC and returns the payload before it.
+fn check_crc(body: &[u8]) -> Result<&[u8], WireError> {
+    if body.len() < 4 {
+        return Err(WireError::Truncated);
+    }
+    let (payload, tail) = body.split_at(body.len() - 4);
+    let want = u32::from_le_bytes(tail.try_into().unwrap());
+    if sgnn_train::checkpoint::crc32(payload) != want {
+        return Err(WireError::CrcMismatch);
+    }
+    Ok(payload)
+}
+
+/// Decodes a request body (everything after the length prefix).
+pub fn decode_request(body: &[u8]) -> Result<Request, WireError> {
+    let payload = check_crc(body)?;
+    let mut c = Cur { b: payload, pos: 0 };
+    let v = c.u8()?;
+    if v != WIRE_VERSION {
+        return Err(WireError::BadVersion(v));
+    }
+    let op = c.u8()?;
+    let req = match op {
+        OP_QUERY => {
+            let nonce = c.u64()?;
+            let deadline_ms = c.u32()?;
+            let n = c.u32()? as usize;
+            // Cap before allocating: `n` is attacker-controlled.
+            if n * 4 > payload.len() {
+                return Err(WireError::Truncated);
+            }
+            let mut nodes = Vec::with_capacity(n);
+            for _ in 0..n {
+                nodes.push(c.u32()?);
+            }
+            Request::Query {
+                nonce,
+                deadline_ms,
+                nodes,
+            }
+        }
+        OP_PING => Request::Ping { nonce: c.u64()? },
+        other => return Err(WireError::BadTag(other)),
+    };
+    c.done()?;
+    Ok(req)
+}
+
+/// Decodes a response body (everything after the length prefix).
+pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
+    let payload = check_crc(body)?;
+    let mut c = Cur { b: payload, pos: 0 };
+    let v = c.u8()?;
+    if v != WIRE_VERSION {
+        return Err(WireError::BadVersion(v));
+    }
+    let st = c.u8()?;
+    let resp = match st {
+        ST_LOGITS => {
+            let nonce = c.u64()?;
+            let rows = c.u32()?;
+            let cols = c.u32()?;
+            let total = (rows as usize)
+                .checked_mul(cols as usize)
+                .ok_or(WireError::Malformed("logit shape overflow".into()))?;
+            if total * 4 > payload.len() {
+                return Err(WireError::Truncated);
+            }
+            let mut data = Vec::with_capacity(total);
+            for _ in 0..total {
+                data.push(f32::from_bits(c.u32()?));
+            }
+            Response::Logits {
+                nonce,
+                rows,
+                cols,
+                data,
+            }
+        }
+        ST_ERROR => {
+            let nonce = c.u64()?;
+            let code = ErrorCode::from_byte(c.u8()?)?;
+            let len = c.u32()? as usize;
+            if len > payload.len() {
+                return Err(WireError::Truncated);
+            }
+            let msg = String::from_utf8(c.take(len)?.to_vec())
+                .map_err(|_| WireError::Malformed("error message not UTF-8".into()))?;
+            Response::Error { nonce, code, msg }
+        }
+        ST_PONG => Response::Pong { nonce: c.u64()? },
+        other => return Err(WireError::BadTag(other)),
+    };
+    c.done()?;
+    Ok(resp)
+}
+
+/// Transport-level failure while reading one frame.
+#[derive(Debug)]
+pub enum FrameIo {
+    /// Socket error (including timeouts surfaced as
+    /// `WouldBlock`/`TimedOut`, and torn frames as `UnexpectedEof`).
+    Io(std::io::Error),
+    /// The declared body length exceeds `max_body` — the frame is not read.
+    TooLarge(u32),
+}
+
+/// Reads one length-prefixed frame body. `Ok(None)` is a clean EOF (peer
+/// closed between frames); EOF mid-frame is `FrameIo::Io(UnexpectedEof)`.
+pub fn read_frame<R: Read>(r: &mut R, max_body: usize) -> Result<Option<Vec<u8>>, FrameIo> {
+    let mut len_buf = [0u8; 4];
+    // A clean close before any length byte is a normal end of stream.
+    let mut got = 0;
+    while got < 4 {
+        match r.read(&mut len_buf[got..]) {
+            Ok(0) => {
+                if got == 0 {
+                    return Ok(None);
+                }
+                return Err(FrameIo::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "eof inside frame length",
+                )));
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameIo::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len as usize > max_body {
+        return Err(FrameIo::TooLarge(len));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body).map_err(FrameIo::Io)?;
+    Ok(Some(body))
+}
+
+/// Writes one pre-encoded frame (as produced by the `encode_*` functions).
+pub fn write_frame<W: Write>(w: &mut W, frame: &[u8]) -> std::io::Result<()> {
+    w.write_all(frame)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trip() {
+        let reqs = [
+            Request::Query {
+                nonce: 7,
+                deadline_ms: 250,
+                nodes: vec![0, 3, 3, 9],
+            },
+            Request::Ping { nonce: u64::MAX },
+        ];
+        for req in reqs {
+            let frame = encode_request(&req);
+            let body = &frame[4..];
+            assert_eq!(decode_request(body).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let resps = [
+            Response::Logits {
+                nonce: 1,
+                rows: 2,
+                cols: 3,
+                data: vec![0.0, -1.5, f32::MIN_POSITIVE, 3.25, -0.0, 1e30],
+            },
+            Response::Error {
+                nonce: 2,
+                code: ErrorCode::Backpressure,
+                msg: "queue full".into(),
+            },
+            Response::Pong { nonce: 3 },
+        ];
+        for resp in resps {
+            let frame = encode_response(&resp);
+            assert_eq!(decode_response(&frame[4..]).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn corrupt_body_is_crc_mismatch() {
+        let frame = encode_request(&Request::Query {
+            nonce: 9,
+            deadline_ms: 0,
+            nodes: vec![1, 2, 3],
+        });
+        for bit in 0..(frame.len() - 4) * 8 {
+            let mut bad = frame[4..].to_vec();
+            bad[bit / 8] ^= 1 << (bit % 8);
+            assert_eq!(
+                decode_request(&bad).unwrap_err(),
+                WireError::CrcMismatch,
+                "bit {bit}"
+            );
+        }
+    }
+
+    #[test]
+    fn frame_io_round_trip_and_caps() {
+        let frame = encode_request(&Request::Ping { nonce: 5 });
+        let mut cur = std::io::Cursor::new(frame.clone());
+        let body = read_frame(&mut cur, MAX_BODY).unwrap().unwrap();
+        assert_eq!(decode_request(&body).unwrap(), Request::Ping { nonce: 5 });
+        // Clean EOF after the frame.
+        assert!(read_frame(&mut cur, MAX_BODY).unwrap().is_none());
+        // Oversized declared length is rejected without reading the body.
+        let mut huge = std::io::Cursor::new((MAX_BODY as u32 + 1).to_le_bytes().to_vec());
+        assert!(matches!(
+            read_frame(&mut huge, MAX_BODY),
+            Err(FrameIo::TooLarge(_))
+        ));
+        // Torn frame: length says 10, only 3 bytes follow.
+        let mut torn = std::io::Cursor::new(vec![10, 0, 0, 0, 1, 2, 3]);
+        assert!(matches!(
+            read_frame(&mut torn, MAX_BODY),
+            Err(FrameIo::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,114 @@
+//! End-to-end serving: train a tiny model, export its bundle, boot the
+//! server on an ephemeral port, and prove that every served response —
+//! across concurrent clients, arbitrary batch compositions, and cache
+//! state — is **bit-identical** to offline single-node inference on the
+//! same checkpoint.
+
+mod common;
+
+use std::time::Duration;
+
+use sgnn_serve::bundle::{load_engine, offline_logits};
+use sgnn_serve::{serve, Client, Reply, ServeConfig};
+
+/// Offline reference: one fresh engine, one node per forward pass — the
+/// strictest possible baseline (nothing shares a batch with anything).
+fn single_node_reference(dir: &std::path::Path, nodes: usize) -> Vec<Vec<u32>> {
+    let mut engine = load_engine(dir).unwrap();
+    (0..nodes as u32)
+        .map(|v| {
+            engine
+                .logits(&[v])
+                .row(0)
+                .iter()
+                .map(|x| x.to_bits())
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn served_logits_bit_identical_to_offline_single_node() {
+    let (dir, data, _cfg) = common::tiny_bundle("e2e", 11);
+    let n = data.nodes();
+    let reference = single_node_reference(&dir, n);
+
+    // `bundle::offline_logits` (fresh engine per call) agrees with the
+    // shared-engine reference — engine construction is deterministic.
+    for &v in &[0u32, 1, (n as u32) / 2, n as u32 - 1] {
+        let off: Vec<u32> = offline_logits(&dir, v)
+            .unwrap()
+            .iter()
+            .map(|x| x.to_bits())
+            .collect();
+        assert_eq!(off, reference[v as usize], "offline_logits node {v}");
+    }
+
+    let engine = load_engine(&dir).unwrap();
+    let classes = engine.classes();
+    let server = serve(engine, ServeConfig::default()).unwrap();
+    let addr = server.addr();
+
+    // Concurrent clients, each issuing single- and multi-node queries with
+    // deterministic but different id patterns.
+    let workers: Vec<_> = (0..8u64)
+        .map(|w| {
+            let reference = reference.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for round in 0..30u64 {
+                    let k = 1 + ((w + round) % 5) as usize;
+                    let nodes: Vec<u32> = (0..k)
+                        .map(|j| ((w * 911 + round * 31 + j as u64 * 7) % reference.len() as u64) as u32)
+                        .collect();
+                    match client.query(&nodes).unwrap() {
+                        Reply::Logits(m) => {
+                            assert_eq!(m.shape(), (nodes.len(), classes));
+                            for (r, &v) in nodes.iter().enumerate() {
+                                let got: Vec<u32> =
+                                    m.row(r).iter().map(|x| x.to_bits()).collect();
+                                assert_eq!(
+                                    got, reference[v as usize],
+                                    "worker {w} round {round} node {v}: served bits differ from offline"
+                                );
+                            }
+                        }
+                        Reply::Error { code, msg } => {
+                            panic!("worker {w} round {round}: unexpected error {code:?}: {msg}")
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn ping_reconnect_and_clean_shutdown() {
+    let (dir, _data, _cfg) = common::tiny_bundle("e2e-ping", 13);
+    let engine = load_engine(&dir).unwrap();
+    let server = serve(engine, ServeConfig::default()).unwrap();
+    let addr = server.addr();
+
+    // Several short-lived connections in sequence: the server must keep
+    // accepting after peers hang up.
+    for _ in 0..3 {
+        let mut c = Client::connect(addr).unwrap();
+        c.ping().unwrap();
+        assert!(matches!(c.query(&[0]).unwrap(), Reply::Logits(_)));
+        drop(c);
+    }
+    server.shutdown();
+    // After shutdown the port no longer accepts (give the OS a beat).
+    std::thread::sleep(Duration::from_millis(50));
+    assert!(
+        Client::connect_timeout(addr, Duration::from_millis(200)).is_err(),
+        "server socket must be closed after shutdown"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

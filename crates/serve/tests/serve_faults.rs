@@ -1,0 +1,256 @@
+//! Fault injection on the request path: deadline timeouts, queue
+//! backpressure, malformed frames, and torn/corrupt artifacts must all
+//! surface as *typed* errors — never a crash, never a hang.
+
+mod common;
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use sgnn_serve::artifact::{self, ServeMeta, TermsError};
+use sgnn_serve::bundle::{load_engine, CKPT_FILE, TERMS_FILE};
+use sgnn_serve::{faults, serve, Client, ErrorCode, Reply, ServeConfig, ServeError};
+
+/// Fault plans are process-global; the server-driving tests in this binary
+/// take this lock so one test's armed faults never leak into another.
+static FAULT_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[test]
+fn slow_batch_expires_deadlines_into_typed_timeouts() {
+    let _g = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (dir, _data, _cfg) = common::tiny_bundle("faults-slow", 19);
+    // Every batch sleeps 50 ms; a 5 ms deadline cannot survive it.
+    faults::install(faults::parse("slow dur=0.05").unwrap());
+    let engine = load_engine(&dir).unwrap();
+    let server = serve(engine, ServeConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    match client.query_deadline(&[0], 5).unwrap() {
+        Reply::Error { code, .. } => assert_eq!(code, ErrorCode::Timeout),
+        Reply::Logits(_) => panic!("a 5 ms deadline must expire behind a 50 ms fault"),
+    }
+    // Same connection, no deadline: the slow batch is tolerated.
+    assert!(matches!(client.query(&[0]).unwrap(), Reply::Logits(_)));
+
+    // Disarm and the fast path is back.
+    faults::clear();
+    assert!(matches!(
+        client.query_deadline(&[0], 5000).unwrap(),
+        Reply::Logits(_)
+    ));
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn full_queue_replies_backpressure_without_hanging() {
+    let _g = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (dir, _data, _cfg) = common::tiny_bundle("faults-bp", 23);
+    // One-slot queue, one-row batches, and a 100 ms handler: concurrent
+    // queries must overflow the queue immediately.
+    faults::install(faults::parse("slow dur=0.1").unwrap());
+    let engine = load_engine(&dir).unwrap();
+    let server = serve(
+        engine,
+        ServeConfig {
+            queue_cap: 1,
+            max_batch_rows: 1,
+            linger: Duration::ZERO,
+            cache_cap: 0,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let started = Instant::now();
+    let workers: Vec<_> = (0..10)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                match c.query(&[0]).unwrap() {
+                    Reply::Logits(_) => (1u32, 0u32),
+                    Reply::Error { code, .. } => {
+                        assert_eq!(code, ErrorCode::Backpressure, "only typed backpressure");
+                        (0, 1)
+                    }
+                }
+            })
+        })
+        .collect();
+    let (mut served, mut pushed_back) = (0, 0);
+    for w in workers {
+        let (s, b) = w.join().unwrap();
+        served += s;
+        pushed_back += b;
+    }
+    // Bounded queue, typed refusal, and nobody waited on a hung socket.
+    assert!(
+        pushed_back > 0,
+        "the 1-slot queue must push back under 10 concurrent queries"
+    );
+    assert!(served > 0, "accepted queries still complete");
+    assert_eq!(served + pushed_back, 10);
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "backpressure must be immediate, not a hang"
+    );
+    faults::clear();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn injected_fail_is_internal_error_and_server_survives() {
+    let _g = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (dir, _data, _cfg) = common::tiny_bundle("faults-fail", 29);
+    faults::install(faults::parse("fail").unwrap());
+    let engine = load_engine(&dir).unwrap();
+    let server = serve(engine, ServeConfig::default()).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    match client.query(&[0]).unwrap() {
+        Reply::Error { code, .. } => assert_eq!(code, ErrorCode::Internal),
+        Reply::Logits(_) => panic!("injected fail must reply Internal"),
+    }
+    faults::clear();
+    assert!(matches!(client.query(&[0]).unwrap(), Reply::Logits(_)));
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_and_oversized_frames_get_error_replies() {
+    let _g = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (dir, _data, _cfg) = common::tiny_bundle("faults-frame", 31);
+    let engine = load_engine(&dir).unwrap();
+    let server = serve(engine, ServeConfig::default()).unwrap();
+
+    // Garbage body with a valid length prefix → BadFrame reply, then the
+    // server closes the connection (framing can no longer be trusted).
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    raw.write_all(&8u32.to_le_bytes()).unwrap();
+    raw.write_all(&[0xDE, 0xAD, 0xBE, 0xEF, 0, 1, 2, 3])
+        .unwrap();
+    let body = sgnn_serve::wire::read_frame(&mut raw, sgnn_serve::wire::MAX_BODY)
+        .unwrap()
+        .expect("a BadFrame reply, not a silent close");
+    match sgnn_serve::wire::decode_response(&body).unwrap() {
+        sgnn_serve::Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadFrame),
+        other => panic!("expected BadFrame, got {other:?}"),
+    }
+    let mut rest = Vec::new();
+    raw.read_to_end(&mut rest).unwrap();
+    assert!(
+        rest.is_empty(),
+        "connection must be closed after a bad frame"
+    );
+
+    // Oversized declared length → same ladder rung, without the server
+    // ever allocating the body.
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    raw.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    let body = sgnn_serve::wire::read_frame(&mut raw, sgnn_serve::wire::MAX_BODY)
+        .unwrap()
+        .expect("a BadFrame reply for an oversized frame");
+    match sgnn_serve::wire::decode_response(&body).unwrap() {
+        sgnn_serve::Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadFrame),
+        other => panic!("expected BadFrame, got {other:?}"),
+    }
+
+    // Out-of-range and oversized queries are typed replies and the
+    // connection keeps working.
+    let mut client = Client::connect(server.addr()).unwrap();
+    match client.query(&[u32::MAX]).unwrap() {
+        Reply::Error { code, .. } => assert_eq!(code, ErrorCode::NodeOutOfRange),
+        Reply::Logits(_) => panic!("node u32::MAX cannot exist in a tiny graph"),
+    }
+    let too_many: Vec<u32> = vec![0; ServeConfig::default().max_nodes_per_query + 1];
+    match client.query(&too_many).unwrap() {
+        Reply::Error { code, .. } => assert_eq!(code, ErrorCode::TooLarge),
+        Reply::Logits(_) => panic!("per-query node cap must hold"),
+    }
+    assert!(matches!(client.query(&[0]).unwrap(), Reply::Logits(_)));
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Small synthetic artifact for the exhaustive truncation sweep (a trained
+/// bundle's terms file is megabytes; every-offset truncation wants a few
+/// hundred bytes).
+fn tiny_artifact() -> Vec<u8> {
+    let meta = ServeMeta {
+        filter: "Monomial".into(),
+        hops: 2,
+        hidden: 8,
+        dropout: 0.5,
+        in_dim: 3,
+        num_classes: 2,
+        nodes: 4,
+        seed: 7,
+        config_tag: 0xABCD,
+    };
+    let t = |s: f32| sgnn_dense::DMat::from_fn(4, 3, |r, c| (r * 3 + c) as f32 * s);
+    artifact::encode(&meta, &[vec![t(1.0), t(-0.5), t(0.25)]])
+}
+
+#[test]
+fn torn_terms_artifact_rejected_at_every_truncation_offset() {
+    let dir = common::scratch_dir("faults-torn");
+    let bytes = tiny_artifact();
+    let path = dir.join("terms.bin");
+    // Sanity: the untruncated artifact loads.
+    std::fs::write(&path, &bytes).unwrap();
+    artifact::load(&path).unwrap();
+    for cut in 0..bytes.len() {
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let err = artifact::load(&path).expect_err(&format!(
+            "truncation at {cut}/{} must be rejected",
+            bytes.len()
+        ));
+        assert!(
+            matches!(
+                err,
+                TermsError::Truncated | TermsError::BadMagic | TermsError::CrcMismatch
+            ),
+            "cut {cut}: unexpected error {err:?}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_ckpt_and_mismatched_pairing_are_typed_load_errors() {
+    let (dir, _data, _cfg) = common::tiny_bundle("faults-corrupt", 37);
+
+    // Flip one payload byte of the model checkpoint: SGNNCKPT CRC catches it.
+    let ckpt = dir.join(CKPT_FILE);
+    let mut bytes = std::fs::read(&ckpt).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x40;
+    std::fs::write(&ckpt, &bytes).unwrap();
+    let err = load_engine(&dir)
+        .err()
+        .expect("corrupt checkpoint must fail");
+    assert!(
+        matches!(err, ServeError::Ckpt(_)),
+        "corrupt checkpoint must fail as ServeError::Ckpt, got {err}"
+    );
+    bytes[last] ^= 0x40;
+    std::fs::write(&ckpt, &bytes).unwrap();
+    load_engine(&dir).unwrap();
+
+    // Terms from a *different run* (other seed): rejected by the pairing
+    // guard even though both artifacts are individually valid.
+    let (dir2, _data2, _cfg2) = common::tiny_bundle("faults-corrupt-b", 38);
+    std::fs::copy(dir2.join(TERMS_FILE), dir.join(TERMS_FILE)).unwrap();
+    let err = load_engine(&dir)
+        .err()
+        .expect("mixed-run artifacts must fail");
+    assert!(
+        matches!(err, ServeError::Pairing(_)),
+        "mixed-run artifacts must fail the pairing check, got {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&dir2);
+}

@@ -1,0 +1,115 @@
+//! Batching/concurrency stress: hammer one server from interleaved
+//! closed-loop clients and prove the batching path's three invariants —
+//! coalescing actually happens (`serve.batch.coalesced` > 0), no response
+//! is lost or cross-wired (every reply's nonce and *contents* match its
+//! request), and cache hits are byte-identical to cache misses.
+
+mod common;
+
+use std::time::Duration;
+
+use sgnn_serve::bundle::load_engine;
+use sgnn_serve::{faults, serve, Client, Reply, ServeConfig};
+
+#[test]
+fn coalescing_cache_identity_and_no_cross_wiring() {
+    sgnn_obs::enable_aggregation();
+    sgnn_obs::reset();
+
+    let (dir, data, _cfg) = common::tiny_bundle("stress", 17);
+    let n = data.nodes() as u32;
+    // Queries draw from a small hot pool spread across the graph: every
+    // node is requested repeatedly, so the LRU must serve hits, and the
+    // pool fits the cache so eviction churn can't starve it.
+    let pool: Vec<u32> = (0..24u32.min(n)).map(|i| (i * n) / 24).collect();
+
+    // Reference bits once, from a private engine.
+    let mut reference = load_engine(&dir).unwrap();
+    let ref_bits: Vec<Vec<u32>> = pool
+        .iter()
+        .map(|&v| {
+            reference
+                .logits(&[v])
+                .row(0)
+                .iter()
+                .map(|x| x.to_bits())
+                .collect()
+        })
+        .collect();
+
+    // A `slow` fault on every batch (3 ms) plus a generous linger makes the
+    // closed-loop clients pile up behind the batcher deterministically:
+    // while batch k computes, the queue fills, so batch k+1 coalesces.
+    faults::install(faults::parse("slow dur=0.003").unwrap());
+    let engine = load_engine(&dir).unwrap();
+    let server = serve(
+        engine,
+        ServeConfig {
+            linger: Duration::from_millis(4),
+            max_batch_rows: 64,
+            cache_cap: 64,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let workers: Vec<_> = (0..8u64)
+        .map(|w| {
+            let ref_bits = ref_bits.clone();
+            let pool = pool.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for round in 0..40u64 {
+                    // Overlapping id streams across workers: the same node
+                    // is queried hot by one worker and cold by another.
+                    let slot = ((w * 13 + round * 17) % pool.len() as u64) as usize;
+                    let v = pool[slot];
+                    match client.query(&[v]).unwrap() {
+                        Reply::Logits(m) => {
+                            let got: Vec<u32> = m.row(0).iter().map(|x| x.to_bits()).collect();
+                            // Bitwise equality against the per-node
+                            // reference catches cross-wired *contents* even
+                            // if nonces lined up.
+                            assert_eq!(got, ref_bits[slot], "worker {w} node {v}");
+                        }
+                        Reply::Error { code, msg } => {
+                            panic!("worker {w} round {round}: {code:?}: {msg}")
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    server.shutdown();
+    faults::clear();
+
+    let snap = sgnn_obs::snapshot();
+    let requests = snap.counter("serve.requests").unwrap_or(0);
+    let batches = snap.counter("serve.batches").unwrap_or(0);
+    let coalesced = snap.counter("serve.batch.coalesced").unwrap_or(0);
+    let hits = snap.counter("serve.cache.hit").unwrap_or(0);
+    let misses = snap.counter("serve.cache.miss").unwrap_or(0);
+    assert_eq!(requests, 8 * 40, "every query must be counted");
+    assert!(batches > 0);
+    assert!(
+        coalesced > 0,
+        "coalescing must occur: {requests} requests in {batches} batches"
+    );
+    assert!(misses > 0, "cold nodes must miss");
+    assert!(hits > 0, "hot nodes must hit the LRU cache");
+    // Conservation: every non-coalesced request headed its own batch.
+    assert_eq!(requests, batches + coalesced, "request conservation");
+    assert!(snap.hist("serve.batch_size").is_some_and(|h| h.count > 0));
+    assert!(snap.hist("serve.queue_ns").is_some_and(|h| h.count > 0));
+    assert!(snap.hist("serve.request_ns").is_some_and(|h| h.count > 0));
+    assert!(
+        snap.span("serve.batch").is_some(),
+        "serve.batch span must be recorded"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

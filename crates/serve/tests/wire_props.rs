@@ -1,0 +1,174 @@
+//! Property tests for the two serving codecs: the wire protocol
+//! (request/response frames) and the `SGNNTERM` terms artifact. Arbitrary
+//! values must round-trip byte-exactly, and any single bit flip must be
+//! rejected — CRC32 detects all single-bit errors by construction, so a
+//! flip that decodes successfully is a codec bug.
+
+use proptest::prelude::*;
+use sgnn_dense::DMat;
+use sgnn_serve::artifact::{self, ServeMeta};
+use sgnn_serve::wire::{
+    decode_request, decode_response, encode_request, encode_response, ErrorCode, Request, Response,
+    WireError,
+};
+
+// The compat proptest shim has no `prop_oneof`; variants are picked by a
+// sampled selector inside one `prop_map`.
+fn arb_request() -> impl Strategy<Value = Request> {
+    (
+        0u8..2,
+        any::<u64>(),
+        any::<u32>(),
+        proptest::collection::vec(any::<u32>(), 1..40),
+    )
+        .prop_map(|(sel, nonce, deadline_ms, nodes)| match sel {
+            0 => Request::Query {
+                nonce,
+                deadline_ms,
+                nodes,
+            },
+            _ => Request::Ping { nonce },
+        })
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    // Logit values from i16 bit patterns scaled down: exact in f32, never
+    // NaN, covers negatives and zero.
+    (
+        (0u8..3, any::<u64>()),
+        (1u32..6, 1u32..5),
+        proptest::collection::vec(any::<i16>(), 25..26),
+        0u8..7,
+        proptest::collection::vec(32u8..127, 0..20),
+    )
+        .prop_map(|((sel, nonce), (rows, cols), pool, code, msg)| match sel {
+            0 => Response::Logits {
+                nonce,
+                rows,
+                cols,
+                data: (0..rows as usize * cols as usize)
+                    .map(|i| pool[i % pool.len()] as f32 / 64.0)
+                    .collect(),
+            },
+            1 => Response::Error {
+                nonce,
+                code: ErrorCode::from_byte(code).unwrap(),
+                msg: msg.into_iter().map(char::from).collect(),
+            },
+            _ => Response::Pong { nonce },
+        })
+}
+
+/// Arbitrary (meta, terms): small shapes, exact f32 values.
+fn arb_artifact() -> impl Strategy<Value = (ServeMeta, Vec<Vec<DMat>>)> {
+    (
+        (
+            proptest::collection::vec(32u8..127, 1..16),
+            0usize..12,
+            1usize..64,
+            any::<u64>(),
+            any::<u64>(),
+        ),
+        (1usize..4, 1usize..4, 1usize..5, 1usize..4),
+        proptest::collection::vec(any::<i16>(), 60..61),
+    )
+        .prop_map(
+            |((name, hops, hidden, seed, config_tag), (channels, nterms, rows, cols), pool)| {
+                let meta = ServeMeta {
+                    filter: name.into_iter().map(char::from).collect(),
+                    hops,
+                    hidden,
+                    dropout: 0.5,
+                    in_dim: cols,
+                    num_classes: 2,
+                    nodes: rows,
+                    seed,
+                    config_tag,
+                };
+                let terms: Vec<Vec<DMat>> = (0..channels)
+                    .map(|c| {
+                        (0..nterms)
+                            .map(|k| {
+                                DMat::from_fn(rows, cols, |i, j| {
+                                    pool[(c * 17 + k * 7 + i * 3 + j) % pool.len()] as f32 / 32.0
+                                })
+                            })
+                            .collect()
+                    })
+                    .collect();
+                (meta, terms)
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `decode(encode(req))` is the identity on the frame body.
+    #[test]
+    fn request_round_trips(req in arb_request()) {
+        let frame = encode_request(&req);
+        prop_assert_eq!(decode_request(&frame[4..]).unwrap(), req);
+    }
+
+    /// Responses round-trip; equality via re-encoded bytes so every f32
+    /// bit pattern (including signed zero) is compared exactly.
+    #[test]
+    fn response_round_trips(resp in arb_response()) {
+        let frame = encode_response(&resp);
+        let back = decode_response(&frame[4..]).unwrap();
+        prop_assert_eq!(encode_response(&back), frame);
+    }
+
+    /// Any single bit flip in a request body is a deterministic
+    /// `CrcMismatch` — the CRC is checked before any field is parsed.
+    #[test]
+    fn request_bit_flip_detected(req in arb_request(), pos in any::<usize>()) {
+        let frame = encode_request(&req);
+        let mut body = frame[4..].to_vec();
+        let bit = pos % (body.len() * 8);
+        body[bit / 8] ^= 1 << (bit % 8);
+        prop_assert_eq!(decode_request(&body).unwrap_err(), WireError::CrcMismatch);
+    }
+
+    /// Same for responses.
+    #[test]
+    fn response_bit_flip_detected(resp in arb_response(), pos in any::<usize>()) {
+        let frame = encode_response(&resp);
+        let mut body = frame[4..].to_vec();
+        let bit = pos % (body.len() * 8);
+        body[bit / 8] ^= 1 << (bit % 8);
+        prop_assert_eq!(decode_response(&body).unwrap_err(), WireError::CrcMismatch);
+    }
+
+    /// Arbitrary terms artifacts round-trip bit-exactly through the
+    /// streamed save/load path.
+    #[test]
+    fn artifact_round_trips(mt in arb_artifact()) {
+        let (meta, terms) = mt;
+        let dir = std::env::temp_dir()
+            .join(format!("sgnn-term-prop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.bin");
+        artifact::save(&path, &meta, &terms).unwrap();
+        let got = artifact::load(&path).unwrap();
+        prop_assert_eq!(got.meta, meta);
+        prop_assert_eq!(got.terms, terms);
+    }
+
+    /// A single bit flip anywhere in the artifact file — header or payload
+    /// — must surface as a typed error, never a successful load.
+    #[test]
+    fn artifact_bit_flip_detected(mt in arb_artifact(), pos in any::<usize>()) {
+        let (meta, terms) = mt;
+        let dir = std::env::temp_dir()
+            .join(format!("sgnn-term-flip-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.bin");
+        let mut bytes = artifact::encode(&meta, &terms);
+        let bit = pos % (bytes.len() * 8);
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        std::fs::write(&path, &bytes).unwrap();
+        prop_assert!(artifact::load(&path).is_err(), "bit {} must be detected", bit);
+    }
+}

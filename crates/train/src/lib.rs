@@ -35,4 +35,6 @@ pub use checkpoint::{peek_resumable, Checkpointer, CkptError, Snapshot, Snapshot
 pub use config::{TrainConfig, TrainReport};
 pub use error::{Killed, TrainError};
 pub use full_batch::{train_full_batch, try_train_full_batch};
-pub use mini_batch::{train_mini_batch, try_train_mini_batch};
+pub use mini_batch::{
+    infer_mb, train_mini_batch, try_train_mini_batch, try_train_mini_batch_trained, MbTrained,
+};

@@ -49,6 +49,35 @@ pub fn try_train_mini_batch(
     data: &Dataset,
     cfg: &TrainConfig,
 ) -> Result<TrainReport, TrainError> {
+    try_train_mini_batch_trained(filter, data, cfg).map(|t| t.report)
+}
+
+/// Everything a trained mini-batch run leaves behind, for callers that want
+/// more than the [`TrainReport`] — notably `sgnn-serve`, which exports the
+/// final parameters (as a [`Snapshot`] in the `SGNNCKPT` codec) together
+/// with the precomputed propagated terms as its serving artifacts.
+pub struct MbTrained {
+    pub report: TrainReport,
+    /// The model bound to the parameter handles in `store`.
+    pub model: DecoupledModel,
+    /// Final trained parameter values.
+    pub store: ParamStore,
+    /// Precomputed propagated terms, `channels × terms`, each `n × F`.
+    pub terms: Vec<Vec<DMat>>,
+    /// Final-state snapshot (status [`SnapshotStatus::Periodic`], encodable
+    /// with the `SGNNCKPT` codec); `seed`/`config_tag` pair it with a terms
+    /// artifact exported from the same run.
+    pub snapshot: Snapshot,
+}
+
+/// Like [`try_train_mini_batch`] but returns the trained model, parameter
+/// store, precomputed terms, and a final-state snapshot alongside the
+/// report.
+pub fn try_train_mini_batch_trained(
+    filter: Arc<dyn SpectralFilter>,
+    data: &Dataset,
+    cfg: &TrainConfig,
+) -> Result<MbTrained, TrainError> {
     assert!(
         filter.mb_compatible(),
         "{} is an iterative-only design; the paper evaluates it full-batch only",
@@ -265,7 +294,7 @@ pub fn try_train_mini_batch(
         (test, valid)
     };
 
-    Ok(TrainReport {
+    let report = TrainReport {
         filter: filter_name,
         dataset: data.name.clone(),
         scheme: "MB".into(),
@@ -279,6 +308,25 @@ pub fn try_train_mini_batch(
         device_bytes: device.peak(),
         ram_bytes,
         prop_hops: pre_hops,
+    };
+    let final_snapshot = snapshot(
+        SnapshotStatus::Periodic,
+        epochs_run,
+        &rng,
+        &train_idx,
+        &store,
+        &opt,
+        best_valid,
+        best_test,
+        bad_epochs,
+        device.peak(),
+    );
+    Ok(MbTrained {
+        report,
+        model,
+        store,
+        terms,
+        snapshot: final_snapshot,
     })
 }
 
