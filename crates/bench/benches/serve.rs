@@ -1,11 +1,25 @@
 //! Online-serving load benchmark: trains a tiny model, exports its serving
 //! bundle through the real codecs, boots the TCP server on an ephemeral
 //! port, and drives closed-loop load at 1 / 4 / 16 / 64 concurrent
-//! clients. Writes `BENCH_serve.json` with per-point QPS and latency
-//! percentiles plus a top-level `qps_scaling` headline (QPS at 64 clients
-//! over QPS at 1 client) — the batching dividend: if the batcher
-//! serialized requests instead of coalescing them, scaling would collapse
-//! toward 1.
+//! clients. Writes `BENCH_serve.json` with per-point QPS, latency
+//! percentiles, and an error breakdown (`shed` / `timeouts` /
+//! `backpressure` / `retries`), plus two headlines:
+//!
+//! * `qps_scaling` — QPS at 64 clients over QPS at 1 client, the batching
+//!   dividend: if the batcher serialized requests instead of coalescing
+//!   them, scaling would collapse toward 1;
+//! * `p99_us` — tail latency at 64 clients, gated lower-is-better by
+//!   `experiments bench-regress`.
+//!
+//! A second sweep measures **overload control**: 64 clients with a
+//! deadline the queue cannot meet, once with admission shedding on and
+//! once with it off. Shedding converts silent queue-and-expire into typed
+//! `Overloaded` refusals; the comparison metric is `p99_reply_us` —
+//! **time-to-outcome** over every typed reply — because the
+//! successful-request p99 is bounded by the deadline check in both modes
+//! and cannot differentiate them, while a shed client learns its fate in
+//! microseconds where a no-shed client waits a full queue-drain. The
+//! `overload` object records both points and their time-to-outcome ratio.
 //!
 //! Environment:
 //! * `SGNN_BENCH_FAST=1` — short load windows for CI smoke.
@@ -72,6 +86,7 @@ fn main() {
                 node_range: nodes as u32,
                 deadline_ms: 0,
                 seed: 0x5EED + i as u64,
+                ..LoadConfig::default()
             },
         );
         println!(
@@ -81,6 +96,71 @@ fn main() {
         reports.push(report);
     }
     server.shutdown();
+
+    // Overload sweep: a genuine capacity deficit. An injected `slow`
+    // fault pins every batch at ≥5ms, capping the server at ~200 batches
+    // per second — far below what 64 closed-loop clients offer — while
+    // clients demand a 25ms turnaround. Without admission control (the
+    // pre-shedding behavior) requests queue, expire at dequeue, and the
+    // batcher burns its 5ms rounds on already-dead work; with it, the
+    // hopeless requests are refused at enqueue as typed `Overloaded`
+    // replies and the admitted ones keep their deadlines.
+    let overload_cfg = |seed: u64| LoadConfig {
+        clients: 64,
+        duration: window,
+        nodes_per_query: 4,
+        node_range: nodes as u32,
+        deadline_ms: 25,
+        seed,
+        // Well-behaved clients: jittered exponential backoff (seeded, at
+        // least the server's `retry_after_ms` hint) on typed refusals.
+        max_attempts: 3,
+    };
+    sgnn_serve::faults::install(sgnn_serve::faults::parse("slow dur=0.005").expect("slow spec"));
+    let mut overload = Vec::new();
+    for (i, (label, shed)) in [("shed", true), ("no_shed", false)].into_iter().enumerate() {
+        let engine = load_engine(&dir).expect("reload bundle for overload point");
+        // Both points run the same slowed server; the only difference is
+        // the admission gate.
+        let server = serve(
+            engine,
+            ServeConfig {
+                shed,
+                max_batch_rows: 8,
+                cache_cap: 0,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("boot overload server");
+        // Warm the admission estimator (32 batches × 5ms ≈ 160ms) with
+        // deadline-free load before the measured storm — both modes get
+        // the identical warmup, so the comparison isn't polluted by the
+        // cold-start window in which shedding is disabled by design.
+        sgnn_serve::loadgen::run(
+            server.addr(),
+            &LoadConfig {
+                clients: 4,
+                duration: Duration::from_millis(300),
+                nodes_per_query: 4,
+                node_range: nodes as u32,
+                seed: 0xACED + i as u64,
+                ..LoadConfig::default()
+            },
+        );
+        let report = sgnn_serve::loadgen::run(server.addr(), &overload_cfg(0xD0A + i as u64));
+        println!(
+            "overload {label:>8}: {:>8.0} qps | outcome p50 {:>6} p99 {:>6} us | ok {} shed {} timeouts {}",
+            report.qps,
+            report.p50_reply_us,
+            report.p99_reply_us,
+            report.ok,
+            report.shed,
+            report.timeouts
+        );
+        server.shutdown();
+        overload.push(report);
+    }
+    sgnn_serve::faults::clear();
     let _ = std::fs::remove_dir_all(&dir);
 
     let failed: Vec<usize> = reports
@@ -101,33 +181,85 @@ fn main() {
         0.0
     };
 
-    let entries: Vec<String> = reports
+    let point_json = |r: &LoadReport| {
+        format!(
+            "    {{\"clients\": {}, \"qps\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \
+             \"requests\": {}, \"errors\": {}, \"shed\": {}, \"timeouts\": {}, \
+             \"backpressure\": {}, \"retries\": {}}}",
+            r.clients,
+            r.qps,
+            r.p50_us,
+            r.p99_us,
+            r.ok,
+            r.errors,
+            r.shed,
+            r.timeouts,
+            r.backpressure,
+            r.retries
+        )
+    };
+    let entries: Vec<String> = reports.iter().map(point_json).collect();
+    // Tail latency headline: p99 at the highest clean-sweep point. Gated
+    // lower-is-better by `experiments bench-regress`.
+    let p99_us = reports
         .iter()
-        .map(|r| {
-            format!(
-                "    {{\"clients\": {}, \"qps\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \
-                 \"requests\": {}, \"errors\": {}}}",
-                r.clients, r.qps, r.p50_us, r.p99_us, r.ok, r.errors
-            )
-        })
-        .collect();
+        .find(|r| r.clients == 64)
+        .map_or(0.0, |r| r.p99_us);
+    let p99_ratio = if overload[0].p99_reply_us > 0.0 {
+        overload[1].p99_reply_us / overload[0].p99_reply_us
+    } else {
+        0.0
+    };
+    let overload_json = |r: &LoadReport| {
+        format!(
+            "{{\"qps\": {:.1}, \"p99_us\": {}, \"p99_reply_us\": {}, \"requests\": {}, \
+             \"errors\": {}, \"shed\": {}, \"timeouts\": {}, \"backpressure\": {}, \
+             \"retries\": {}}}",
+            r.qps,
+            r.p99_us,
+            r.p99_reply_us,
+            r.ok,
+            r.errors,
+            r.shed,
+            r.timeouts,
+            r.backpressure,
+            r.retries
+        )
+    };
     let json = format!(
         "{{\n  \"bench\": \"serve_load\",\n  \"dataset\": \"cora-tiny\",\n  \
          \"nodes\": {nodes},\n  \"window_s\": {:.2},\n  \
          \"headline\": \"qps at 64 clients / qps at 1 client\",\n  \
-         \"qps_scaling\": {qps_scaling:.4},\n  \"points\": [\n{}\n  ]\n}}\n",
+         \"qps_scaling\": {qps_scaling:.4},\n  \"p99_us\": {p99_us},\n  \
+         \"points\": [\n{}\n  ],\n  \
+         \"overload\": {{\n    \"clients\": 64,\n    \"deadline_ms\": 25,\n    \
+         \"comment\": \"5ms/batch slow fault caps capacity below offered load; shed vs no-shed\",\n    \
+         \"shed\": {},\n    \"no_shed\": {},\n    \
+         \"p99_outcome_noshed_over_shed\": {p99_ratio:.4}\n  }}\n}}\n",
         window.as_secs_f64(),
         entries.join(",\n"),
+        overload_json(&overload[0]),
+        overload_json(&overload[1]),
     );
     let out_path = std::env::var("SGNN_BENCH_OUT").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json").to_string()
     });
     std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
-    println!("serve_load: qps_scaling {qps_scaling:.2}x; BENCH_serve.json written");
+    println!(
+        "serve_load: qps_scaling {qps_scaling:.2}x | p99 {p99_us} us | \
+         overload time-to-outcome no-shed/shed {p99_ratio:.2}x; BENCH_serve.json written"
+    );
     sgnn_obs::flush();
 
+    // The clean sweep must be clean; the overload sweep must actually
+    // overload (shedding measurably engaged, since that is the behavior
+    // under benchmark — the deadline-free points never shed).
     if !failed.is_empty() {
         eprintln!("serve bench: load points with zero requests or errors at clients={failed:?}");
+        std::process::exit(1);
+    }
+    if overload[0].shed == 0 {
+        eprintln!("serve bench: overload point shed nothing — admission gate not engaged");
         std::process::exit(1);
     }
 }

@@ -10,7 +10,8 @@
 //!                                            gate BENCH_*.json against
 //!                                            results/bench_baseline.json
 //! experiments serve --dir DIR [--train] [--duration-s S] [--faults SPEC]
-//!                   [--max-batch N] [--linger-us U]
+//!                   [--max-batch N] [--linger-us U] [--max-conns N]
+//!                   [--no-shed]
 //!                                            boot the online inference
 //!                                            server from a bundle dir
 //! experiments serve-load <addr> [--clients N] [--duration-s S]
@@ -18,6 +19,12 @@
 //!                   [--deadline-ms D] [--seed S]
 //!                                            closed-loop load against a
 //!                                            running server
+//! experiments serve-chaos [--duration-s S] [--clients N] [--faults SPEC]
+//!                                            self-contained chaos smoke:
+//!                                            storm + hot reloads under an
+//!                                            injected fault plan (also
+//!                                            honors SGNN_SERVE_FAULTS),
+//!                                            robustness counters verified
 //!
 //! targets: table1 table3 table5 table6 table7 table9 table10 table11
 //!          fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10   all
@@ -170,7 +177,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(target) = args.first().cloned() else {
         progress(&format!(
-            "usage: experiments <target> [flags]; targets: {} all trace-summary trace-flame bench-regress serve serve-load",
+            "usage: experiments <target> [flags]; targets: {} all trace-summary trace-flame bench-regress serve serve-load serve-chaos",
             ALL_TARGETS.join(" ")
         ));
         std::process::exit(2);
@@ -195,11 +202,11 @@ fn main() {
         }
         return;
     }
-    if target == "serve" || target == "serve-load" {
-        let run = if target == "serve" {
-            serve_cli::serve_cmd(&args[1..])
-        } else {
-            serve_cli::serve_load(&args[1..])
+    if target == "serve" || target == "serve-load" || target == "serve-chaos" {
+        let run = match target.as_str() {
+            "serve" => serve_cli::serve_cmd(&args[1..]),
+            "serve-load" => serve_cli::serve_load(&args[1..]),
+            _ => serve_cli::serve_chaos(&args[1..]),
         };
         match run {
             Ok(out) => println!("{out}"),

@@ -1,8 +1,9 @@
-//! `experiments serve` / `experiments serve-load`: boot the online
-//! inference server from a bundle directory, and drive closed-loop load
-//! against a running server. Both parse their own flags (like
-//! `trace-summary`) because they share nothing with the table/figure
-//! harness options.
+//! `experiments serve` / `experiments serve-load` / `experiments
+//! serve-chaos`: boot the online inference server from a bundle
+//! directory, drive closed-loop load against a running server, and run
+//! the self-contained network-chaos smoke. All three parse their own
+//! flags (like `trace-summary`) because they share nothing with the
+//! table/figure harness options.
 
 use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
@@ -11,16 +12,16 @@ use std::time::Duration;
 use sgnn_core::make_filter;
 use sgnn_data::{dataset_spec, GenScale};
 use sgnn_serve::bundle::{load_engine, train_and_export, CKPT_FILE, TERMS_FILE};
-use sgnn_serve::{serve, LoadConfig, ServeConfig};
+use sgnn_serve::{faults, serve, Backoff, Client, LoadConfig, Reply, ServeConfig};
 use sgnn_train::TrainConfig;
 
 /// `serve --dir DIR [--train] [--duration-s S] [--faults SPEC]
-/// [--max-batch N] [--linger-us U]`
+/// [--max-batch N] [--linger-us U] [--max-conns N] [--no-shed]`
 ///
 /// Loads the bundle in `DIR` (training a tiny demo bundle first when the
 /// files are absent or `--train` is passed), boots the server on an
-/// ephemeral port, prints the address, and serves for `--duration-s`
-/// (default 10) before a clean shutdown.
+/// ephemeral port with hot reload armed on `DIR`, prints the address,
+/// and serves for `--duration-s` (default 10) before a clean shutdown.
 pub fn serve_cmd(args: &[String]) -> Result<String, String> {
     let mut dir: Option<PathBuf> = None;
     let mut train = false;
@@ -57,6 +58,12 @@ pub fn serve_cmd(args: &[String]) -> Result<String, String> {
                 cfg.linger =
                     Duration::from_micros(raw.parse().map_err(|_| format!("bad linger `{raw}`"))?);
             }
+            "--max-conns" => {
+                i += 1;
+                let raw = args.get(i).ok_or("--max-conns needs a value")?;
+                cfg.max_conns = raw.parse().map_err(|_| format!("bad conns `{raw}`"))?;
+            }
+            "--no-shed" => cfg.shed = false,
             other => return Err(format!("unknown flag {other}")),
         }
         i += 1;
@@ -67,33 +74,25 @@ pub fn serve_cmd(args: &[String]) -> Result<String, String> {
     sgnn_obs::init_from_env();
 
     if train || !bundle_present(&dir) {
-        std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
-        let data = dataset_spec("cora")
-            .ok_or("dataset registry missing cora")?
-            .generate(GenScale::Tiny, 42);
-        let mut tc = TrainConfig::fast_test(42);
-        tc.epochs = 5;
-        tc.patience = 0;
-        tc.hops = 3;
-        tc.hidden = 32;
-        tc.batch_size = 256;
-        let filter = make_filter("Monomial", tc.hops).ok_or("unknown filter Monomial")?;
-        let report = train_and_export(&dir, filter, &data, &tc).map_err(|e| e.to_string())?;
+        let acc = train_demo_bundle(&dir)?;
         println!(
-            "[serve] trained demo bundle into {} (test acc {:.3})",
-            dir.display(),
-            report.test_metric
+            "[serve] trained demo bundle into {} (test acc {acc:.3})",
+            dir.display()
         );
     }
 
     if let Some(spec) = &faults_spec {
-        let plan = sgnn_serve::faults::parse(spec)?;
+        let plan = faults::parse(spec)?;
         println!("[serve] faults armed: {spec}");
-        sgnn_serve::faults::install(plan);
+        faults::install(plan);
     }
 
     let engine = load_engine(&dir).map_err(|e| e.to_string())?;
     let (nodes, classes) = (engine.nodes(), engine.classes());
+    // Serving from a directory enables hot reload from that directory:
+    // `Client::reload()` or `touch reload.request` swaps in whatever
+    // bundle the files now hold.
+    cfg.bundle_dir = Some(dir.clone());
     let server = serve(engine, cfg).map_err(|e| e.to_string())?;
     println!(
         "[serve] listening on {} ({nodes} nodes, {classes} classes) for {:.1}s",
@@ -102,7 +101,7 @@ pub fn serve_cmd(args: &[String]) -> Result<String, String> {
     );
     std::thread::sleep(duration);
     server.shutdown();
-    sgnn_serve::faults::clear();
+    faults::clear();
     sgnn_obs::flush();
     Ok(format!(
         "[serve] shut down after {:.1}s",
@@ -112,6 +111,225 @@ pub fn serve_cmd(args: &[String]) -> Result<String, String> {
 
 fn bundle_present(dir: &Path) -> bool {
     dir.join(CKPT_FILE).is_file() && dir.join(TERMS_FILE).is_file()
+}
+
+/// Trains the tiny cora demo model and exports its serving bundle into
+/// `dir`; returns the test accuracy.
+fn train_demo_bundle(dir: &Path) -> Result<f64, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let data = dataset_spec("cora")
+        .ok_or("dataset registry missing cora")?
+        .generate(GenScale::Tiny, 42);
+    let mut tc = TrainConfig::fast_test(42);
+    tc.epochs = 5;
+    tc.patience = 0;
+    tc.hops = 3;
+    tc.hidden = 32;
+    tc.batch_size = 256;
+    let filter = make_filter("Monomial", tc.hops).ok_or("unknown filter Monomial")?;
+    let report = train_and_export(dir, filter, &data, &tc).map_err(|e| e.to_string())?;
+    Ok(report.test_metric)
+}
+
+/// `serve-chaos [--duration-s S] [--clients N] [--faults SPEC]`
+///
+/// Self-contained chaos smoke, the CI counterpart of the
+/// `serve_chaos.rs` e2e test: trains a demo bundle, arms a fault plan
+/// (from `--faults`, else `SGNN_SERVE_FAULTS`, always backfilled with a
+/// `slow` batch fault and a `panic` so overload shedding and the batcher
+/// watchdog both engage), boots the server with hot reload enabled,
+/// drives a deadline-bearing storm while an admin connection performs two
+/// hot reloads mid-run, and then verifies the robustness counters and the
+/// request conservation law before flushing the trace — so a CI step can
+/// follow up with `trace-summary --require-counter
+/// serve.shed,serve.reloads,serve.batcher_restarts`.
+pub fn serve_chaos(args: &[String]) -> Result<String, String> {
+    let mut storm = Duration::from_secs(2);
+    let mut clients = 32usize;
+    let mut faults_spec: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--duration-s" => {
+                i += 1;
+                let raw = args.get(i).ok_or("--duration-s needs a value")?;
+                storm = Duration::from_secs_f64(
+                    raw.parse().map_err(|_| format!("bad duration `{raw}`"))?,
+                );
+            }
+            "--clients" => {
+                i += 1;
+                let raw = args.get(i).ok_or("--clients needs a value")?;
+                clients = raw.parse().map_err(|_| format!("bad clients `{raw}`"))?;
+            }
+            "--faults" => {
+                i += 1;
+                faults_spec = Some(args.get(i).ok_or("--faults needs a value")?.clone());
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    sgnn_obs::init_from_env();
+    sgnn_obs::enable_aggregation();
+
+    let dir = std::env::temp_dir().join(format!("sgnn-serve-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let acc = train_demo_bundle(&dir)?;
+    println!(
+        "[serve-chaos] demo bundle in {} (test acc {acc:.3})",
+        dir.display()
+    );
+
+    // Fault plan: caller's spec (flag wins over env), backfilled so the
+    // smoke always exercises what it asserts — a `slow` fault to cap
+    // capacity below the storm's offered load (else nothing sheds) and a
+    // `panic` to trip the batcher watchdog (else no restart to count).
+    let mut spec = faults_spec
+        .or_else(|| std::env::var("SGNN_SERVE_FAULTS").ok())
+        .unwrap_or_default();
+    if !spec.contains("slow") {
+        if !spec.is_empty() {
+            spec.push_str("; ");
+        }
+        spec.push_str("slow dur=0.004");
+    }
+    if !spec.contains("panic") {
+        spec.push_str("; panic batch=100");
+    }
+    let plan = faults::parse(&spec)?;
+    println!("[serve-chaos] faults armed: {spec}");
+    faults::install(plan);
+
+    let engine = load_engine(&dir).map_err(|e| e.to_string())?;
+    let nodes = engine.nodes() as u32;
+    let server = serve(
+        engine,
+        ServeConfig {
+            bundle_dir: Some(dir.clone()),
+            max_batch_rows: 8,
+            linger: Duration::from_millis(2),
+            ..ServeConfig::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    let addr = server.addr();
+    println!("[serve-chaos] listening on {addr}");
+
+    // Warm the admission estimator with deadline-free load so the storm
+    // starts past the shedding warmup floor.
+    sgnn_serve::loadgen::run(
+        addr,
+        &LoadConfig {
+            clients: 4,
+            duration: Duration::from_millis(300),
+            nodes_per_query: 4,
+            node_range: nodes,
+            seed: 0xACE,
+            ..LoadConfig::default()
+        },
+    );
+
+    // Two hot reloads from an admin connection while the storm runs. The
+    // bundle bytes are unchanged, but the swap machinery (generation
+    // bump, cache invalidation, in-flight isolation) is fully exercised.
+    let reloader = std::thread::spawn(move || -> Result<u32, String> {
+        let mut acked = 0u32;
+        let mut backoff = Backoff::for_seed(0xC4A05);
+        for _attempt in 0..20 {
+            if acked >= 2 {
+                break;
+            }
+            std::thread::sleep(storm / 5);
+            let Ok(mut admin) = Client::connect_retry(addr, 8, &mut backoff) else {
+                return Err("reloader could not connect".into());
+            };
+            match admin.reload() {
+                Ok(Reply::Reloaded { .. }) => acked += 1,
+                Ok(other) => return Err(format!("reload answered {other:?}")),
+                // Transport chaos (disconnect/torn-write may hit the
+                // admin conn too) — reconnect and try again.
+                Err(_) => {}
+            }
+        }
+        Ok(acked)
+    });
+
+    let report = sgnn_serve::loadgen::run(
+        addr,
+        &LoadConfig {
+            clients,
+            duration: storm,
+            nodes_per_query: 4,
+            node_range: nodes,
+            deadline_ms: 20,
+            seed: 0x57012,
+            max_attempts: 3,
+        },
+    );
+    let acked = reloader.join().map_err(|_| "reloader panicked")??;
+
+    // Post-storm probe on a clean line: the same server, faults
+    // disarmed, must still serve.
+    faults::clear();
+    let mut probe = Client::connect(addr).map_err(|e| format!("post-storm connect: {e:?}"))?;
+    match probe.query(&[0]) {
+        Ok(Reply::Logits(_)) => {}
+        other => return Err(format!("post-storm probe: {other:?}")),
+    }
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let snap = sgnn_obs::snapshot();
+    let c = |name: &str| snap.counter(name).unwrap_or(0);
+    println!(
+        "[serve-chaos] storm: {:.0} qps | ok {} errors {} shed {} timeouts {} reconnects {}",
+        report.qps, report.ok, report.errors, report.shed, report.timeouts, report.reconnects
+    );
+    println!(
+        "[serve-chaos] counters: requests {} batches {} coalesced {} shed {} rejected {} \
+         reloads {} restarts {} faults {}",
+        c("serve.requests"),
+        c("serve.batches"),
+        c("serve.batch.coalesced"),
+        c("serve.shed"),
+        c("serve.rejected"),
+        c("serve.reloads"),
+        c("serve.batcher_restarts"),
+        c("serve.faults.injected"),
+    );
+    if report.ok == 0 {
+        return Err("storm produced zero successful replies".into());
+    }
+    if c("serve.shed") == 0 {
+        return Err("nothing shed — overload control never engaged".into());
+    }
+    if acked < 2 || c("serve.reloads") < 2 {
+        return Err(format!(
+            "expected 2 acked hot reloads, got {acked} acked / {} counted",
+            c("serve.reloads")
+        ));
+    }
+    if c("serve.batcher_restarts") == 0 {
+        return Err("batcher never restarted — panic fault did not trip the watchdog".into());
+    }
+    let (lhs, rhs) = (
+        c("serve.requests"),
+        c("serve.batches") + c("serve.batch.coalesced") + c("serve.shed") + c("serve.rejected"),
+    );
+    if lhs != rhs {
+        return Err(format!(
+            "conservation law violated: requests {lhs} != batches+coalesced+shed+rejected {rhs}"
+        ));
+    }
+    sgnn_obs::flush();
+    Ok(format!(
+        "[serve-chaos] survived: {} requests conserved, {} shed, {} reloads, {} batcher restart(s)",
+        lhs,
+        c("serve.shed"),
+        c("serve.reloads"),
+        c("serve.batcher_restarts")
+    ))
 }
 
 /// `serve-load <addr> [--clients N] [--duration-s S] [--nodes-per-query K]

@@ -170,6 +170,30 @@ impl ServeEngine {
         self.meta.num_classes
     }
 
+    /// Serving self-test: run one real forward pass (node 0) and verify
+    /// the output shape and that every logit is finite. The hot-reload
+    /// path calls this on a freshly loaded engine *before* swapping it in,
+    /// so a bundle that decodes cleanly but computes garbage (or panics in
+    /// the transform) is rolled back instead of served. The pass also
+    /// warms the tape/scratch allocations, so the first post-swap query
+    /// pays no cold-start.
+    pub fn self_test(&mut self) -> Result<(), ServeError> {
+        let out = self.logits(&[0]);
+        if out.shape() != (1, self.meta.num_classes) {
+            return Err(ServeError::Incompatible(format!(
+                "self-test produced {:?}, expected (1, {})",
+                out.shape(),
+                self.meta.num_classes
+            )));
+        }
+        if let Some(v) = out.row(0).iter().find(|v| !v.is_finite()) {
+            return Err(ServeError::Incompatible(format!(
+                "self-test produced non-finite logit {v}"
+            )));
+        }
+        Ok(())
+    }
+
     /// Computes logits for the given node ids (one output row per id, in
     /// order; ids may repeat). Bit-identical for a given id regardless of
     /// what else is in the batch.

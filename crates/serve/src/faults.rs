@@ -1,14 +1,30 @@
 //! Deterministic fault injection for the request path — the serving
 //! counterpart of `sgnn_bench::faults` (PR 3), same `;`-separated
-//! `kind key=value` grammar, applied per *batch* instead of per grid cell.
+//! `kind key=value` grammar. Batch-level clauses key on the batcher's
+//! batch sequence number; socket-level clauses key on the connection's
+//! accept index (0-based, per server instance).
 //!
 //! ```text
-//! slow [batch=K] [dur=S]   sleep S seconds (default 0.005) before batch K
-//!                          (every batch when K is omitted) computes —
-//!                          drives deadline-timeout and coalescing tests
-//! fail [batch=K]           the handler for batch K (every batch when K is
-//!                          omitted) fails; all requests in it get a typed
-//!                          `Internal` error reply, the server stays up
+//! slow [batch=K] [dur=S]    sleep S seconds (default 0.005) before batch K
+//!                           (every batch when K is omitted) computes —
+//!                           drives deadline-timeout and coalescing tests
+//! fail [batch=K]            the handler for batch K (every batch when K is
+//!                           omitted) fails; all requests in it get a typed
+//!                           `Internal` error reply, the server stays up
+//! panic [batch=K]           the batcher thread panics on batch K — the
+//!                           watchdog must fail the in-flight requests with
+//!                           `Internal` and restart the batcher
+//! stall [conn=K] [dur=S]    the reader for connection K dribbles: sleep S
+//!                           seconds (default 0.05) before every read —
+//!                           drives the partial-frame deadline (slowloris)
+//! disconnect [conn=K]       connection K is dropped right after accept —
+//!                           clients must survive an abrupt hangup
+//! torn-write [conn=K]       every reply on connection K is cut mid-frame
+//!                           and the socket closed — clients see a torn
+//!                           frame, never garbage parsed as a reply
+//! corrupt-frame [conn=K]    every reply frame on connection K has one bit
+//!                           flipped in its body — clients must detect the
+//!                           CRC mismatch and treat the reply as lost
 //! ```
 //!
 //! Faults install process-globally ([`install`]/[`clear`]), or from the
@@ -32,6 +48,23 @@ pub enum ServeFault {
     Fail {
         batch: Option<u64>,
     },
+    Panic {
+        batch: Option<u64>,
+    },
+    Stall {
+        /// Accept-order connection index to hit; `None` = every connection.
+        conn: Option<u64>,
+        dur: Duration,
+    },
+    Disconnect {
+        conn: Option<u64>,
+    },
+    TornWrite {
+        conn: Option<u64>,
+    },
+    CorruptFrame {
+        conn: Option<u64>,
+    },
 }
 
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -52,6 +85,7 @@ pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut parts = clause.split_whitespace();
         let kind = parts.next().expect("clause is non-empty");
         let mut batch = None;
+        let mut conn = None;
         let mut dur = None;
         for kv in parts {
             let (key, value) = kv
@@ -63,6 +97,13 @@ pub fn parse(spec: &str) -> Result<FaultPlan, String> {
                         value
                             .parse::<u64>()
                             .map_err(|_| format!("bad batch `{value}`"))?,
+                    )
+                }
+                "conn" => {
+                    conn = Some(
+                        value
+                            .parse::<u64>()
+                            .map_err(|_| format!("bad conn `{value}`"))?,
                     )
                 }
                 "dur" => {
@@ -77,16 +118,66 @@ pub fn parse(spec: &str) -> Result<FaultPlan, String> {
                 other => return Err(format!("unknown key `{other}` in `{clause}`")),
             }
         }
+        let no_conn = |kind: &str| {
+            if conn.is_some() {
+                Err(format!("`{kind}` keys on batch, not conn"))
+            } else {
+                Ok(())
+            }
+        };
+        let no_batch = |kind: &str| {
+            if batch.is_some() {
+                Err(format!("`{kind}` keys on conn, not batch"))
+            } else {
+                Ok(())
+            }
+        };
+        let no_dur = |kind: &str| {
+            if dur.is_some() {
+                Err(format!("`{kind}` takes no dur"))
+            } else {
+                Ok(())
+            }
+        };
         match kind {
-            "slow" => faults.push(ServeFault::Slow {
-                batch,
-                dur: dur.unwrap_or(Duration::from_millis(5)),
-            }),
+            "slow" => {
+                no_conn(kind)?;
+                faults.push(ServeFault::Slow {
+                    batch,
+                    dur: dur.unwrap_or(Duration::from_millis(5)),
+                });
+            }
             "fail" => {
-                if dur.is_some() {
-                    return Err("`fail` takes no dur".into());
-                }
+                no_conn(kind)?;
+                no_dur(kind)?;
                 faults.push(ServeFault::Fail { batch });
+            }
+            "panic" => {
+                no_conn(kind)?;
+                no_dur(kind)?;
+                faults.push(ServeFault::Panic { batch });
+            }
+            "stall" => {
+                no_batch(kind)?;
+                faults.push(ServeFault::Stall {
+                    conn,
+                    dur: dur.unwrap_or(Duration::from_millis(50)),
+                });
+            }
+            "disconnect" => {
+                no_batch(kind)?;
+                no_dur(kind)?;
+                faults.push(ServeFault::Disconnect { conn });
+            }
+            "torn-write" => {
+                no_batch(kind)?;
+                no_dur(kind)?;
+                faults.push(ServeFault::TornWrite { conn });
+            }
+            "corrupt-frame" => {
+                no_batch(kind)?;
+                no_dur(kind)?;
+                faults.push(ServeFault::CorruptFrame { conn });
             }
             other => return Err(format!("unknown fault kind `{other}`")),
         }
@@ -118,23 +209,99 @@ pub fn install_from_env() {
 pub enum Injected {
     /// Reply `Internal` to every request in the batch.
     Fail,
+    /// Panic the batcher thread (the watchdog's test vector).
+    Panic,
+}
+
+/// What the reply writer must do about an armed socket fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteFault {
+    /// Write only the first half of the frame, then close the socket.
+    Torn,
+    /// Flip one bit in the frame body before writing it.
+    Corrupt,
+}
+
+fn matches(key: &Option<u64>, id: u64) -> bool {
+    key.is_none() || *key == Some(id)
 }
 
 /// Hook called once per batch with its sequence number. `slow` faults sleep
 /// here (inline, so queueing backs up exactly as a slow model would);
-/// `fail` faults return [`Injected::Fail`].
+/// `fail`/`panic` faults return the corresponding [`Injected`] (`panic`
+/// wins when both match — it is the stronger failure).
 pub fn on_batch(seq: u64) -> Option<Injected> {
     let plan = PLAN.lock().unwrap().clone()?;
     let mut out = None;
     for fault in &plan.faults {
         match fault {
-            ServeFault::Slow { batch, dur } if batch.is_none() || *batch == Some(seq) => {
+            ServeFault::Slow { batch, dur } if matches(batch, seq) => {
                 INJECTED.incr();
                 std::thread::sleep(*dur);
             }
-            ServeFault::Fail { batch } if batch.is_none() || *batch == Some(seq) => {
+            ServeFault::Fail { batch } if matches(batch, seq) => {
                 INJECTED.incr();
-                out = Some(Injected::Fail);
+                if out.is_none() {
+                    out = Some(Injected::Fail);
+                }
+            }
+            ServeFault::Panic { batch } if matches(batch, seq) => {
+                INJECTED.incr();
+                out = Some(Injected::Panic);
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Hook called once per accepted connection (accept-order index). `true`
+/// means the connection must be dropped immediately.
+pub fn on_accept(conn: u64) -> bool {
+    let Some(plan) = PLAN.lock().unwrap().clone() else {
+        return false;
+    };
+    for fault in &plan.faults {
+        if let ServeFault::Disconnect { conn: key } = fault {
+            if matches(key, conn) {
+                INJECTED.incr();
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Hook called before every blocking read on a connection; a `stall`
+/// fault returns the injected delay (the reader sleeps, simulating a peer
+/// that dribbles bytes).
+pub fn on_conn_read(conn: u64) -> Option<Duration> {
+    let plan = PLAN.lock().unwrap().clone()?;
+    for fault in &plan.faults {
+        if let ServeFault::Stall { conn: key, dur } = fault {
+            if matches(key, conn) {
+                INJECTED.incr();
+                return Some(*dur);
+            }
+        }
+    }
+    None
+}
+
+/// Hook called before every reply write on a connection. `Torn` wins over
+/// `Corrupt` when both match (the connection dies either way).
+pub fn on_write(conn: u64) -> Option<WriteFault> {
+    let plan = PLAN.lock().unwrap().clone()?;
+    let mut out = None;
+    for fault in &plan.faults {
+        match fault {
+            ServeFault::TornWrite { conn: key } if matches(key, conn) => {
+                INJECTED.incr();
+                return Some(WriteFault::Torn);
+            }
+            ServeFault::CorruptFrame { conn: key } if matches(key, conn) => {
+                INJECTED.incr();
+                out = Some(WriteFault::Corrupt);
             }
             _ => {}
         }
@@ -167,6 +334,26 @@ mod tests {
     }
 
     #[test]
+    fn parses_chaos_grammar() {
+        let plan =
+            parse("stall conn=2 dur=0.1; disconnect conn=5; torn-write conn=7; corrupt-frame conn=1; panic batch=4")
+                .unwrap();
+        assert_eq!(
+            plan.faults,
+            vec![
+                ServeFault::Stall {
+                    conn: Some(2),
+                    dur: Duration::from_millis(100)
+                },
+                ServeFault::Disconnect { conn: Some(5) },
+                ServeFault::TornWrite { conn: Some(7) },
+                ServeFault::CorruptFrame { conn: Some(1) },
+                ServeFault::Panic { batch: Some(4) },
+            ]
+        );
+    }
+
+    #[test]
     fn rejects_malformed_specs() {
         assert!(parse("explode").is_err());
         assert!(parse("slow batch").is_err());
@@ -174,5 +361,35 @@ mod tests {
         assert!(parse("slow dur=nan").is_err());
         assert!(parse("fail dur=0.1").is_err());
         assert!(parse("slow what=3").is_err());
+        // Wrong key domain: batch faults take batch, socket faults conn.
+        assert!(parse("slow conn=1").is_err());
+        assert!(parse("disconnect batch=1").is_err());
+        assert!(parse("torn-write dur=0.1").is_err());
+        assert!(parse("panic conn=2").is_err());
+    }
+
+    #[test]
+    fn socket_hooks_match_on_conn_index() {
+        install(
+            parse("disconnect conn=3; torn-write conn=4; corrupt-frame conn=5; stall conn=6 dur=0")
+                .unwrap(),
+        );
+        assert!(!on_accept(0));
+        assert!(on_accept(3));
+        assert_eq!(on_write(4), Some(WriteFault::Torn));
+        assert_eq!(on_write(5), Some(WriteFault::Corrupt));
+        assert_eq!(on_write(0), None);
+        assert_eq!(on_conn_read(6), Some(Duration::ZERO));
+        assert_eq!(on_conn_read(1), None);
+        clear();
+        assert!(!on_accept(3));
+    }
+
+    #[test]
+    fn panic_wins_over_fail_on_the_same_batch() {
+        install(parse("fail batch=2; panic batch=2").unwrap());
+        assert_eq!(on_batch(2), Some(Injected::Panic));
+        assert_eq!(on_batch(1), None);
+        clear();
     }
 }

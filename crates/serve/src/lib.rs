@@ -17,15 +17,25 @@
 //! * [`wire`] — the length-prefixed, CRC-trailed binary protocol.
 //! * [`server`] — accept loop, bounded batching queue with linger-based
 //!   coalescing, LRU logit cache, and the typed degradation ladder
-//!   (backpressure / timeout / bad-frame replies — never a crash).
-//! * [`client`] / [`loadgen`] — a blocking client and the multi-client
-//!   load generator behind `BENCH_serve.json`.
-//! * [`faults`] — `slow`/`fail` injection for the request path, the
-//!   serving counterpart of `sgnn_bench::faults`.
+//!   (backpressure / timeout / bad-frame replies — never a crash), plus
+//!   the self-healing machinery: batcher watchdog, hot bundle reload,
+//!   idle-connection reaper.
+//! * [`admission`] — deadline-aware load shedding at enqueue and the
+//!   adaptive batch-size policy.
+//! * [`conn`] — per-connection state: shared write half, in-flight cap,
+//!   exactly-once reply tickets, idle tracking.
+//! * [`client`] / [`loadgen`] — a blocking client with seeded-jitter
+//!   retry/backoff and the multi-client load generator behind
+//!   `BENCH_serve.json`.
+//! * [`faults`] — `slow`/`fail`/`panic` batch faults plus socket-layer
+//!   network chaos (`stall`/`disconnect`/`torn-write`/`corrupt-frame`),
+//!   the serving counterpart of `sgnn_bench::faults`.
 
+pub mod admission;
 pub mod artifact;
 pub mod bundle;
 pub mod client;
+pub mod conn;
 pub mod engine;
 pub mod faults;
 pub mod loadgen;
@@ -33,9 +43,10 @@ pub mod lru;
 pub mod server;
 pub mod wire;
 
+pub use admission::Admission;
 pub use artifact::{ServeMeta, TermsArtifact, TermsError};
 pub use bundle::{export, load_engine, offline_logits, train_and_export};
-pub use client::{Client, ClientError, Reply};
+pub use client::{Backoff, Client, ClientError, Reply};
 pub use engine::{ServeEngine, ServeError};
 pub use loadgen::{LoadConfig, LoadReport};
 pub use server::{serve, ServeConfig, ServerHandle};

@@ -2,12 +2,21 @@
 //! one server, exact latency percentiles from the pooled samples.
 //!
 //! Used by the `serve` bench (`BENCH_serve.json` at 1/4/16/64 clients), the
-//! `experiments serve-load` subcommand, and the CI smoke step.
+//! `experiments serve-load` subcommand, and the CI smoke/chaos steps.
+//!
+//! Robust by construction (ISSUE 9): clients connect with bounded jittered
+//! retry, reconnect after a transport failure (a chaos `disconnect` or
+//! `torn-write` must not end the run), retry `Backpressure`/`Overloaded`
+//! replies with the server's `retry_after_ms` hint as the backoff floor,
+//! and report a per-code error breakdown (`shed`/`timeouts`/
+//! `backpressure`) plus retry/reconnect counts — the observability the
+//! 16→64-client regression in `BENCH_serve.json` was missing.
 
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
-use crate::client::{Client, Reply};
+use crate::client::{Backoff, Client, Reply};
+use crate::wire::ErrorCode;
 
 #[derive(Clone, Debug)]
 pub struct LoadConfig {
@@ -23,6 +32,9 @@ pub struct LoadConfig {
     pub deadline_ms: u32,
     /// Base seed; client `i` streams from `seed + i`.
     pub seed: u64,
+    /// Per-query attempts on retryable errors (`Backpressure`/
+    /// `Overloaded`); 1 = no retries.
+    pub max_attempts: u32,
 }
 
 impl Default for LoadConfig {
@@ -34,6 +46,7 @@ impl Default for LoadConfig {
             node_range: 1,
             deadline_ms: 0,
             seed: 1,
+            max_attempts: 3,
         }
     }
 }
@@ -44,14 +57,51 @@ pub struct LoadReport {
     pub clients: usize,
     /// Successful logit replies.
     pub ok: u64,
-    /// Typed error replies (backpressure, timeout, ...).
+    /// Queries whose final outcome was an error (typed reply after
+    /// retries were exhausted, or a transport failure).
     pub errors: u64,
+    /// Typed replies by code, counting every occurrence (including ones
+    /// that were then retried): admission/overload sheds, …
+    pub shed: u64,
+    /// …deadline expiries, …
+    pub timeouts: u64,
+    /// …and queue-full rejections.
+    pub backpressure: u64,
+    /// Retry attempts taken after retryable errors.
+    pub retries: u64,
+    /// Reconnects after a transport failure mid-run.
+    pub reconnects: u64,
     pub elapsed_s: f64,
     /// Successful replies per second.
     pub qps: f64,
     /// Exact percentiles over successful-request latencies, microseconds.
     pub p50_us: f64,
     pub p99_us: f64,
+    /// **Time-to-outcome** percentiles, microseconds: turnaround over
+    /// *every* typed reply, successes and errors alike. Under overload
+    /// these are the metrics shedding improves — a shed client learns its
+    /// fate in microseconds at the reader, while an admitted-then-expired
+    /// request discovers it only at dequeue, a full queue-drain later.
+    pub p50_reply_us: f64,
+    pub p99_reply_us: f64,
+}
+
+/// Per-worker tallies pooled into the [`LoadReport`].
+#[derive(Default)]
+struct WorkerStats {
+    lat_ns: Vec<u64>,
+    /// Turnaround of *every* typed reply (successes and errors alike) —
+    /// the time until the client knew the outcome.
+    reply_ns: Vec<u64>,
+    ok: u64,
+    errors: u64,
+    shed: u64,
+    timeouts: u64,
+    backpressure: u64,
+    retries: u64,
+    reconnects: u64,
+    /// Set when the worker could not (re)connect at all.
+    poisoned: bool,
 }
 
 /// Deterministic per-thread id stream (splitmix-style LCG) — no shared RNG,
@@ -71,6 +121,99 @@ impl IdStream {
     }
 }
 
+/// How many times a worker will try to (re)establish its connection.
+const CONNECT_ATTEMPTS: u32 = 8;
+
+fn worker(addr: SocketAddr, cfg: &LoadConfig, index: usize, stop_at: Instant) -> WorkerStats {
+    let mut stats = WorkerStats::default();
+    let mut backoff = Backoff::for_seed(cfg.seed.wrapping_add(index as u64).wrapping_add(0xB0FF));
+    let Ok(mut client) = Client::connect_retry(addr, CONNECT_ATTEMPTS, &mut backoff) else {
+        stats.poisoned = true;
+        return stats;
+    };
+    let mut ids = IdStream {
+        state: cfg
+            .seed
+            .wrapping_add(index as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        range: cfg.node_range,
+    };
+    let mut nodes = vec![0u32; cfg.nodes_per_query];
+    while Instant::now() < stop_at {
+        for slot in nodes.iter_mut() {
+            *slot = ids.next();
+        }
+        // Per-query retry loop so every typed reply — including retried
+        // ones — lands in the breakdown. Latency is clocked per *attempt*
+        // (backoff sleeps excluded): the percentiles measure the tail the
+        // server produces, not the client's retry policy.
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let t0 = Instant::now();
+            match client.query_deadline(&nodes, cfg.deadline_ms) {
+                Ok(Reply::Logits(_)) => {
+                    stats.ok += 1;
+                    let ns = t0.elapsed().as_nanos() as u64;
+                    stats.lat_ns.push(ns);
+                    stats.reply_ns.push(ns);
+                    backoff.reset();
+                    break;
+                }
+                Ok(Reply::Error {
+                    code,
+                    retry_after_ms,
+                    ..
+                }) => {
+                    stats.reply_ns.push(t0.elapsed().as_nanos() as u64);
+                    match code {
+                        ErrorCode::Overloaded => stats.shed += 1,
+                        ErrorCode::Timeout => stats.timeouts += 1,
+                        ErrorCode::Backpressure => stats.backpressure += 1,
+                        _ => {}
+                    }
+                    let retryable = matches!(code, ErrorCode::Backpressure | ErrorCode::Overloaded);
+                    if retryable && attempt < cfg.max_attempts.max(1) {
+                        stats.retries += 1;
+                        std::thread::sleep(backoff.next_delay_hinted(retry_after_ms));
+                        continue;
+                    }
+                    stats.errors += 1;
+                    backoff.reset();
+                    break;
+                }
+                Ok(Reply::Reloaded { .. }) => {
+                    // A server never answers a query with Reloaded; treat
+                    // as a failed query if it somehow happens.
+                    stats.errors += 1;
+                    break;
+                }
+                Err(_) => {
+                    // Transport gone (chaos disconnect/torn-write, reap,
+                    // or a real crash): reconnect and move on to the next
+                    // query — the in-flight one is unaccounted, which is
+                    // exactly what the server-side conservation law is
+                    // for.
+                    stats.errors += 1;
+                    match Client::connect_retry(addr, CONNECT_ATTEMPTS, &mut backoff) {
+                        Ok(c) => {
+                            stats.reconnects += 1;
+                            client = c;
+                            backoff.reset();
+                            break;
+                        }
+                        Err(_) => {
+                            stats.poisoned = true;
+                            return stats;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    stats
+}
+
 /// Runs the load and pools every client's samples.
 ///
 /// Closed-loop: each client issues its next query as soon as the previous
@@ -82,70 +225,52 @@ pub fn run(addr: SocketAddr, cfg: &LoadConfig) -> LoadReport {
     let mut handles = Vec::with_capacity(cfg.clients);
     for i in 0..cfg.clients {
         let cfg = cfg.clone();
-        handles.push(std::thread::spawn(move || {
-            let mut lat_ns: Vec<u64> = Vec::new();
-            let mut ok = 0u64;
-            let mut errors = 0u64;
-            let Ok(mut client) = Client::connect_timeout(addr, Duration::from_secs(5)) else {
-                return (lat_ns, ok, u64::MAX); // connection failure poisons the run
-            };
-            let mut ids = IdStream {
-                state: cfg
-                    .seed
-                    .wrapping_add(i as u64)
-                    .wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                range: cfg.node_range,
-            };
-            let mut nodes = vec![0u32; cfg.nodes_per_query];
-            while Instant::now() < stop_at {
-                for slot in nodes.iter_mut() {
-                    *slot = ids.next();
-                }
-                let t0 = Instant::now();
-                match client.query_deadline(&nodes, cfg.deadline_ms) {
-                    Ok(Reply::Logits(_)) => {
-                        ok += 1;
-                        lat_ns.push(t0.elapsed().as_nanos() as u64);
-                    }
-                    Ok(Reply::Error { .. }) => errors += 1,
-                    Err(_) => {
-                        errors += 1;
-                        break; // transport gone; this client is done
-                    }
-                }
-            }
-            (lat_ns, ok, errors)
-        }));
+        handles.push(std::thread::spawn(move || worker(addr, &cfg, i, stop_at)));
     }
     let mut all_lat: Vec<u64> = Vec::new();
-    let mut ok = 0u64;
-    let mut errors = 0u64;
+    let mut all_reply: Vec<u64> = Vec::new();
+    let mut report = LoadReport {
+        clients: cfg.clients,
+        ..Default::default()
+    };
     for h in handles {
-        let (lat, o, e) = h.join().expect("load client panicked");
-        all_lat.extend(lat);
-        ok += o;
-        errors = errors.saturating_add(e);
+        let s = h.join().expect("load client panicked");
+        all_lat.extend(s.lat_ns);
+        all_reply.extend(s.reply_ns);
+        report.ok += s.ok;
+        report.shed += s.shed;
+        report.timeouts += s.timeouts;
+        report.backpressure += s.backpressure;
+        report.retries += s.retries;
+        report.reconnects += s.reconnects;
+        report.errors = if s.poisoned {
+            // A client that could never (re)connect poisons the run: the
+            // bench treats u64::MAX errors as "do not trust this point".
+            u64::MAX
+        } else {
+            report.errors.saturating_add(s.errors)
+        };
     }
     let elapsed_s = started.elapsed().as_secs_f64();
     all_lat.sort_unstable();
-    let pct = |q: f64| -> f64 {
-        if all_lat.is_empty() {
+    all_reply.sort_unstable();
+    let pct_of = |samples: &[u64], q: f64| -> f64 {
+        if samples.is_empty() {
             return 0.0;
         }
-        let idx = ((all_lat.len() as f64 * q) as usize).min(all_lat.len() - 1);
-        all_lat[idx] as f64 / 1_000.0
+        let idx = ((samples.len() as f64 * q) as usize).min(samples.len() - 1);
+        samples[idx] as f64 / 1_000.0
     };
-    LoadReport {
-        clients: cfg.clients,
-        ok,
-        errors,
-        elapsed_s,
-        qps: if elapsed_s > 0.0 {
-            ok as f64 / elapsed_s
-        } else {
-            0.0
-        },
-        p50_us: pct(0.50),
-        p99_us: pct(0.99),
-    }
+    let pct = |q: f64| pct_of(&all_lat, q);
+    report.elapsed_s = elapsed_s;
+    report.qps = if elapsed_s > 0.0 {
+        report.ok as f64 / elapsed_s
+    } else {
+        0.0
+    };
+    report.p50_us = pct(0.50);
+    report.p99_us = pct(0.99);
+    report.p50_reply_us = pct_of(&all_reply, 0.50);
+    report.p99_reply_us = pct_of(&all_reply, 0.99);
+    report
 }

@@ -5,6 +5,12 @@
 //! one whose tick still matches the live entry — amortized O(1) per
 //! operation with no linked-list juggling. Values are `Arc<[f32]>` so a
 //! cached logit row is shared, never copied, into response assembly.
+//!
+//! Every entry belongs to a **bundle generation**: a hot reload calls
+//! [`LruCache::invalidate`] with the new generation tag, which drops every
+//! row cached under the old bundle in one sweep. Serving a pre-reload
+//! logit row after the model weights changed would be silent staleness —
+//! the generation tag makes it structurally impossible.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -12,6 +18,8 @@ use std::sync::Arc;
 pub struct LruCache {
     cap: usize,
     tick: u64,
+    /// Bundle generation the current contents were computed under.
+    generation: u64,
     map: HashMap<u32, (u64, Arc<[f32]>)>,
     queue: VecDeque<(u64, u32)>,
 }
@@ -22,9 +30,35 @@ impl LruCache {
         Self {
             cap,
             tick: 0,
+            generation: 0,
             map: HashMap::new(),
             queue: VecDeque::new(),
         }
+    }
+
+    /// Generation tag of the bundle the cached rows were computed under.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Drops every cached row and re-tags the cache with the new bundle
+    /// generation. Returns the number of rows invalidated. A no-op (0)
+    /// when the generation is unchanged — reloading the same generation
+    /// twice must not flush a warm cache.
+    pub fn invalidate(&mut self, generation: u64) -> usize {
+        if generation == self.generation {
+            return 0;
+        }
+        assert!(
+            generation > self.generation,
+            "bundle generation must be monotonic: {} -> {generation}",
+            self.generation
+        );
+        self.generation = generation;
+        let dropped = self.map.len();
+        self.map.clear();
+        self.queue.clear();
+        dropped
     }
 
     pub fn len(&self) -> usize {
@@ -101,6 +135,22 @@ mod tests {
         c.put(1, row(1.0));
         assert!(c.get(1).is_none());
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn invalidate_drops_everything_and_retags() {
+        let mut c = LruCache::new(4);
+        c.put(1, row(1.0));
+        c.put(2, row(2.0));
+        assert_eq!(c.generation(), 0);
+        assert_eq!(c.invalidate(1), 2);
+        assert_eq!(c.generation(), 1);
+        assert!(c.is_empty());
+        assert!(c.get(1).is_none() && c.get(2).is_none());
+        // Same-generation invalidation is a no-op, not a flush.
+        c.put(3, row(3.0));
+        assert_eq!(c.invalidate(1), 0);
+        assert!(c.get(3).is_some());
     }
 
     #[test]

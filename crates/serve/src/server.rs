@@ -1,63 +1,108 @@
-//! The TCP serving loop: accept → decode → batching queue → one dense
-//! transform per coalesced batch → per-request replies.
+//! The TCP serving loop: accept → decode → admission → batching queue →
+//! one dense transform per coalesced batch → per-request replies.
 //!
 //! Threading model: connection I/O lives on plain OS threads (blocking
 //! socket reads poll a shutdown flag via a read timeout), while all dense
 //! math inside a batch — the gathers and GEMMs of the forward pass — runs
 //! on the shared `sgnn_dense::runtime` worker pool, exactly like training.
-//! One *batcher* thread owns the [`ServeEngine`] and the LRU cache; it
-//! drains the bounded request queue, lingering up to
+//! One *batcher* thread drains the bounded request queue, lingering up to
 //! [`ServeConfig::linger`] to coalesce concurrent queries into one
-//! transform of at most [`ServeConfig::max_batch_rows`] rows.
+//! transform; the batch-row cap adapts to queue depth
+//! ([`Admission::batch_rows`]). A *supervisor* wraps the batcher: if it
+//! panics, the supervisor fails every dequeued in-flight request with
+//! `Internal` (exactly-once via [`Ticket`]) and restarts the batcher —
+//! counted in `serve.batcher_restarts`. An idle-connection *reaper*
+//! closes sockets that have been silent past
+//! [`ServeConfig::idle_timeout`].
 //!
 //! Degradation ladder (never a crash, never a hang):
 //!
-//! 1. malformed frame → `BadFrame` reply, connection closed (framing lost);
+//! 1. malformed / stalled frame → `BadFrame` reply, connection closed
+//!    (framing lost; a stalled partial frame is the slowloris case);
 //! 2. oversized / out-of-range query → typed reply, connection stays;
-//! 3. full queue → immediate `Backpressure` reply;
-//! 4. expired deadline → `Timeout` reply (checked at dequeue *and* again
+//! 3. connection or in-flight cap hit → `Overloaded` reply with a
+//!    `retry_after_ms` hint;
+//! 4. predicted-hopeless deadline → shed at enqueue with `Overloaded`
+//!    (see [`crate::admission`]);
+//! 5. full queue → immediate `Backpressure` reply;
+//! 6. expired deadline → `Timeout` reply (checked at dequeue *and* again
 //!    after the transform);
-//! 5. injected/internal batch failure → `Internal` reply to the whole
-//!    batch, server keeps serving.
+//! 7. injected/internal batch failure → `Internal` reply to the whole
+//!    batch; a batcher *panic* → `Internal` to the dequeued requests and
+//!    a batcher restart. The server keeps serving in every case.
+//!
+//! Request conservation: every `Query` counted in `serve.requests` ends
+//! in exactly one bucket —
+//! `serve.requests == serve.batches + serve.batch.coalesced + serve.shed
+//! + serve.rejected` (batches+coalesced = reached a batch; shed =
+//! admission; rejected = `TooLarge` / `Backpressure` / in-flight cap).
+//! The batch-reached counters are bumped *before* the fault-injection
+//! point in [`run_batch`], so the law survives a batcher panic.
+//!
+//! Hot reload: a `Reload` admin frame — or a `reload.request` marker file
+//! in the bundle directory — makes the batcher load a fresh engine from
+//! disk, run its [`ServeEngine::self_test`], and only then swap it in
+//! under a new generation tag (invalidating the LRU cache). A bundle that
+//! fails to decode, pair, or self-test is discarded and the previous
+//! engine keeps serving (`serve.reload.failed`).
 
 use std::collections::HashMap;
-use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use sgnn_obs::{self as obs, Counter, Histogram};
 
+use crate::admission::Admission;
+use crate::bundle;
+use crate::conn::{Conn, Ticket};
 use crate::engine::ServeEngine;
 use crate::faults::{self, Injected};
 use crate::lru::LruCache;
-use crate::wire::{
-    self, decode_request, encode_response, ErrorCode, FrameIo, Request, Response, MAX_BODY,
-};
+use crate::wire::{decode_request, ErrorCode, FramePoll, FrameReader, Request, Response, MAX_BODY};
 
-// Request-path observability (ISSUE 8): counts, queue/transform latency,
-// and batch shape. `serve.batch` / `serve.requests` are CI-required.
+// Request-path observability (ISSUE 8/9): counts, queue/transform latency,
+// batch shape, and the self-healing events. `serve.batch` /
+// `serve.requests` are CI-required; the chaos smoke additionally requires
+// `serve.shed`, `serve.reloads`, and `serve.batcher_restarts`.
 static SERVE_REQUESTS: Counter = Counter::new("serve.requests");
 static SERVE_BATCHES: Counter = Counter::new("serve.batches");
 static SERVE_COALESCED: Counter = Counter::new("serve.batch.coalesced");
 static SERVE_CACHE_HIT: Counter = Counter::new("serve.cache.hit");
 static SERVE_CACHE_MISS: Counter = Counter::new("serve.cache.miss");
+static SERVE_CACHE_INVALIDATED: Counter = Counter::new("serve.cache.invalidated");
 static SERVE_BACKPRESSURE: Counter = Counter::new("serve.backpressure");
 static SERVE_TIMEOUTS: Counter = Counter::new("serve.timeouts");
 static SERVE_BADFRAME: Counter = Counter::new("serve.badframe");
+static SERVE_SHED: Counter = Counter::new("serve.shed");
+static SERVE_REJECTED: Counter = Counter::new("serve.rejected");
+static SERVE_RELOADS: Counter = Counter::new("serve.reloads");
+static SERVE_RELOAD_FAILED: Counter = Counter::new("serve.reload.failed");
+static SERVE_BATCHER_RESTARTS: Counter = Counter::new("serve.batcher_restarts");
+static SERVE_CONN_LIMIT: Counter = Counter::new("serve.conn.limit");
+static SERVE_CONN_REAPED: Counter = Counter::new("serve.conn.reaped");
+static SERVE_CONN_STALLED: Counter = Counter::new("serve.conn.stalled");
 static BATCH_SIZE: Histogram = Histogram::new("serve.batch_size");
 static QUEUE_NS: Histogram = Histogram::new("serve.queue_ns");
 static TRANSFORM_NS: Histogram = Histogram::new("serve.transform_ns");
 static REQUEST_NS: Histogram = Histogram::new("serve.request_ns");
 
+/// Marker file in the bundle directory that triggers a hot reload (the
+/// no-admin-client path: `touch reload.request` after replacing the
+/// bundle). Consumed (deleted) when the reload is attempted.
+pub const RELOAD_MARKER: &str = "reload.request";
+
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
     /// Bind address; port 0 picks an ephemeral port.
     pub addr: String,
-    /// A batch closes once it holds this many node rows.
+    /// Base batch-row cap; under load the batcher may grow a batch up to
+    /// [`crate::admission::MAX_BATCH_GROWTH`]× this.
     pub max_batch_rows: usize,
     /// How long a non-full batch waits for more requests to coalesce.
     pub linger: Duration,
@@ -67,6 +112,24 @@ pub struct ServeConfig {
     pub cache_cap: usize,
     /// Per-query node cap; beyond it, `TooLarge`.
     pub max_nodes_per_query: usize,
+    /// Directory holding `model.ckpt` + `terms.bin` for hot reload;
+    /// `None` disables the `Reload` frame and the marker file.
+    pub bundle_dir: Option<PathBuf>,
+    /// Accepted-connection cap; beyond it, `Overloaded` and close.
+    pub max_conns: usize,
+    /// Admitted-but-unanswered queries allowed per connection.
+    pub max_inflight_per_conn: usize,
+    /// Connections silent this long (and with nothing in flight) are
+    /// closed by the reaper.
+    pub idle_timeout: Duration,
+    /// A started frame must complete within this (slowloris defense).
+    pub frame_deadline: Duration,
+    /// Per-socket reply-write timeout.
+    pub write_timeout: Duration,
+    /// Deadline-aware admission control (sheds with `Overloaded`). Off =
+    /// the PR-8 behavior: hopeless requests queue and time out at
+    /// dequeue. Exists so the bench can measure shed-vs-noshed.
+    pub shed: bool,
 }
 
 impl Default for ServeConfig {
@@ -78,6 +141,13 @@ impl Default for ServeConfig {
             queue_cap: 256,
             cache_cap: 4096,
             max_nodes_per_query: 4096,
+            bundle_dir: None,
+            max_conns: 256,
+            max_inflight_per_conn: 64,
+            idle_timeout: Duration::from_secs(60),
+            frame_deadline: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(5),
+            shed: true,
         }
     }
 }
@@ -85,29 +155,98 @@ impl Default for ServeConfig {
 /// How often blocking accept/read/recv loops wake to poll shutdown.
 const POLL: Duration = Duration::from_millis(20);
 
-/// One decoded query waiting in the batching queue.
+/// How often the batcher checks for the reload marker file while idle.
+const MARKER_POLL: Duration = Duration::from_millis(200);
+
+/// One admitted query waiting in the batching queue.
 struct Pending {
-    nonce: u64,
+    ticket: Arc<Ticket>,
     nodes: Vec<u32>,
     arrived: Instant,
     deadline: Option<Instant>,
-    conn: Arc<ConnWriter>,
 }
 
-/// The write half of a connection, shared by the reader thread (immediate
-/// error replies) and the batcher (logit replies). Replies on one
-/// connection may arrive out of submission order — clients match on the
-/// echoed nonce.
-struct ConnWriter {
-    stream: Mutex<TcpStream>,
+/// Queue items: queries to batch, plus admin work the batcher must do
+/// because it owns the engine.
+enum Job {
+    Query(Pending),
+    /// `ticket` is `None` for marker-file reloads (nobody to answer).
+    Reload {
+        ticket: Option<Arc<Ticket>>,
+    },
 }
 
-impl ConnWriter {
-    /// Best-effort send: a peer that hung up loses its reply, nobody else.
-    fn send(&self, resp: &Response) {
-        let frame = encode_response(resp);
-        let mut stream = self.stream.lock().unwrap();
-        let _ = stream.write_all(&frame).and_then(|_| stream.flush());
+/// The engine and everything whose lifetime is tied to the loaded bundle.
+/// Shared (not owned by the batcher thread) so the model survives a
+/// batcher panic and a restarted batcher resumes with the same state.
+struct EngineSlot {
+    engine: ServeEngine,
+    cache: LruCache,
+    /// Monotonic bundle generation; bumped on every successful reload.
+    generation: u64,
+}
+
+/// State shared across the server's threads.
+struct Shared {
+    cfg: ServeConfig,
+    stop: AtomicBool,
+    slot: Mutex<EngineSlot>,
+    /// The queue's receive half, shared so a restarted batcher picks up
+    /// where the dead one stopped (only one batcher runs at a time).
+    rx: Mutex<Receiver<Job>>,
+    admission: Admission,
+    /// Every admitted query's ticket, for the watchdog sweep. Pruned of
+    /// dead weaks on insert past a threshold and on every sweep.
+    tickets: Mutex<Vec<Weak<Ticket>>>,
+    /// Live connections by accept index, for the reaper and shutdown.
+    conns: Mutex<HashMap<u64, Arc<Conn>>>,
+    next_conn_id: AtomicU64,
+    /// Monotonic batch sequence, shared across batcher incarnations so a
+    /// restarted batcher does not renumber from zero (and a seq-keyed
+    /// injected fault cannot re-fire after the restart it caused).
+    batch_seq: AtomicU64,
+}
+
+/// Poison-tolerant lock: a panicking batcher must not brick the slot —
+/// the data it guards (engine, cache, counters) stays structurally valid
+/// because every mutation either completes or is panic-free.
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Shared {
+    fn stopped(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Registers a ticket for the watchdog sweep.
+    fn track(&self, t: &Arc<Ticket>) {
+        let mut tickets = lock(&self.tickets);
+        if tickets.len() >= 2 * self.cfg.queue_cap.max(64) {
+            tickets.retain(|w| w.strong_count() > 0);
+        }
+        tickets.push(Arc::downgrade(t));
+    }
+
+    /// Watchdog sweep after a batcher panic: fail everything the dying
+    /// batcher had in its hands. Still-queued tickets are left alone —
+    /// the restarted batcher serves them normally.
+    fn fail_dequeued_inflight(&self) {
+        let mut tickets = lock(&self.tickets);
+        tickets.retain(|w| match w.upgrade() {
+            Some(t) => {
+                if t.is_dequeued() && !t.is_done() {
+                    t.reply(&Response::Error {
+                        nonce: t.nonce(),
+                        code: ErrorCode::Internal,
+                        retry_after_ms: 0,
+                        msg: "batcher restarted".into(),
+                    });
+                }
+                !t.is_done()
+            }
+            None => false,
+        });
     }
 }
 
@@ -115,9 +254,10 @@ impl ConnWriter {
 /// stops the accept loop, drains the threads, and joins them.
 pub struct ServerHandle {
     addr: SocketAddr,
-    stop: Arc<AtomicBool>,
+    shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
-    batcher: Option<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
+    reaper: Option<JoinHandle<()>>,
     readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
@@ -133,18 +273,22 @@ impl ServerHandle {
     }
 
     fn stop_and_join(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+        self.shared.stop.store(true, Ordering::SeqCst);
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
         // Accept has exited, so the reader list is final; readers notice
         // the flag at their next read timeout.
-        let readers = std::mem::take(&mut *self.readers.lock().unwrap());
+        let readers = std::mem::take(&mut *lock(&self.readers));
         for h in readers {
             let _ = h.join();
         }
-        // All queue senders are gone now; the batcher drains and exits.
-        if let Some(h) = self.batcher.take() {
+        if let Some(h) = self.reaper.take() {
+            let _ = h.join();
+        }
+        // All queue senders are gone now; the batcher drains and exits,
+        // and the supervisor sees a clean exit.
+        if let Some(h) = self.supervisor.take() {
             let _ = h.join();
         }
     }
@@ -161,54 +305,108 @@ pub fn serve(engine: ServeEngine, cfg: ServeConfig) -> std::io::Result<ServerHan
     let listener = TcpListener::bind(&cfg.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
-    let stop = Arc::new(AtomicBool::new(false));
-    let (tx, rx) = mpsc::sync_channel::<Pending>(cfg.queue_cap);
+    let (tx, rx) = mpsc::sync_channel::<Job>(cfg.queue_cap);
+    let shared = Arc::new(Shared {
+        slot: Mutex::new(EngineSlot {
+            engine,
+            cache: LruCache::new(cfg.cache_cap),
+            generation: 0,
+        }),
+        cfg,
+        stop: AtomicBool::new(false),
+        rx: Mutex::new(rx),
+        admission: Admission::new(),
+        tickets: Mutex::new(Vec::new()),
+        conns: Mutex::new(HashMap::new()),
+        next_conn_id: AtomicU64::new(0),
+        batch_seq: AtomicU64::new(0),
+    });
     let readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
-    let batcher = {
-        let stop = Arc::clone(&stop);
-        let cfg = cfg.clone();
+    let supervisor = {
+        let shared = Arc::clone(&shared);
         std::thread::Builder::new()
-            .name("sgnn-serve-batch".into())
-            .spawn(move || batcher_loop(engine, rx, &cfg, &stop))?
+            .name("sgnn-serve-supervise".into())
+            .spawn(move || supervisor_loop(&shared))?
+    };
+
+    let reaper = {
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("sgnn-serve-reap".into())
+            .spawn(move || reaper_loop(&shared))?
     };
 
     let accept = {
-        let stop = Arc::clone(&stop);
+        let shared = Arc::clone(&shared);
         let readers = Arc::clone(&readers);
-        let cfg = cfg.clone();
         std::thread::Builder::new()
             .name("sgnn-serve-accept".into())
-            .spawn(move || accept_loop(listener, tx, readers, &cfg, &stop))?
+            .spawn(move || accept_loop(listener, tx, readers, &shared))?
     };
 
     Ok(ServerHandle {
         addr,
-        stop,
+        shared,
         accept: Some(accept),
-        batcher: Some(batcher),
+        supervisor: Some(supervisor),
+        reaper: Some(reaper),
         readers,
     })
 }
 
 fn accept_loop(
     listener: TcpListener,
-    tx: SyncSender<Pending>,
+    tx: SyncSender<Job>,
     readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
-    cfg: &ServeConfig,
-    stop: &Arc<AtomicBool>,
+    shared: &Arc<Shared>,
 ) {
-    while !stop.load(Ordering::SeqCst) {
+    while !shared.stopped() {
         match listener.accept() {
             Ok((stream, _)) => {
+                let id = shared.next_conn_id.fetch_add(1, Ordering::SeqCst);
+                let Ok(write_half) = stream.try_clone() else {
+                    continue;
+                };
+                let Ok(conn) = Conn::new(write_half, id, shared.cfg.write_timeout) else {
+                    continue;
+                };
+                let conn = Arc::new(conn);
+                conn.touch();
+                // Injected `disconnect conn=K`: the peer sees an abrupt
+                // hangup before any reply — clients must cope.
+                if faults::on_accept(id) {
+                    conn.close();
+                    continue;
+                }
+                if lock(&shared.conns).len() >= shared.cfg.max_conns {
+                    SERVE_CONN_LIMIT.incr();
+                    conn.send(&Response::Error {
+                        nonce: 0,
+                        code: ErrorCode::Overloaded,
+                        retry_after_ms: 100,
+                        msg: format!("connection limit ({}) reached", shared.cfg.max_conns),
+                    });
+                    conn.close();
+                    continue;
+                }
+                lock(&shared.conns).insert(id, Arc::clone(&conn));
                 let tx = tx.clone();
-                let stop = Arc::clone(stop);
-                let cfg = cfg.clone();
+                let shared2 = Arc::clone(shared);
                 let handle = std::thread::Builder::new()
                     .name("sgnn-serve-conn".into())
-                    .spawn(move || reader_loop(stream, tx, &cfg, &stop))
+                    .spawn(move || {
+                        reader_loop(stream, conn, tx, &shared2);
+                        lock(&shared2.conns).remove(&id);
+                    })
                     .expect("spawn connection reader");
-                readers.lock().unwrap().push(handle);
+                let mut readers = lock(&readers);
+                // Reap finished reader handles so a long-lived server does
+                // not accumulate one JoinHandle per connection ever made.
+                if readers.len() >= 2 * shared.cfg.max_conns {
+                    readers.retain(|h| !h.is_finished());
+                }
+                readers.push(handle);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(POLL);
@@ -218,69 +416,156 @@ fn accept_loop(
     }
 }
 
-fn reader_loop(stream: TcpStream, tx: SyncSender<Pending>, cfg: &ServeConfig, stop: &AtomicBool) {
+/// Closes connections idle past the configured timeout (with nothing in
+/// flight). The reader thread sees EOF on its next poll and exits.
+fn reaper_loop(shared: &Arc<Shared>) {
+    while !shared.stopped() {
+        std::thread::sleep(POLL);
+        let idle_timeout = shared.cfg.idle_timeout;
+        let victims: Vec<Arc<Conn>> = lock(&shared.conns)
+            .values()
+            .filter(|c| c.inflight() == 0 && c.idle() >= idle_timeout && !c.is_closed())
+            .map(Arc::clone)
+            .collect();
+        for conn in victims {
+            SERVE_CONN_REAPED.incr();
+            conn.close();
+        }
+    }
+}
+
+fn reader_loop(mut stream: TcpStream, conn: Arc<Conn>, tx: SyncSender<Job>, shared: &Arc<Shared>) {
     // The read timeout doubles as the shutdown poll interval.
     if stream.set_read_timeout(Some(POLL)).is_err() {
         return;
     }
-    let writer = match stream.try_clone() {
-        Ok(w) => Arc::new(ConnWriter {
-            stream: Mutex::new(w),
-        }),
-        Err(_) => return,
-    };
-    let mut stream = stream;
-    while !stop.load(Ordering::SeqCst) {
-        let body = match wire::read_frame(&mut stream, MAX_BODY) {
-            Ok(Some(body)) => body,
-            Ok(None) => return, // clean close
-            Err(FrameIo::Io(e))
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue;
-            }
-            Err(FrameIo::Io(_)) => return, // torn frame / dead peer
-            Err(FrameIo::TooLarge(len)) => {
-                // Rung 1 of the ladder: reply, then close — after a frame
-                // this malformed the stream offset is unrecoverable.
+    let mut frames = FrameReader::new();
+    while !shared.stopped() && !conn.is_closed() {
+        // Injected `stall conn=K`: this connection's reader dawdles, as
+        // if the peer (or the path to it) were glacially slow.
+        if let Some(delay) = faults::on_conn_read(conn.id()) {
+            std::thread::sleep(delay);
+        }
+        let body = match frames.poll(&mut stream, MAX_BODY, shared.cfg.frame_deadline) {
+            FramePoll::Frame(body) => body,
+            FramePoll::Eof => return, // clean close
+            FramePoll::Pending => continue,
+            FramePoll::Stalled => {
+                // Rung 1 (slowloris): a peer that starts a frame must
+                // finish it; reply, then close.
+                SERVE_CONN_STALLED.incr();
                 SERVE_BADFRAME.incr();
-                writer.send(&Response::Error {
+                conn.send(&Response::Error {
                     nonce: 0,
                     code: ErrorCode::BadFrame,
+                    retry_after_ms: 0,
+                    msg: format!(
+                        "partial frame exceeded {:?} deadline",
+                        shared.cfg.frame_deadline
+                    ),
+                });
+                conn.close();
+                return;
+            }
+            FramePoll::Io(_) => return, // torn frame / dead peer
+            FramePoll::TooLarge(len) => {
+                // Rung 1: after a frame this malformed the stream offset
+                // is unrecoverable.
+                SERVE_BADFRAME.incr();
+                conn.send(&Response::Error {
+                    nonce: 0,
+                    code: ErrorCode::BadFrame,
+                    retry_after_ms: 0,
                     msg: format!("declared body of {len} bytes exceeds cap"),
                 });
+                conn.close();
                 return;
             }
         };
+        conn.touch();
         let req = match decode_request(&body) {
             Ok(req) => req,
             Err(e) => {
                 SERVE_BADFRAME.incr();
-                writer.send(&Response::Error {
+                conn.send(&Response::Error {
                     nonce: 0,
                     code: ErrorCode::BadFrame,
+                    retry_after_ms: 0,
                     msg: e.to_string(),
                 });
+                conn.close();
                 return;
             }
         };
         match req {
-            Request::Ping { nonce } => writer.send(&Response::Pong { nonce }),
+            Request::Ping { nonce } => conn.send(&Response::Pong { nonce }),
+            Request::Reload { nonce } => {
+                if shared.cfg.bundle_dir.is_none() {
+                    conn.send(&Response::Error {
+                        nonce,
+                        code: ErrorCode::Internal,
+                        retry_after_ms: 0,
+                        msg: "server was not booted with a bundle directory".into(),
+                    });
+                    continue;
+                }
+                let ticket = Arc::new(Ticket::new(Arc::clone(&conn), nonce));
+                shared.track(&ticket);
+                match tx.try_send(Job::Reload {
+                    ticket: Some(Arc::clone(&ticket)),
+                }) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(_)) => {
+                        ticket.reply(&Response::Error {
+                            nonce,
+                            code: ErrorCode::Backpressure,
+                            retry_after_ms: 50,
+                            msg: "queue full; retry reload".into(),
+                        });
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        ticket.reply(&Response::Error {
+                            nonce,
+                            code: ErrorCode::Shutdown,
+                            retry_after_ms: 0,
+                            msg: "server shutting down".into(),
+                        });
+                        return;
+                    }
+                }
+            }
             Request::Query {
                 nonce,
                 deadline_ms,
                 nodes,
             } => {
                 SERVE_REQUESTS.incr();
-                if nodes.is_empty() || nodes.len() > cfg.max_nodes_per_query {
-                    writer.send(&Response::Error {
+                if nodes.is_empty() || nodes.len() > shared.cfg.max_nodes_per_query {
+                    // Rung 2: typed refusal, connection stays.
+                    SERVE_REJECTED.incr();
+                    conn.send(&Response::Error {
                         nonce,
                         code: ErrorCode::TooLarge,
+                        retry_after_ms: 0,
                         msg: format!(
                             "{} nodes (allowed 1..={})",
                             nodes.len(),
-                            cfg.max_nodes_per_query
+                            shared.cfg.max_nodes_per_query
+                        ),
+                    });
+                    continue;
+                }
+                if conn.inflight() >= shared.cfg.max_inflight_per_conn {
+                    // Rung 3: one connection cannot monopolize the queue.
+                    SERVE_REJECTED.incr();
+                    conn.send(&Response::Error {
+                        nonce,
+                        code: ErrorCode::Overloaded,
+                        retry_after_ms: 10,
+                        msg: format!(
+                            "{} requests in flight on this connection (cap {})",
+                            conn.inflight(),
+                            shared.cfg.max_inflight_per_conn
                         ),
                     });
                     continue;
@@ -288,28 +573,54 @@ fn reader_loop(stream: TcpStream, tx: SyncSender<Pending>, cfg: &ServeConfig, st
                 let arrived = Instant::now();
                 let deadline =
                     (deadline_ms > 0).then(|| arrived + Duration::from_millis(deadline_ms as u64));
+                // Rung 4: shed requests whose deadline the queue has
+                // already spent. Only deadline-bearing requests shed.
+                if shared.cfg.shed && deadline_ms > 0 {
+                    // The drain estimate assumes the batch growth the
+                    // batcher would actually use at this queue depth.
+                    let batch_rows = shared.admission.batch_rows(shared.cfg.max_batch_rows);
+                    if let Err(retry_after_ms) = shared.admission.admit(
+                        nodes.len(),
+                        Duration::from_millis(deadline_ms as u64),
+                        batch_rows,
+                    ) {
+                        SERVE_SHED.incr();
+                        conn.send(&Response::Error {
+                            nonce,
+                            code: ErrorCode::Overloaded,
+                            retry_after_ms,
+                            msg: "shed: deadline unreachable at current queue depth".into(),
+                        });
+                        continue;
+                    }
+                }
+                let rows = nodes.len();
+                let ticket = Arc::new(Ticket::new(Arc::clone(&conn), nonce));
+                shared.track(&ticket);
                 let pending = Pending {
-                    nonce,
+                    ticket: Arc::clone(&ticket),
                     nodes,
                     arrived,
                     deadline,
-                    conn: Arc::clone(&writer),
                 };
-                match tx.try_send(pending) {
-                    Ok(()) => {}
-                    Err(TrySendError::Full(p)) => {
-                        // Rung 3: bounded queue, typed refusal, no hang.
+                match tx.try_send(Job::Query(pending)) {
+                    Ok(()) => shared.admission.on_enqueue(rows),
+                    Err(TrySendError::Full(_)) => {
+                        // Rung 5: bounded queue, typed refusal, no hang.
                         SERVE_BACKPRESSURE.incr();
-                        p.conn.send(&Response::Error {
-                            nonce: p.nonce,
+                        SERVE_REJECTED.incr();
+                        ticket.reply(&Response::Error {
+                            nonce,
                             code: ErrorCode::Backpressure,
+                            retry_after_ms: 20,
                             msg: "batch queue full".into(),
                         });
                     }
-                    Err(TrySendError::Disconnected(p)) => {
-                        p.conn.send(&Response::Error {
-                            nonce: p.nonce,
+                    Err(TrySendError::Disconnected(_)) => {
+                        ticket.reply(&Response::Error {
+                            nonce,
                             code: ErrorCode::Shutdown,
+                            retry_after_ms: 0,
                             msg: "server shutting down".into(),
                         });
                         return;
@@ -320,60 +631,177 @@ fn reader_loop(stream: TcpStream, tx: SyncSender<Pending>, cfg: &ServeConfig, st
     }
 }
 
-fn batcher_loop(
-    mut engine: ServeEngine,
-    rx: Receiver<Pending>,
-    cfg: &ServeConfig,
-    stop: &AtomicBool,
-) {
-    let nodes_in_graph = engine.nodes() as u32;
-    let mut cache = LruCache::new(cfg.cache_cap);
-    let mut seq: u64 = 0;
+/// Spawns the batcher and restarts it when (and only when) it panics.
+/// Each restart first fails every request the dead batcher had dequeued,
+/// so no client is left waiting on a reply that will never come.
+fn supervisor_loop(shared: &Arc<Shared>) {
+    loop {
+        let shared2 = Arc::clone(shared);
+        let batcher = std::thread::Builder::new()
+            .name("sgnn-serve-batch".into())
+            .spawn(move || batcher_loop(&shared2))
+            .expect("spawn batcher");
+        match batcher.join() {
+            Ok(()) => return, // clean exit: shutdown or queue closed
+            Err(_) => {
+                SERVE_BATCHER_RESTARTS.incr();
+                shared.fail_dequeued_inflight();
+                if shared.stopped() {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn batcher_loop(shared: &Arc<Shared>) {
+    // Holding the receiver lock for the whole loop is fine — exactly one
+    // batcher runs at a time; the lock exists so a *restarted* batcher
+    // can take over the queue from its dead predecessor.
+    let rx = lock(&shared.rx);
+    let mut last_marker_check = Instant::now();
     loop {
         let first = match rx.recv_timeout(POLL) {
-            Ok(p) => p,
+            Ok(Job::Query(p)) => p,
+            Ok(Job::Reload { ticket }) => {
+                do_reload(shared, ticket);
+                continue;
+            }
             Err(RecvTimeoutError::Timeout) => {
-                if stop.load(Ordering::SeqCst) {
+                if shared.stopped() {
                     return;
+                }
+                if last_marker_check.elapsed() >= MARKER_POLL {
+                    last_marker_check = Instant::now();
+                    if take_reload_marker(shared) {
+                        do_reload(shared, None);
+                    }
                 }
                 continue;
             }
             Err(RecvTimeoutError::Disconnected) => return,
         };
+        first.ticket.mark_dequeued();
+        shared.admission.on_dequeue(first.nodes.len());
         let mut batch = vec![first];
         let mut rows = batch[0].nodes.len();
+        let mut reloads: Vec<Option<Arc<Ticket>>> = Vec::new();
         // Linger: hold the batch open briefly so concurrent queries ride
-        // the same transform. A full batch closes immediately.
-        let close_at = Instant::now() + cfg.linger;
-        while rows < cfg.max_batch_rows {
+        // the same transform. A full batch closes immediately; under load
+        // the row cap grows with queue depth (adaptive batching).
+        let max_rows = shared.admission.batch_rows(shared.cfg.max_batch_rows);
+        let close_at = Instant::now() + shared.cfg.linger;
+        while rows < max_rows {
             let now = Instant::now();
             if now >= close_at {
                 break;
             }
             match rx.recv_timeout(close_at - now) {
-                Ok(p) => {
+                Ok(Job::Query(p)) => {
+                    p.ticket.mark_dequeued();
+                    shared.admission.on_dequeue(p.nodes.len());
                     rows += p.nodes.len();
                     batch.push(p);
                 }
+                // A reload behind queries runs *after* them: those
+                // queries were admitted under the old generation.
+                Ok(Job::Reload { ticket }) => reloads.push(ticket),
                 Err(RecvTimeoutError::Timeout) => break,
                 Err(RecvTimeoutError::Disconnected) => break,
             }
         }
-        run_batch(&mut engine, &mut cache, batch, nodes_in_graph, seq);
-        seq += 1;
+        let seq = shared.batch_seq.fetch_add(1, Ordering::SeqCst);
+        // The admission estimator observes the *whole* batch service time
+        // — transform, cache fills, reply fan-out, and any injected slow
+        // fault — because that is what a queued request actually waits
+        // behind. (The obs `serve.transform_ns` histogram stays
+        // transform-only, and records only while tracing.)
+        let t0 = Instant::now();
+        run_batch(shared, batch, seq);
+        shared.admission.record_batch(rows, t0.elapsed());
+        for ticket in reloads {
+            do_reload(shared, ticket);
+        }
     }
 }
 
-fn run_batch(
-    engine: &mut ServeEngine,
-    cache: &mut LruCache,
-    batch: Vec<Pending>,
-    nodes_in_graph: u32,
-    seq: u64,
-) {
+/// Consumes the reload marker file if present.
+fn take_reload_marker(shared: &Shared) -> bool {
+    let Some(dir) = shared.cfg.bundle_dir.as_ref() else {
+        return false;
+    };
+    let marker = dir.join(RELOAD_MARKER);
+    if marker.exists() {
+        let _ = std::fs::remove_file(&marker);
+        return true;
+    }
+    false
+}
+
+/// Loads a fresh engine from the bundle directory, self-tests it, and
+/// swaps it in under a new generation. Any failure — I/O, codec, pairing,
+/// self-test, even a panic inside the loader — leaves the previous engine
+/// serving (rollback by not swapping).
+fn do_reload(shared: &Shared, ticket: Option<Arc<Ticket>>) {
+    let fail = |msg: String| {
+        SERVE_RELOAD_FAILED.incr();
+        if let Some(t) = &ticket {
+            t.reply(&Response::Error {
+                nonce: t.nonce(),
+                code: ErrorCode::Internal,
+                retry_after_ms: 0,
+                msg,
+            });
+        }
+    };
+    let Some(dir) = shared.cfg.bundle_dir.clone() else {
+        fail("server was not booted with a bundle directory".into());
+        return;
+    };
+    let _sp = obs::span!("serve.reload");
+    // Load + self-test happen entirely *outside* the engine slot lock, so
+    // a loader that fails — or panics — cannot poison the slot; the swap
+    // below is the only section that touches the live engine.
+    let loaded = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        let mut engine = bundle::load_engine(&dir).map_err(|e| e.to_string())?;
+        engine.self_test().map_err(|e| e.to_string())?;
+        Ok::<ServeEngine, String>(engine)
+    }));
+    let engine = match loaded {
+        Ok(Ok(engine)) => engine,
+        Ok(Err(msg)) => {
+            fail(format!("bundle rejected, previous engine kept: {msg}"));
+            return;
+        }
+        Err(_) => {
+            fail("bundle loader panicked, previous engine kept".into());
+            return;
+        }
+    };
+    let mut slot = lock(&shared.slot);
+    slot.generation += 1;
+    slot.engine = engine;
+    let generation = slot.generation;
+    let dropped = slot.cache.invalidate(generation);
+    drop(slot);
+    SERVE_CACHE_INVALIDATED.add(dropped as u64);
+    SERVE_RELOADS.incr();
+    if let Some(t) = &ticket {
+        t.reply(&Response::Reloaded {
+            nonce: t.nonce(),
+            generation,
+        });
+    }
+}
+
+fn run_batch(shared: &Shared, batch: Vec<Pending>, seq: u64) {
     let requests = batch.len();
     let rows: usize = batch.iter().map(|p| p.nodes.len()).sum();
     let _sp = obs::span!("serve.batch", requests = requests, rows = rows);
+    // Conservation law: count the batch as "reached" *before* anything
+    // that can fail or panic, so
+    // requests == batches + coalesced + shed + rejected
+    // holds even across a watchdog restart.
     SERVE_BATCHES.incr();
     if requests > 1 {
         SERVE_COALESCED.add(requests as u64 - 1);
@@ -385,34 +813,47 @@ fn run_batch(
 
     // Injected faults fire before the deadline checks, so a `slow` fault
     // deterministically expires short-deadline requests.
-    let injected = faults::on_batch(seq);
-    if injected == Some(Injected::Fail) {
-        for p in &batch {
-            p.conn.send(&Response::Error {
-                nonce: p.nonce,
-                code: ErrorCode::Internal,
-                msg: "injected batch failure".into(),
-            });
+    match faults::on_batch(seq) {
+        Some(Injected::Fail) => {
+            for p in &batch {
+                p.ticket.reply(&Response::Error {
+                    nonce: p.ticket.nonce(),
+                    code: ErrorCode::Internal,
+                    retry_after_ms: 0,
+                    msg: "injected batch failure".into(),
+                });
+            }
+            return;
         }
-        return;
+        Some(Injected::Panic) => {
+            // The watchdog test vector: tickets are already dequeued, so
+            // the supervisor fails them and restarts the batcher.
+            panic!("injected batcher panic (batch {seq})");
+        }
+        None => {}
     }
 
-    // Rung 4a: drop requests that expired while queued.
+    // Rung 6a: drop requests that expired while queued.
     let now = Instant::now();
     let (batch, expired): (Vec<_>, Vec<_>) = batch
         .into_iter()
         .partition(|p| p.deadline.is_none_or(|d| now < d));
     for p in expired {
         SERVE_TIMEOUTS.incr();
-        p.conn.send(&Response::Error {
-            nonce: p.nonce,
+        p.ticket.reply(&Response::Error {
+            nonce: p.ticket.nonce(),
             code: ErrorCode::Timeout,
+            retry_after_ms: 0,
             msg: "deadline expired in queue".into(),
         });
     }
     if batch.is_empty() {
         return;
     }
+
+    let mut slot = lock(&shared.slot);
+    let slot = &mut *slot;
+    let nodes_in_graph = slot.engine.nodes() as u32;
 
     // Validate ids (rung 2) and split the surviving rows into cache hits
     // and a deduplicated miss list.
@@ -423,9 +864,10 @@ fn run_batch(
     'req: for p in batch {
         for &id in &p.nodes {
             if id >= nodes_in_graph {
-                p.conn.send(&Response::Error {
-                    nonce: p.nonce,
+                p.ticket.reply(&Response::Error {
+                    nonce: p.ticket.nonce(),
                     code: ErrorCode::NodeOutOfRange,
+                    retry_after_ms: 0,
                     msg: format!("node {id} >= {nodes_in_graph}"),
                 });
                 continue 'req;
@@ -435,7 +877,7 @@ fn run_batch(
             if resolved.contains_key(&id) || misses.contains(&id) {
                 continue;
             }
-            if let Some(row) = cache.get(id) {
+            if let Some(row) = slot.cache.get(id) {
                 hits += 1;
                 resolved.insert(id, row);
             } else {
@@ -451,26 +893,27 @@ fn run_batch(
     // One dense transform for every miss in the coalesced batch.
     if !misses.is_empty() {
         let t0 = Instant::now();
-        let logits = engine.logits(&misses);
+        let logits = slot.engine.logits(&misses);
         TRANSFORM_NS.record_duration(t0.elapsed());
         for (r, &id) in misses.iter().enumerate() {
             let row: std::sync::Arc<[f32]> =
                 std::sync::Arc::from(logits.row(r).to_vec().into_boxed_slice());
-            cache.put(id, std::sync::Arc::clone(&row));
+            slot.cache.put(id, std::sync::Arc::clone(&row));
             resolved.insert(id, row);
         }
     }
 
-    // Assemble and send replies; rung 4b re-checks deadlines after the
+    // Assemble and send replies; rung 6b re-checks deadlines after the
     // transform (it may have been slowed by an injected fault or load).
-    let classes = engine.classes();
+    let classes = slot.engine.classes();
     let now = Instant::now();
     for p in valid {
         if p.deadline.is_some_and(|d| now >= d) {
             SERVE_TIMEOUTS.incr();
-            p.conn.send(&Response::Error {
-                nonce: p.nonce,
+            p.ticket.reply(&Response::Error {
+                nonce: p.ticket.nonce(),
                 code: ErrorCode::Timeout,
+                retry_after_ms: 0,
                 msg: "deadline expired during transform".into(),
             });
             continue;
@@ -479,8 +922,8 @@ fn run_batch(
         for id in &p.nodes {
             data.extend_from_slice(&resolved[id]);
         }
-        p.conn.send(&Response::Logits {
-            nonce: p.nonce,
+        p.ticket.reply(&Response::Logits {
+            nonce: p.ticket.nonce(),
             rows: p.nodes.len() as u32,
             cols: classes as u32,
             data,

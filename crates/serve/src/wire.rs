@@ -8,8 +8,8 @@
 //! Request body:
 //!
 //! ```text
-//! u8   protocol version (1)
-//! u8   opcode            1 = Query, 2 = Ping
+//! u8   protocol version (2)
+//! u8   opcode            1 = Query, 2 = Ping, 3 = Reload
 //! u64  nonce             echoed verbatim in the reply
 //! u32  deadline_ms       Query only; 0 = no deadline
 //! u32  n                 Query only
@@ -20,17 +20,24 @@
 //! Response body:
 //!
 //! ```text
-//! u8   protocol version (1)
-//! u8   status            0 = Logits, 1 = Error, 2 = Pong
+//! u8   protocol version (2)
+//! u8   status            0 = Logits, 1 = Error, 2 = Pong, 3 = Reloaded
 //! u64  nonce
 //! u32  rows, u32 cols, f32×rows·cols   (Logits)
-//! u8   code, u32 len, bytes            (Error)
+//! u8   code, u32 retry_after_ms, u32 len, bytes   (Error)
+//! u64  generation                      (Reloaded)
 //! u32  crc
 //! ```
+//!
+//! Version 2 added the `Reload`/`Reloaded` admin frames, the `Overloaded`
+//! error code, and the `retry_after_ms` hint on every error reply (0 =
+//! no hint; nonzero on `Backpressure`/`Overloaded` tells a well-behaved
+//! client how long to back off before retrying).
 
 use std::io::{Read, Write};
+use std::time::{Duration, Instant};
 
-pub const WIRE_VERSION: u8 = 1;
+pub const WIRE_VERSION: u8 = 2;
 
 /// Largest body either side will read. Replies are `rows × classes` floats;
 /// with the per-query node cap this is far more than any legal frame.
@@ -38,9 +45,11 @@ pub const MAX_BODY: usize = 16 * 1024 * 1024;
 
 const OP_QUERY: u8 = 1;
 const OP_PING: u8 = 2;
+const OP_RELOAD: u8 = 3;
 const ST_LOGITS: u8 = 0;
 const ST_ERROR: u8 = 1;
 const ST_PONG: u8 = 2;
+const ST_RELOADED: u8 = 3;
 
 /// Why a frame body failed to decode.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -90,6 +99,11 @@ pub enum ErrorCode {
     Internal,
     /// The server is shutting down.
     Shutdown,
+    /// Admission control shed the request: the deadline could not be met
+    /// given current queue depth, the per-connection in-flight cap was
+    /// exceeded, or the connection limit was reached. The reply carries a
+    /// `retry_after_ms` hint.
+    Overloaded,
 }
 
 impl ErrorCode {
@@ -102,6 +116,7 @@ impl ErrorCode {
             ErrorCode::TooLarge => 4,
             ErrorCode::Internal => 5,
             ErrorCode::Shutdown => 6,
+            ErrorCode::Overloaded => 7,
         }
     }
 
@@ -114,6 +129,7 @@ impl ErrorCode {
             4 => ErrorCode::TooLarge,
             5 => ErrorCode::Internal,
             6 => ErrorCode::Shutdown,
+            7 => ErrorCode::Overloaded,
             other => return Err(WireError::Malformed(format!("error code {other}"))),
         })
     }
@@ -130,12 +146,19 @@ pub enum Request {
     Ping {
         nonce: u64,
     },
+    /// Admin frame: atomically swap in the bundle on disk (requires the
+    /// server to have been booted with a bundle directory).
+    Reload {
+        nonce: u64,
+    },
 }
 
 impl Request {
     pub fn nonce(&self) -> u64 {
         match self {
-            Request::Query { nonce, .. } | Request::Ping { nonce } => *nonce,
+            Request::Query { nonce, .. } | Request::Ping { nonce } | Request::Reload { nonce } => {
+                *nonce
+            }
         }
     }
 }
@@ -152,10 +175,19 @@ pub enum Response {
     Error {
         nonce: u64,
         code: ErrorCode,
+        /// Backoff hint in milliseconds; 0 = none. Set on shed/overload
+        /// replies so clients can retry intelligently.
+        retry_after_ms: u32,
         msg: String,
     },
     Pong {
         nonce: u64,
+    },
+    /// The bundle swap succeeded; `generation` is the new bundle
+    /// generation tag (monotonic per server).
+    Reloaded {
+        nonce: u64,
+        generation: u64,
     },
 }
 
@@ -164,7 +196,8 @@ impl Response {
         match self {
             Response::Logits { nonce, .. }
             | Response::Error { nonce, .. }
-            | Response::Pong { nonce } => *nonce,
+            | Response::Pong { nonce }
+            | Response::Reloaded { nonce, .. } => *nonce,
         }
     }
 }
@@ -200,6 +233,10 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             b.push(OP_PING);
             b.extend_from_slice(&nonce.to_le_bytes());
         }
+        Request::Reload { nonce } => {
+            b.push(OP_RELOAD);
+            b.extend_from_slice(&nonce.to_le_bytes());
+        }
     }
     seal(b)
 }
@@ -223,16 +260,27 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 b.extend_from_slice(&v.to_bits().to_le_bytes());
             }
         }
-        Response::Error { nonce, code, msg } => {
+        Response::Error {
+            nonce,
+            code,
+            retry_after_ms,
+            msg,
+        } => {
             b.push(ST_ERROR);
             b.extend_from_slice(&nonce.to_le_bytes());
             b.push(code.to_byte());
+            b.extend_from_slice(&retry_after_ms.to_le_bytes());
             b.extend_from_slice(&(msg.len() as u32).to_le_bytes());
             b.extend_from_slice(msg.as_bytes());
         }
         Response::Pong { nonce } => {
             b.push(ST_PONG);
             b.extend_from_slice(&nonce.to_le_bytes());
+        }
+        Response::Reloaded { nonce, generation } => {
+            b.push(ST_RELOADED);
+            b.extend_from_slice(&nonce.to_le_bytes());
+            b.extend_from_slice(&generation.to_le_bytes());
         }
     }
     seal(b)
@@ -319,6 +367,7 @@ pub fn decode_request(body: &[u8]) -> Result<Request, WireError> {
             }
         }
         OP_PING => Request::Ping { nonce: c.u64()? },
+        OP_RELOAD => Request::Reload { nonce: c.u64()? },
         other => return Err(WireError::BadTag(other)),
     };
     c.done()?;
@@ -359,15 +408,25 @@ pub fn decode_response(body: &[u8]) -> Result<Response, WireError> {
         ST_ERROR => {
             let nonce = c.u64()?;
             let code = ErrorCode::from_byte(c.u8()?)?;
+            let retry_after_ms = c.u32()?;
             let len = c.u32()? as usize;
             if len > payload.len() {
                 return Err(WireError::Truncated);
             }
             let msg = String::from_utf8(c.take(len)?.to_vec())
                 .map_err(|_| WireError::Malformed("error message not UTF-8".into()))?;
-            Response::Error { nonce, code, msg }
+            Response::Error {
+                nonce,
+                code,
+                retry_after_ms,
+                msg,
+            }
         }
         ST_PONG => Response::Pong { nonce: c.u64()? },
+        ST_RELOADED => Response::Reloaded {
+            nonce: c.u64()?,
+            generation: c.u64()?,
+        },
         other => return Err(WireError::BadTag(other)),
     };
     c.done()?;
@@ -421,6 +480,147 @@ pub fn write_frame<W: Write>(w: &mut W, frame: &[u8]) -> std::io::Result<()> {
     w.flush()
 }
 
+/// Outcome of one [`FrameReader::poll`] call.
+#[derive(Debug)]
+pub enum FramePoll {
+    /// A complete frame body (everything after the length prefix).
+    Frame(Vec<u8>),
+    /// Clean EOF at a frame boundary (peer closed between frames).
+    Eof,
+    /// The read timed out with no frame in progress, or with a frame in
+    /// progress but still inside the partial-frame deadline — poll again.
+    Pending,
+    /// A frame started but did not complete within the partial-frame
+    /// deadline: a stalled or malicious (slowloris) peer.
+    Stalled,
+    /// Declared body length exceeds the cap — the body is never read.
+    TooLarge(u32),
+    /// Transport error, including EOF mid-frame (a torn frame).
+    Io(std::io::Error),
+}
+
+/// An incremental frame reader for sockets with a read timeout.
+///
+/// The blocking [`read_frame`] loses partially read bytes when a read
+/// times out mid-frame, which both corrupts framing on a slow-but-honest
+/// peer and lets a malicious one hold a reader thread forever by dripping
+/// one byte per timeout (slowloris). `FrameReader` keeps the partial
+/// frame across timeouts and enforces a wall-clock deadline from the
+/// first byte of a frame to its last: a peer that starts a frame must
+/// finish it within `frame_deadline` or the poll reports
+/// [`FramePoll::Stalled`].
+#[derive(Default)]
+pub struct FrameReader {
+    len_buf: [u8; 4],
+    got_len: usize,
+    body: Vec<u8>,
+    got_body: usize,
+    /// Set when the first byte of a frame arrives; cleared on completion.
+    started: Option<Instant>,
+}
+
+impl FrameReader {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True if a frame is partially read (the peer owes us bytes).
+    pub fn mid_frame(&self) -> bool {
+        self.started.is_some()
+    }
+
+    /// Makes as much progress as one blocking read (with the socket's
+    /// read timeout) allows. Call in a loop; `Pending` is the idle tick.
+    pub fn poll<R: Read>(
+        &mut self,
+        r: &mut R,
+        max_body: usize,
+        frame_deadline: Duration,
+    ) -> FramePoll {
+        loop {
+            if self.got_len < 4 {
+                match r.read(&mut self.len_buf[self.got_len..]) {
+                    Ok(0) => {
+                        return if self.started.is_none() {
+                            FramePoll::Eof
+                        } else {
+                            FramePoll::Io(std::io::Error::new(
+                                std::io::ErrorKind::UnexpectedEof,
+                                "eof inside frame length",
+                            ))
+                        };
+                    }
+                    Ok(n) => {
+                        self.started.get_or_insert_with(Instant::now);
+                        self.got_len += n;
+                        if self.got_len == 4 {
+                            let len = u32::from_le_bytes(self.len_buf);
+                            if len as usize > max_body {
+                                self.reset();
+                                return FramePoll::TooLarge(len);
+                            }
+                            self.body = vec![0u8; len as usize];
+                            self.got_body = 0;
+                        }
+                        continue;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        return self.pending_or_stalled(frame_deadline);
+                    }
+                    Err(e) => return FramePoll::Io(e),
+                }
+            }
+            // Length known; body may be zero-sized.
+            if self.got_body < self.body.len() {
+                match r.read(&mut self.body[self.got_body..]) {
+                    Ok(0) => {
+                        return FramePoll::Io(std::io::Error::new(
+                            std::io::ErrorKind::UnexpectedEof,
+                            "eof inside frame body",
+                        ));
+                    }
+                    Ok(n) => {
+                        self.got_body += n;
+                        continue;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        return self.pending_or_stalled(frame_deadline);
+                    }
+                    Err(e) => return FramePoll::Io(e),
+                }
+            }
+            let body = std::mem::take(&mut self.body);
+            self.reset();
+            return FramePoll::Frame(body);
+        }
+    }
+
+    fn pending_or_stalled(&mut self, frame_deadline: Duration) -> FramePoll {
+        match self.started {
+            Some(t0) if t0.elapsed() >= frame_deadline => {
+                self.reset();
+                FramePoll::Stalled
+            }
+            _ => FramePoll::Pending,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.got_len = 0;
+        self.got_body = 0;
+        self.body = Vec::new();
+        self.started = None;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -434,6 +634,7 @@ mod tests {
                 nodes: vec![0, 3, 3, 9],
             },
             Request::Ping { nonce: u64::MAX },
+            Request::Reload { nonce: 42 },
         ];
         for req in reqs {
             let frame = encode_request(&req);
@@ -454,9 +655,20 @@ mod tests {
             Response::Error {
                 nonce: 2,
                 code: ErrorCode::Backpressure,
+                retry_after_ms: 7,
                 msg: "queue full".into(),
             },
+            Response::Error {
+                nonce: 4,
+                code: ErrorCode::Overloaded,
+                retry_after_ms: 250,
+                msg: "shed".into(),
+            },
             Response::Pong { nonce: 3 },
+            Response::Reloaded {
+                nonce: 5,
+                generation: 9,
+            },
         ];
         for resp in resps {
             let frame = encode_response(&resp);
@@ -501,6 +713,117 @@ mod tests {
         assert!(matches!(
             read_frame(&mut torn, MAX_BODY),
             Err(FrameIo::Io(_))
+        ));
+    }
+
+    /// A reader that yields `chunk` bytes of `data` per call, interleaving
+    /// a `WouldBlock` between chunks — a socket timing out mid-frame.
+    /// `hang_at_end` makes it time out forever once the data is spent (a
+    /// slowloris peer that goes silent) instead of closing cleanly.
+    struct Dribble {
+        data: Vec<u8>,
+        pos: usize,
+        chunk: usize,
+        block_next: bool,
+        hang_at_end: bool,
+    }
+
+    impl Read for Dribble {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.pos >= self.data.len() {
+                return if self.hang_at_end {
+                    Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "tick"))
+                } else {
+                    Ok(0)
+                };
+            }
+            if self.block_next {
+                self.block_next = false;
+                return Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "tick"));
+            }
+            self.block_next = true;
+            let n = self.chunk.min(self.data.len() - self.pos).min(buf.len());
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn frame_reader_survives_byte_dribble_across_timeouts() {
+        // One byte per read with a timeout between every pair: the
+        // blocking `read_frame` would lose the partial length here; the
+        // stateful reader must reassemble the frame exactly.
+        let frame = encode_request(&Request::Query {
+            nonce: 77,
+            deadline_ms: 5,
+            nodes: vec![1, 2, 3, 4, 5],
+        });
+        let mut r = Dribble {
+            data: frame.clone(),
+            pos: 0,
+            chunk: 1,
+            block_next: false,
+            hang_at_end: false,
+        };
+        let mut fr = FrameReader::new();
+        let deadline = Duration::from_secs(30);
+        loop {
+            match fr.poll(&mut r, MAX_BODY, deadline) {
+                FramePoll::Frame(body) => {
+                    assert_eq!(&frame[4..], &body[..]);
+                    break;
+                }
+                FramePoll::Pending => continue,
+                other => panic!("unexpected poll outcome {other:?}"),
+            }
+        }
+        assert!(!fr.mid_frame());
+        match fr.poll(&mut r, MAX_BODY, deadline) {
+            FramePoll::Eof => {}
+            other => panic!("expected clean EOF, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frame_reader_flags_stalled_partial_frame() {
+        // Two bytes of length then silence: once the deadline passes, the
+        // reader reports Stalled instead of spinning forever.
+        let mut r = Dribble {
+            data: vec![10, 0],
+            pos: 0,
+            chunk: 2,
+            block_next: false,
+            hang_at_end: true,
+        };
+        let mut fr = FrameReader::new();
+        assert!(matches!(
+            fr.poll(&mut r, MAX_BODY, Duration::from_secs(30)),
+            FramePoll::Pending
+        ));
+        assert!(fr.mid_frame());
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(matches!(
+            fr.poll(&mut r, MAX_BODY, Duration::from_millis(1)),
+            FramePoll::Stalled
+        ));
+        assert!(!fr.mid_frame(), "stall must reset the reader");
+    }
+
+    #[test]
+    fn frame_reader_rejects_oversized_and_torn_frames() {
+        let mut r = std::io::Cursor::new((MAX_BODY as u32 + 1).to_le_bytes().to_vec());
+        let mut fr = FrameReader::new();
+        assert!(matches!(
+            fr.poll(&mut r, MAX_BODY, Duration::from_secs(1)),
+            FramePoll::TooLarge(_)
+        ));
+        // Torn: length 10, three bytes, then EOF.
+        let mut r = std::io::Cursor::new(vec![10, 0, 0, 0, 1, 2, 3]);
+        let mut fr = FrameReader::new();
+        assert!(matches!(
+            fr.poll(&mut r, MAX_BODY, Duration::from_secs(1)),
+            FramePoll::Io(_)
         ));
     }
 }

@@ -73,8 +73,11 @@ fn served_logits_bit_identical_to_offline_single_node() {
                                 );
                             }
                         }
-                        Reply::Error { code, msg } => {
+                        Reply::Error { code, msg, .. } => {
                             panic!("worker {w} round {round}: unexpected error {code:?}: {msg}")
+                        }
+                        Reply::Reloaded { .. } => {
+                            panic!("worker {w} round {round}: unexpected Reloaded")
                         }
                     }
                 }

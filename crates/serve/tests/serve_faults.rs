@@ -28,7 +28,7 @@ fn slow_batch_expires_deadlines_into_typed_timeouts() {
 
     match client.query_deadline(&[0], 5).unwrap() {
         Reply::Error { code, .. } => assert_eq!(code, ErrorCode::Timeout),
-        Reply::Logits(_) => panic!("a 5 ms deadline must expire behind a 50 ms fault"),
+        other => panic!("a 5 ms deadline must expire behind a 50 ms fault, got {other:?}"),
     }
     // Same connection, no deadline: the slow batch is tolerated.
     assert!(matches!(client.query(&[0]).unwrap(), Reply::Logits(_)));
@@ -75,6 +75,7 @@ fn full_queue_replies_backpressure_without_hanging() {
                         assert_eq!(code, ErrorCode::Backpressure, "only typed backpressure");
                         (0, 1)
                     }
+                    other => panic!("unexpected reply {other:?}"),
                 }
             })
         })
@@ -111,7 +112,7 @@ fn injected_fail_is_internal_error_and_server_survives() {
     let mut client = Client::connect(server.addr()).unwrap();
     match client.query(&[0]).unwrap() {
         Reply::Error { code, .. } => assert_eq!(code, ErrorCode::Internal),
-        Reply::Logits(_) => panic!("injected fail must reply Internal"),
+        other => panic!("injected fail must reply Internal, got {other:?}"),
     }
     faults::clear();
     assert!(matches!(client.query(&[0]).unwrap(), Reply::Logits(_)));
@@ -163,13 +164,57 @@ fn malformed_and_oversized_frames_get_error_replies() {
     let mut client = Client::connect(server.addr()).unwrap();
     match client.query(&[u32::MAX]).unwrap() {
         Reply::Error { code, .. } => assert_eq!(code, ErrorCode::NodeOutOfRange),
-        Reply::Logits(_) => panic!("node u32::MAX cannot exist in a tiny graph"),
+        other => panic!("node u32::MAX cannot exist in a tiny graph, got {other:?}"),
     }
     let too_many: Vec<u32> = vec![0; ServeConfig::default().max_nodes_per_query + 1];
     match client.query(&too_many).unwrap() {
         Reply::Error { code, .. } => assert_eq!(code, ErrorCode::TooLarge),
-        Reply::Logits(_) => panic!("per-query node cap must hold"),
+        other => panic!("per-query node cap must hold, got {other:?}"),
     }
+    assert!(matches!(client.query(&[0]).unwrap(), Reply::Logits(_)));
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn slowloris_partial_frame_is_cut_off_at_the_deadline() {
+    let _g = FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let (dir, _data, _cfg) = common::tiny_bundle("faults-loris", 41);
+    let engine = load_engine(&dir).unwrap();
+    let server = serve(
+        engine,
+        ServeConfig {
+            frame_deadline: Duration::from_millis(100),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+
+    // A malicious peer sends a frame length and two body bytes, then goes
+    // silent. The old blocking reader would hold its thread forever; the
+    // incremental reader must cut the connection at the partial-frame
+    // deadline with a typed BadFrame reply.
+    let started = Instant::now();
+    let mut loris = TcpStream::connect(server.addr()).unwrap();
+    loris.write_all(&64u32.to_le_bytes()).unwrap();
+    loris.write_all(&[1, 2]).unwrap();
+    let body = sgnn_serve::wire::read_frame(&mut loris, sgnn_serve::wire::MAX_BODY)
+        .unwrap()
+        .expect("a BadFrame reply, not silence");
+    match sgnn_serve::wire::decode_response(&body).unwrap() {
+        sgnn_serve::Response::Error { code, .. } => assert_eq!(code, ErrorCode::BadFrame),
+        other => panic!("expected BadFrame, got {other:?}"),
+    }
+    let mut rest = Vec::new();
+    loris.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "stalled connection must be closed");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "the stall must be cut at the deadline, not tolerated"
+    );
+
+    // Honest clients are unaffected, before and after.
+    let mut client = Client::connect(server.addr()).unwrap();
     assert!(matches!(client.query(&[0]).unwrap(), Reply::Logits(_)));
     server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);

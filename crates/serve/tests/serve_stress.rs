@@ -73,8 +73,11 @@ fn coalescing_cache_identity_and_no_cross_wiring() {
                             // if nonces lined up.
                             assert_eq!(got, ref_bits[slot], "worker {w} node {v}");
                         }
-                        Reply::Error { code, msg } => {
+                        Reply::Error { code, msg, .. } => {
                             panic!("worker {w} round {round}: {code:?}: {msg}")
+                        }
+                        Reply::Reloaded { .. } => {
+                            panic!("worker {w} round {round}: unexpected Reloaded")
                         }
                     }
                 }
@@ -101,8 +104,23 @@ fn coalescing_cache_identity_and_no_cross_wiring() {
     );
     assert!(misses > 0, "cold nodes must miss");
     assert!(hits > 0, "hot nodes must hit the LRU cache");
-    // Conservation: every non-coalesced request headed its own batch.
-    assert_eq!(requests, batches + coalesced, "request conservation");
+    // Conservation (tightened, ISSUE 9): every request counted in
+    // `serve.requests` ends in exactly one bucket — it reached a batch
+    // (batches + coalesced), was shed by admission, or was rejected
+    // (TooLarge / Backpressure / in-flight cap). Nothing is ever
+    // silently dropped.
+    let shed = snap.counter("serve.shed").unwrap_or(0);
+    let rejected = snap.counter("serve.rejected").unwrap_or(0);
+    assert_eq!(
+        requests,
+        batches + coalesced + shed + rejected,
+        "request conservation: {requests} requests vs {batches} batches + \
+         {coalesced} coalesced + {shed} shed + {rejected} rejected"
+    );
+    // This run has no deadlines and tame clients, so nothing should have
+    // been shed or rejected and every request must have reached a batch.
+    assert_eq!(shed, 0, "no deadline-bearing requests to shed");
+    assert_eq!(rejected, 0, "no oversized or over-cap requests");
     assert!(snap.hist("serve.batch_size").is_some_and(|h| h.count > 0));
     assert!(snap.hist("serve.queue_ns").is_some_and(|h| h.count > 0));
     assert!(snap.hist("serve.request_ns").is_some_and(|h| h.count > 0));

@@ -16,7 +16,7 @@ use sgnn_serve::wire::{
 // sampled selector inside one `prop_map`.
 fn arb_request() -> impl Strategy<Value = Request> {
     (
-        0u8..2,
+        0u8..3,
         any::<u64>(),
         any::<u32>(),
         proptest::collection::vec(any::<u32>(), 1..40),
@@ -27,6 +27,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
                 deadline_ms,
                 nodes,
             },
+            1 => Request::Reload { nonce },
             _ => Request::Ping { nonce },
         })
 }
@@ -35,28 +36,36 @@ fn arb_response() -> impl Strategy<Value = Response> {
     // Logit values from i16 bit patterns scaled down: exact in f32, never
     // NaN, covers negatives and zero.
     (
-        (0u8..3, any::<u64>()),
+        (0u8..4, any::<u64>()),
         (1u32..6, 1u32..5),
         proptest::collection::vec(any::<i16>(), 25..26),
-        0u8..7,
+        (0u8..8, any::<u32>()),
         proptest::collection::vec(32u8..127, 0..20),
     )
-        .prop_map(|((sel, nonce), (rows, cols), pool, code, msg)| match sel {
-            0 => Response::Logits {
-                nonce,
-                rows,
-                cols,
-                data: (0..rows as usize * cols as usize)
-                    .map(|i| pool[i % pool.len()] as f32 / 64.0)
-                    .collect(),
+        .prop_map(
+            |((sel, nonce), (rows, cols), pool, (code, retry_after_ms), msg)| match sel {
+                0 => Response::Logits {
+                    nonce,
+                    rows,
+                    cols,
+                    data: (0..rows as usize * cols as usize)
+                        .map(|i| pool[i % pool.len()] as f32 / 64.0)
+                        .collect(),
+                },
+                1 => Response::Error {
+                    nonce,
+                    code: ErrorCode::from_byte(code).unwrap(),
+                    retry_after_ms,
+                    msg: msg.into_iter().map(char::from).collect(),
+                },
+                2 => Response::Reloaded {
+                    nonce,
+                    // Reuse the entropy already on hand for the tag.
+                    generation: nonce ^ (retry_after_ms as u64),
+                },
+                _ => Response::Pong { nonce },
             },
-            1 => Response::Error {
-                nonce,
-                code: ErrorCode::from_byte(code).unwrap(),
-                msg: msg.into_iter().map(char::from).collect(),
-            },
-            _ => Response::Pong { nonce },
-        })
+        )
 }
 
 /// Arbitrary (meta, terms): small shapes, exact f32 values.
