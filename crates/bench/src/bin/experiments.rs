@@ -312,7 +312,7 @@ fn main() {
     progress(&format!(
         "[done in {:.1}s, peak RAM {}]",
         started.elapsed().as_secs_f64(),
-        sgnn_train::memory::fmt_bytes(sgnn_train::memory::ram_peak())
+        sgnn_train::memory::fmt_bytes(sgnn_train::memory::ram_lifetime_peak())
     ));
     let failed = runner::failure_summary();
     if let Some(summary) = &failed {

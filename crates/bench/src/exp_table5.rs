@@ -34,6 +34,9 @@ pub fn default_datasets() -> Vec<&'static str> {
 
 /// Runs the effectiveness sweep for one scheme (`"FB"` or `"MB"`).
 pub fn run_scheme(opts: &Opts, scheme: &str) -> String {
+    if opts.full_scale {
+        return crate::exp_oocsr::run_full_scale(opts);
+    }
     let name = if scheme == "FB" { "table5" } else { "table10" };
     let datasets = opts.dataset_names(&default_datasets());
     let filters = match scheme {

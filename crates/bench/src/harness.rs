@@ -44,6 +44,10 @@ pub struct Opts {
     /// Root directory for per-cell checkpoints (`--ckpt-dir`; defaults to
     /// `<resume>/ckpt` when `--resume` is set).
     pub ckpt_dir: Option<String>,
+    /// Out-of-core full-scale mode (`--full-scale`): the Table-5 driver
+    /// generates one paper-size graph straight to a shard file and trains
+    /// on it in bounded RAM instead of sweeping the dataset grid.
+    pub full_scale: bool,
 }
 
 impl Default for Opts {
@@ -65,6 +69,7 @@ impl Default for Opts {
             cell_timeout_s: 0.0,
             ckpt_every: 0,
             ckpt_dir: None,
+            full_scale: false,
         }
     }
 }
@@ -239,6 +244,7 @@ pub fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .map_err(|e| format!("--ckpt-every: {e}"))?
             }
             "--ckpt-dir" => opts.ckpt_dir = Some(take(&mut i)?),
+            "--full-scale" => opts.full_scale = true,
             other => return Err(format!("unknown flag {other}")),
         }
         i += 1;

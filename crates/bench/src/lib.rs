@@ -16,6 +16,7 @@ pub mod exp_fig6;
 pub mod exp_fig7;
 pub mod exp_fig8;
 pub mod exp_fig9;
+pub mod exp_oocsr;
 pub mod exp_table1;
 pub mod exp_table3;
 pub mod exp_table5;

@@ -254,6 +254,11 @@ impl CellRunner {
         F: FnMut(&CellCtx) -> Result<T, TrainError>,
     {
         let cell_index = faults::next_cell_index();
+        // Each cell reports its own RAM high-water mark: without this reset
+        // the tracking allocator's peak carries over from whichever earlier
+        // cell was largest, and every subsequent span records that stale
+        // value. The process-wide peak survives in `ram_lifetime_peak`.
+        sgnn_train::memory::ram_reset_peak();
         let _sp = obs::span!("cell.attempts", cell = cell_index, label = label);
         let started = std::time::Instant::now();
         // Per-cell checkpoint directory, derived from the label so a resumed

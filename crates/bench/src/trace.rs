@@ -213,6 +213,9 @@ pub fn summarize_file(
             counters.get("pool.dispatches").copied().unwrap_or(0)
         );
     }
+    if let Some(line) = shard_streaming(&counters, &hists) {
+        let _ = writeln!(out, "{line}");
+    }
     for (name, v) in &counters {
         let _ = writeln!(out, "counter {name:<28} {v}");
     }
@@ -249,6 +252,33 @@ fn pool_utilization(counters: &BTreeMap<String, u64>) -> Option<f64> {
     let busy = *counters.get("pool.busy_ns")?;
     let lane = *counters.get("pool.lane_ns")?;
     (lane > 0).then(|| busy as f64 / lane as f64)
+}
+
+/// Out-of-core streaming digest, when the run decoded shards: bytes read
+/// from disk, decode count, prefetch hit rate, and the stall quantiles
+/// (time propagation waited for a shard that was not prefetched yet).
+fn shard_streaming(
+    counters: &BTreeMap<String, u64>,
+    hists: &BTreeMap<String, HistLine>,
+) -> Option<String> {
+    let bytes = *counters.get("shard.bytes_read")?;
+    let decoded = counters.get("shard.decoded").copied().unwrap_or(0);
+    let hits = counters.get("shard.prefetch_hit").copied().unwrap_or(0);
+    let hit_pct = if decoded + hits > 0 {
+        100.0 * hits as f64 / (decoded + hits) as f64
+    } else {
+        0.0
+    };
+    let stall = hists
+        .get("shard.prefetch_stall_ns")
+        .map(|h| format!("stall p50={}ns p99={}ns", h.p50, h.p99))
+        .unwrap_or_else(|| "no stall histogram".into());
+    Some(format!(
+        "shard streaming: {} read across {} decodes, {} prefetch hits ({hit_pct:.1}%), {stall}",
+        sgnn_train::memory::fmt_bytes(bytes as usize),
+        decoded,
+        hits,
+    ))
 }
 
 #[cfg(test)]
@@ -355,6 +385,28 @@ mod tests {
         let p99: f64 = cols[5].parse().unwrap();
         assert!((8e-7..=1.1e-6).contains(&p50), "p50={p50}");
         assert!((8e-4..=1.1e-3).contains(&p99), "p99={p99}");
+    }
+
+    #[test]
+    fn shard_streaming_line_renders_from_counters_and_hist() {
+        let path = write_temp(
+            "sgnn_trace_summary_shard.jsonl",
+            concat!(
+                "{\"ts_rel\":0.1,\"kind\":\"counter\",\"name\":\"shard.bytes_read\",\"value\":3145728}\n",
+                "{\"ts_rel\":0.1,\"kind\":\"counter\",\"name\":\"shard.decoded\",\"value\":6}\n",
+                "{\"ts_rel\":0.1,\"kind\":\"counter\",\"name\":\"shard.prefetch_hit\",\"value\":18}\n",
+                "{\"ts_rel\":0.2,\"kind\":\"hist\",\"name\":\"shard.prefetch_stall_ns\",\"count\":24,\"sum\":9000,\"max\":4096,\"p50\":0,\"p90\":2048,\"p99\":4096}\n",
+            ),
+        );
+        let out = summarize_file(&path, &[], &["shard.bytes_read".to_string()]).unwrap();
+        assert!(
+            out.contains("shard streaming: 3.00 MiB read across 6 decodes"),
+            "{out}"
+        );
+        assert!(out.contains("18 prefetch hits (75.0%)"), "{out}");
+        assert!(out.contains("stall p50=0ns p99=4096ns"), "{out}");
+        // The raw histogram still renders generically too.
+        assert!(out.contains("hist    shard.prefetch_stall_ns"), "{out}");
     }
 
     #[test]

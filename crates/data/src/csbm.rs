@@ -90,7 +90,7 @@ impl Dataset {
 }
 
 /// Weighted sampler over a class partition: per-class prefix-sum tables.
-struct ClassSampler {
+pub(crate) struct ClassSampler {
     /// Node ids grouped by class.
     members: Vec<Vec<u32>>,
     /// Prefix sums of member weights, aligned with `members`.
@@ -98,7 +98,7 @@ struct ClassSampler {
 }
 
 impl ClassSampler {
-    fn new(labels: &[u32], weights: &[f64], classes: usize) -> Self {
+    pub(crate) fn new(labels: &[u32], weights: &[f64], classes: usize) -> Self {
         let mut members = vec![Vec::new(); classes];
         for (i, &y) in labels.iter().enumerate() {
             members[y as usize].push(i as u32);
@@ -131,6 +131,107 @@ impl ClassSampler {
     }
 }
 
+/// The shared sampling stages of [`generate`], split out so the streaming
+/// generator ([`crate::stream`]) can replay the *same RNG consumption
+/// order* — labels, weights, edge attempts, features, splits — and produce
+/// a bit-identical dataset for the same seed without ever materializing
+/// the edge list.
+pub(crate) fn sample_labels(params: &CsbmParams, rng: &mut SmallRng) -> Vec<u32> {
+    let n = params.nodes;
+    let c = params.classes;
+    // Balanced class assignment, then shuffled for random adjacency order.
+    let mut labels: Vec<u32> = (0..n).map(|i| (i % c) as u32).collect();
+    drng::shuffle(&mut labels, rng);
+    labels
+}
+
+/// Pareto degree weights, clipped to avoid single-node hubs swallowing the
+/// whole edge budget on small graphs.
+pub(crate) fn sample_weights(params: &CsbmParams, rng: &mut SmallRng) -> Vec<f64> {
+    let n = params.nodes;
+    let shape = 1.0 / (params.degree_exponent - 1.0);
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.random::<f64>().max(1e-9);
+            u.powf(-shape).min(n as f64 / 10.0)
+        })
+        .collect()
+}
+
+/// One undirected-edge sampling attempt: first endpoint weighted over all
+/// nodes, second from the same class (intra, with probability `homophily`)
+/// or a uniformly random different class. `None` on a rejected self-pair.
+pub(crate) struct EdgeSampler<'a> {
+    sampler: &'a ClassSampler,
+    total_weight: Vec<f64>,
+    grand_total: f64,
+    homophily: f64,
+    classes: usize,
+}
+
+impl<'a> EdgeSampler<'a> {
+    pub(crate) fn new(sampler: &'a ClassSampler, params: &CsbmParams) -> Self {
+        let c = params.classes;
+        let total_weight: Vec<f64> = (0..c).map(|q| sampler.total(q)).collect();
+        let grand_total: f64 = total_weight.iter().sum();
+        Self {
+            sampler,
+            total_weight,
+            grand_total,
+            homophily: params.homophily,
+            classes: c,
+        }
+    }
+
+    pub(crate) fn attempt(&self, rng: &mut SmallRng) -> Option<(u32, u32)> {
+        let c = self.classes;
+        // First endpoint: weighted over all nodes (pick class ∝ class mass).
+        let mut target = rng.random::<f64>() * self.grand_total;
+        let mut cu = 0usize;
+        for (q, &tw) in self.total_weight.iter().enumerate() {
+            if target < tw || q == c - 1 {
+                cu = q;
+                break;
+            }
+            target -= tw;
+        }
+        let u = self.sampler.sample(cu, rng);
+        let intra = rng.random::<f64>() < self.homophily;
+        let cv = if intra {
+            cu
+        } else {
+            let mut other = rng.random_range(0..c - 1);
+            if other >= cu {
+                other += 1;
+            }
+            other
+        };
+        let v = self.sampler.sample(cv, rng);
+        (u != v).then_some((u, v))
+    }
+}
+
+/// Class-conditional Gaussian attributes. The class-mean offset is
+/// normalized by √F so `signal` controls *task difficulty* independent of
+/// the attribute dimension: the distance between two class means is
+/// ≈ 3√2·signal standard deviations, giving (for the calibrated registry
+/// values) Identity-baseline accuracies in the same regime as the paper's
+/// Table 5.
+pub(crate) fn sample_features(params: &CsbmParams, labels: &[u32], rng: &mut SmallRng) -> DMat {
+    let n = params.nodes;
+    let c = params.classes;
+    let per_dim = params.signal * 3.0 / (params.feature_dim as f32).sqrt();
+    let means = drng::randn_mat(c, params.feature_dim, 1.0, rng);
+    let mut features = drng::randn_mat(n, params.feature_dim, 1.0, rng);
+    for (i, &y) in labels.iter().enumerate() {
+        let mu = means.row(y as usize).to_vec();
+        for (f, &m) in features.row_mut(i).iter_mut().zip(&mu) {
+            *f += per_dim * m;
+        }
+    }
+    features
+}
+
 /// Generates a dataset from the block-model parameters.
 pub fn generate(name: &str, params: &CsbmParams, metric: Metric, seed: u64) -> Dataset {
     assert!(params.classes >= 2, "need at least two classes");
@@ -142,22 +243,10 @@ pub fn generate(name: &str, params: &CsbmParams, metric: Metric, seed: u64) -> D
     let n = params.nodes;
     let c = params.classes;
 
-    // Balanced class assignment, then shuffled for random adjacency order.
-    let mut labels: Vec<u32> = (0..n).map(|i| (i % c) as u32).collect();
-    drng::shuffle(&mut labels, &mut rng);
-
-    // Pareto degree weights, clipped to avoid single-node hubs swallowing
-    // the whole edge budget on small graphs.
-    let shape = 1.0 / (params.degree_exponent - 1.0);
-    let weights: Vec<f64> = (0..n)
-        .map(|_| {
-            let u: f64 = rng.random::<f64>().max(1e-9);
-            u.powf(-shape).min(n as f64 / 10.0)
-        })
-        .collect();
+    let labels = sample_labels(params, &mut rng);
+    let weights = sample_weights(params, &mut rng);
     let sampler = ClassSampler::new(&labels, &weights, c);
-    let total_weight: Vec<f64> = (0..c).map(|q| sampler.total(q)).collect();
-    let grand_total: f64 = total_weight.iter().sum();
+    let es = EdgeSampler::new(&sampler, params);
 
     // Edge generation: pick the first endpoint by global weight, then the
     // second from the same class (intra) or a random different class.
@@ -166,50 +255,13 @@ pub fn generate(name: &str, params: &CsbmParams, metric: Metric, seed: u64) -> D
     let max_attempts = params.edges * 4 + 64;
     while edges.len() < params.edges && attempts < max_attempts {
         attempts += 1;
-        // First endpoint: weighted over all nodes (pick class ∝ class mass).
-        let mut target = rng.random::<f64>() * grand_total;
-        let mut cu = 0usize;
-        for (q, &tw) in total_weight.iter().enumerate() {
-            if target < tw || q == c - 1 {
-                cu = q;
-                break;
-            }
-            target -= tw;
-        }
-        let u = sampler.sample(cu, &mut rng);
-        let intra = rng.random::<f64>() < params.homophily;
-        let cv = if intra {
-            cu
-        } else {
-            let mut other = rng.random_range(0..c - 1);
-            if other >= cu {
-                other += 1;
-            }
-            other
-        };
-        let v = sampler.sample(cv, &mut rng);
-        if u != v {
-            edges.push((u, v));
+        if let Some(e) = es.attempt(&mut rng) {
+            edges.push(e);
         }
     }
     let graph = Graph::from_edges(n, &edges);
 
-    // Class-conditional Gaussian attributes. The class-mean offset is
-    // normalized by √F so `signal` controls *task difficulty* independent of
-    // the attribute dimension: the distance between two class means is
-    // ≈ 3√2·signal standard deviations, giving (for the calibrated registry
-    // values) Identity-baseline accuracies in the same regime as the
-    // paper's Table 5.
-    let per_dim = params.signal * 3.0 / (params.feature_dim as f32).sqrt();
-    let means = drng::randn_mat(c, params.feature_dim, 1.0, &mut rng);
-    let mut features = drng::randn_mat(n, params.feature_dim, 1.0, &mut rng);
-    for (i, &y) in labels.iter().enumerate() {
-        let mu = means.row(y as usize).to_vec();
-        for (f, &m) in features.row_mut(i).iter_mut().zip(&mu) {
-            *f += per_dim * m;
-        }
-    }
-
+    let features = sample_features(params, &labels, &mut rng);
     let splits = Splits::stratified(&labels, 0.6, 0.2, &mut rng);
     Dataset {
         name: name.to_string(),

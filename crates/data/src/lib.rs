@@ -12,16 +12,20 @@
 //! expandable to paper size with [`registry::GenScale::Full`]).
 //!
 //! Also here: stratified [`splits`], the five spectral-regression
-//! [`signals`] of Table 7, and [`linkpred`] edge sampling.
+//! [`signals`] of Table 7, [`linkpred`] edge sampling, and the
+//! out-of-core [`stream`] generator that writes paper-scale graphs
+//! straight to a shard file without materializing the edge list.
 
 pub mod csbm;
 pub mod linkpred;
 pub mod registry;
 pub mod signals;
 pub mod splits;
+pub mod stream;
 pub mod validate;
 
 pub use csbm::{CsbmParams, Dataset};
 pub use registry::{all_dataset_names, dataset_spec, DatasetSpec, GenScale, Metric, SizeClass};
 pub use splits::Splits;
+pub use stream::{generate_sharded, ShardedDataset};
 pub use validate::ValidationError;

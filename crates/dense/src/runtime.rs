@@ -427,6 +427,61 @@ where
     });
 }
 
+/// [`run_plan`] plus one *auxiliary* task that runs concurrently with the
+/// row chunks — the primitive behind double-buffered shard prefetch in
+/// `sgnn-sparse` (decode shard `k+1` while the kernel consumes shard `k`).
+///
+/// The aux closure is posted as the first task of the job so a free lane
+/// claims it before the row chunks drain; it runs exactly once. On width-1
+/// pools and nested invocations the fallback is `aux()` followed by the
+/// serial kernel, so the aux work still happens (synchronously) and results
+/// are bit-identical to the parallel path.
+pub fn run_plan_aux<F, A>(data: &mut [f32], cols: usize, boundaries: &[usize], aux: A, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+    A: FnOnce() + Send,
+{
+    assert!(
+        boundaries.first() == Some(&0) && boundaries.windows(2).all(|w| w[0] <= w[1]),
+        "boundaries must be a monotone partition starting at 0"
+    );
+    let rows = *boundaries.last().unwrap();
+    assert_eq!(data.len(), rows * cols, "buffer must cover rows*cols");
+    let n_chunks = boundaries.len() - 1;
+    let threads = num_threads().min(n_chunks + 1);
+    if threads <= 1 || in_worker() {
+        count_inline_fallback();
+        aux();
+        f(0, data);
+        return;
+    }
+    let aux_cell: Mutex<Option<A>> = Mutex::new(Some(aux));
+    let base = SendPtr(data.as_mut_ptr());
+    dispatch(n_chunks + 1, threads - 1, &|i: usize| {
+        if i == 0 {
+            // Take under the lock, run outside it: a panicking aux must not
+            // poison the cell while other lanes are still probing it.
+            let taken = aux_cell.lock().unwrap_or_else(|e| e.into_inner()).take();
+            if let Some(aux) = taken {
+                aux();
+            }
+            return;
+        }
+        let first = boundaries[i - 1];
+        let take = boundaries[i] - first;
+        if take == 0 {
+            return;
+        }
+        // SAFETY: boundaries are monotone, so chunk i's rows
+        // [first, first + take) are pairwise disjoint from every other
+        // chunk's; `data` outlives the dispatch. The aux task never touches
+        // `data`.
+        let chunk =
+            unsafe { std::slice::from_raw_parts_mut(base.get().add(first * cols), take * cols) };
+        f(first, chunk);
+    });
+}
+
 /// Runs `f(i)` for `i` in `0..n` across the pool, each index exactly once.
 ///
 /// Indices are claimed dynamically, so coarse uneven tasks (e.g. one filter
@@ -561,6 +616,52 @@ mod tests {
         let mut b = vec![0.0f32; rows * cols];
         run_plan(&mut b, cols, &[0, 3, 100, 101, 250, 257], kernel);
         assert_eq!(a, b, "schedule must not change per-row results");
+    }
+
+    #[test]
+    fn run_plan_aux_runs_aux_once_and_matches_run_plan() {
+        for width in [1usize, 4] {
+            let _g = pin_threads(width);
+            let cols = 9;
+            let boundaries = [0usize, 2, 2, 60, 150, 151];
+            let rows = *boundaries.last().unwrap();
+            let kernel = |first: usize, chunk: &mut [f32]| {
+                for (r, row) in chunk.chunks_exact_mut(cols).enumerate() {
+                    for (c, v) in row.iter_mut().enumerate() {
+                        *v = ((first + r) as f32).mul_add(0.5, c as f32).cos();
+                    }
+                }
+            };
+            let mut a = vec![0.0f32; rows * cols];
+            run_plan(&mut a, cols, &boundaries, kernel);
+            let aux_runs = AtomicUsize::new(0);
+            let mut b = vec![0.0f32; rows * cols];
+            run_plan_aux(
+                &mut b,
+                cols,
+                &boundaries,
+                || {
+                    aux_runs.fetch_add(1, Ordering::Relaxed);
+                },
+                kernel,
+            );
+            assert_eq!(aux_runs.load(Ordering::Relaxed), 1, "width {width}");
+            assert_eq!(a, b, "aux task must not perturb kernel results");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "worker thread panicked")]
+    fn run_plan_aux_propagates_aux_panic() {
+        let _g = pin_threads(4);
+        let mut data = vec![0.0f32; 100 * 4];
+        run_plan_aux(
+            &mut data,
+            4,
+            &[0, 50, 100],
+            || panic!("aux failed"),
+            |_, _| {},
+        );
     }
 
     #[test]

@@ -174,6 +174,13 @@ impl CsrMat {
             + self.values.len() * std::mem::size_of::<f32>()
     }
 
+    /// Row-pointer array (`rows + 1` entries — the nnz prefix sum that
+    /// [`crate::plan::SpmmPlan`] and the shard writer cut against).
+    #[inline]
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
     /// The (column-indices, values) pair of row `r`.
     #[inline]
     pub fn row(&self, r: usize) -> (&[u32], &[f32]) {

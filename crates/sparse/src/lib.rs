@@ -17,6 +17,9 @@
 //! * [`normalize::PropMatrix`] — the generalized normalized adjacency
 //!   `Ã = D̄^{ρ-1} Ā D̄^{-ρ}` together with the affine propagation
 //!   `x ↦ a·Ã·x + b·x` every polynomial basis reduces to,
+//! * [`shard`] — an out-of-core sharded CSR (varint-compressed shards
+//!   streamed through a pinned decode ring) so paper-scale graphs propagate
+//!   in bounded RAM, bit-identical to the in-memory kernel,
 //! * [`stats`] — homophily scores, degree distributions, and degree buckets.
 
 pub mod coo;
@@ -26,6 +29,7 @@ pub mod fused;
 pub mod graph;
 pub mod normalize;
 pub mod plan;
+pub mod shard;
 pub mod stats;
 pub mod validate;
 
@@ -33,3 +37,4 @@ pub use csr::CsrMat;
 pub use graph::Graph;
 pub use normalize::{Backend, PropMatrix};
 pub use plan::SpmmPlan;
+pub use shard::{ShardError, ShardWriter, ShardedCsr};

@@ -12,11 +12,19 @@
 //! [`PropMatrix`] also carries the transposed operator (needed to
 //! backpropagate through propagation when `ρ ≠ 1/2`) and can route
 //! propagation through either the CSR ("SP") or the edge-list ("EI")
-//! backend for the Table-6 comparison.
+//! backend for the Table-6 comparison — or, via
+//! [`PropMatrix::from_sharded`], through the out-of-core sharded kernel of
+//! [`crate::shard`], which keeps only `O(n)` state resident: the stored
+//! structure carries implied unit values, so `Ã`'s entries factor as
+//! `row_scale[r] · col_scale[c]` and the streamed kernel recomputes them
+//! per edge, bit-identical to the in-memory `scale_rows_cols` product.
+
+use std::sync::Arc;
 
 use crate::csr::CsrMat;
 use crate::edgelist::EdgeList;
 use crate::graph::Graph;
+use crate::shard::ShardedCsr;
 use sgnn_dense::DMat;
 
 /// Which kernel executes propagation.
@@ -28,6 +36,26 @@ pub enum Backend {
     /// Gather/scatter over an edge list with an `m × F` message tensor —
     /// the paper's "EI" backend.
     EdgeList,
+}
+
+/// The concrete operator behind a [`PropMatrix`].
+#[derive(Clone, Debug)]
+#[allow(clippy::large_enum_variant)] // one per dataset; inline size is moot
+enum Ops {
+    /// Fully materialized `Ã` (and `Ãᵀ` when `ρ ≠ 1/2`).
+    InMem {
+        adj: CsrMat,
+        adj_t: Option<CsrMat>,
+        edges: Option<EdgeList>,
+        backend: Backend,
+    },
+    /// Disk-resident structure; normalization weights factored into the
+    /// two `O(n)` scale vectors and recomputed per edge while streaming.
+    Sharded {
+        csr: Arc<ShardedCsr>,
+        row_scale: Arc<[f32]>,
+        col_scale: Arc<[f32]>,
+    },
 }
 
 /// The normalized propagation operator `Ã` of one graph.
@@ -43,10 +71,7 @@ pub enum Backend {
 /// ```
 #[derive(Clone, Debug)]
 pub struct PropMatrix {
-    adj: CsrMat,
-    adj_t: Option<CsrMat>,
-    edges: Option<EdgeList>,
-    backend: Backend,
+    ops: Ops,
     rho: f32,
     self_loops: bool,
 }
@@ -92,10 +117,66 @@ impl PropMatrix {
             Backend::EdgeList => Some(EdgeList::from_csr(&adj)),
         };
         Self {
-            adj,
-            adj_t,
-            edges,
-            backend,
+            ops: Ops::InMem {
+                adj,
+                adj_t,
+                edges,
+                backend,
+            },
+            rho,
+            self_loops,
+        }
+    }
+
+    /// Out-of-core construction over an opened shard file: the structure
+    /// stays on disk, only the two `O(n)` scale vectors (plus the file's
+    /// degree table and decode ring) are resident.
+    ///
+    /// Weights reproduce [`Self::with_options`] bit for bit: the in-memory
+    /// degrees are serial f32 sums of exact unit values — equal to
+    /// `(structural_degree + 1) as f32` for every degree below `2^24` —
+    /// and `powf` on equal inputs yields equal bits, so the recomputed
+    /// `row_scale[r] · col_scale[c]` matches the stored
+    /// `1.0 · (row_scale[r] · col_scale[c])` exactly.
+    ///
+    /// Self-loops follow the file's decode mode
+    /// ([`ShardedCsr::add_diagonal`]); the structure must be symmetric
+    /// (recorded at write time) because one degree vector serves both
+    /// scale directions and adjoint propagation swaps them.
+    pub fn from_sharded(csr: Arc<ShardedCsr>, rho: f32) -> Self {
+        assert!((0.0..=1.0).contains(&rho), "rho must lie in [0, 1]");
+        assert!(
+            csr.symmetric(),
+            "sharded propagation requires a symmetric structure"
+        );
+        let self_loops = csr.add_diagonal();
+        let loop_add: u32 = if self_loops { 1 } else { 0 };
+        let max_deg = csr.degs().iter().copied().max().unwrap_or(0);
+        assert!(
+            (max_deg + loop_add) < (1 << 24),
+            "degree too large for exact f32 normalization"
+        );
+        let scale = |exp: f32| -> Arc<[f32]> {
+            csr.degs()
+                .iter()
+                .map(|&d| {
+                    let d = (d + loop_add) as f32;
+                    if d > 0.0 {
+                        d.powf(exp)
+                    } else {
+                        0.0
+                    }
+                })
+                .collect()
+        };
+        let row_scale = scale(rho - 1.0);
+        let col_scale = scale(-rho);
+        Self {
+            ops: Ops::Sharded {
+                csr,
+                row_scale,
+                col_scale,
+            },
             rho,
             self_loops,
         }
@@ -103,12 +184,18 @@ impl PropMatrix {
 
     /// Number of nodes.
     pub fn n(&self) -> usize {
-        self.adj.rows()
+        match &self.ops {
+            Ops::InMem { adj, .. } => adj.rows(),
+            Ops::Sharded { csr, .. } => csr.n(),
+        }
     }
 
     /// Stored edges of `Ã` (self-loops included when enabled).
     pub fn nnz(&self) -> usize {
-        self.adj.nnz()
+        match &self.ops {
+            Ops::InMem { adj, .. } => adj.nnz(),
+            Ops::Sharded { csr, .. } => csr.nnz_decoded() as usize,
+        }
     }
 
     /// Normalization coefficient `ρ`.
@@ -121,21 +208,63 @@ impl PropMatrix {
         self.self_loops
     }
 
-    /// Active propagation backend.
+    /// Active propagation backend. The sharded operator reports
+    /// [`Backend::Csr`] — it *is* a CSR kernel; see [`Self::is_sharded`].
     pub fn backend(&self) -> Backend {
-        self.backend
+        match &self.ops {
+            Ops::InMem { backend, .. } => *backend,
+            Ops::Sharded { .. } => Backend::Csr,
+        }
     }
 
-    /// Heap bytes of the stored operator(s).
+    /// Whether propagation streams from disk.
+    pub fn is_sharded(&self) -> bool {
+        matches!(self.ops, Ops::Sharded { .. })
+    }
+
+    /// The underlying sharded operator, when streaming.
+    pub fn sharded(&self) -> Option<&ShardedCsr> {
+        match &self.ops {
+            Ops::Sharded { csr, .. } => Some(csr),
+            Ops::InMem { .. } => None,
+        }
+    }
+
+    /// Heap bytes of the stored operator(s). For the sharded operator this
+    /// is the *resident* footprint (scales, degree table, decode ring) —
+    /// the `O(m)` structure stays on disk.
     pub fn nbytes(&self) -> usize {
-        self.adj.nbytes()
-            + self.adj_t.as_ref().map_or(0, CsrMat::nbytes)
-            + self.edges.as_ref().map_or(0, EdgeList::nbytes)
+        match &self.ops {
+            Ops::InMem {
+                adj, adj_t, edges, ..
+            } => {
+                adj.nbytes()
+                    + adj_t.as_ref().map_or(0, CsrMat::nbytes)
+                    + edges.as_ref().map_or(0, EdgeList::nbytes)
+            }
+            Ops::Sharded { csr, .. } => csr.resident_bytes() + 2 * csr.n() * 4,
+        }
     }
 
     /// The normalized adjacency `Ã`.
+    ///
+    /// # Panics
+    ///
+    /// For a sharded operator — the whole point is that `Ã` is never
+    /// materialized. Callers that need entry access (spectra, validation,
+    /// edge-list export) are in-memory-only paths.
     pub fn adj(&self) -> &CsrMat {
-        &self.adj
+        match &self.ops {
+            Ops::InMem { adj, .. } => adj,
+            Ops::Sharded { .. } => {
+                panic!("sharded operator has no in-memory adjacency; use prop* kernels")
+            }
+        }
+    }
+
+    #[cfg(test)]
+    fn stores_transpose(&self) -> bool {
+        matches!(&self.ops, Ops::InMem { adj_t: Some(_), .. })
     }
 
     /// `a·Ã·x + b·x` — one hop of propagation.
@@ -143,14 +272,26 @@ impl PropMatrix {
     /// Common instantiations: `Ãx` is `(1, 0)`; the Laplacian `L̃x = x − Ãx`
     /// is `(-1, 1)`; the GCN filter `(2I − L̃)x = x + Ãx` is `(1, 1)`.
     pub fn prop(&self, a: f32, b: f32, x: &DMat) -> DMat {
-        match self.backend {
-            Backend::Csr => self.adj.affine_spmm(a, b, x),
-            Backend::EdgeList => {
-                let mut out = self.edges.as_ref().expect("edge backend").propagate(x);
-                out.scale(a);
-                if b != 0.0 {
-                    out.axpy(b, x);
+        match &self.ops {
+            Ops::InMem {
+                adj,
+                edges,
+                backend,
+                ..
+            } => match backend {
+                Backend::Csr => adj.affine_spmm(a, b, x),
+                Backend::EdgeList => {
+                    let mut out = edges.as_ref().expect("edge backend").propagate(x);
+                    out.scale(a);
+                    if b != 0.0 {
+                        out.axpy(b, x);
+                    }
+                    out
                 }
+            },
+            Ops::Sharded { .. } => {
+                let mut out = DMat::zeros(self.n(), x.cols());
+                self.prop_into(a, b, x, &mut out);
                 out
             }
         }
@@ -161,9 +302,16 @@ impl PropMatrix {
     /// recurrences. The edge-list backend has no in-place kernel; it
     /// computes the hop and moves the result into `out`.
     pub fn prop_into(&self, a: f32, b: f32, x: &DMat, out: &mut DMat) {
-        match self.backend {
-            Backend::Csr => self.adj.affine_spmm_into(a, b, x, out),
-            Backend::EdgeList => *out = self.prop(a, b, x),
+        match &self.ops {
+            Ops::InMem { adj, backend, .. } => match backend {
+                Backend::Csr => adj.affine_spmm_into(a, b, x, out),
+                Backend::EdgeList => *out = self.prop(a, b, x),
+            },
+            Ops::Sharded {
+                csr,
+                row_scale,
+                col_scale,
+            } => csr.fused_into(a, b, x, None, out, row_scale, col_scale),
         }
     }
 
@@ -171,11 +319,22 @@ impl PropMatrix {
     /// (the Chebyshev/Legendre/Jacobi recurrence step). Bit-identical to
     /// [`prop`](Self::prop) followed by `out.axpy(c, z)`.
     pub fn prop_axpy(&self, a: f32, b: f32, c: f32, x: &DMat, z: &DMat) -> DMat {
-        match self.backend {
-            Backend::Csr => self.adj.affine_spmm_axpy(a, b, c, x, z),
-            Backend::EdgeList => {
-                let mut out = self.prop(a, b, x);
-                out.axpy(c, z);
+        match &self.ops {
+            Ops::InMem { adj, backend, .. } => match backend {
+                Backend::Csr => adj.affine_spmm_axpy(a, b, c, x, z),
+                Backend::EdgeList => {
+                    let mut out = self.prop(a, b, x);
+                    out.axpy(c, z);
+                    out
+                }
+            },
+            Ops::Sharded {
+                csr,
+                row_scale,
+                col_scale,
+            } => {
+                let mut out = DMat::zeros(self.n(), x.cols());
+                csr.fused_into(a, b, x, Some((c, z)), &mut out, row_scale, col_scale);
                 out
             }
         }
@@ -184,34 +343,67 @@ impl PropMatrix {
     /// `a·Ãᵀ·x + b·x` — the adjoint hop used by backpropagation.
     ///
     /// For `ρ = 1/2` the operator is symmetric and this equals
-    /// [`prop`](Self::prop).
+    /// [`prop`](Self::prop). The sharded operator serves the adjoint from
+    /// the same file by swapping the scale vectors: for a symmetric
+    /// structure, `Ãᵀ[r][c] = row_scale[c] · col_scale[r]`, and f32
+    /// multiplication is bitwise commutative — bit-identical to the
+    /// in-memory transposed matrix.
     pub fn prop_t(&self, a: f32, b: f32, x: &DMat) -> DMat {
-        match &self.adj_t {
-            None => self.prop(a, b, x),
-            Some(t) => t.affine_spmm(a, b, x),
+        match &self.ops {
+            Ops::InMem { adj_t, .. } => match adj_t {
+                None => self.prop(a, b, x),
+                Some(t) => t.affine_spmm(a, b, x),
+            },
+            Ops::Sharded { .. } => {
+                let mut out = DMat::zeros(self.n(), x.cols());
+                self.prop_t_into(a, b, x, &mut out);
+                out
+            }
         }
     }
 
     /// [`prop_t`](Self::prop_t) into a caller-provided buffer.
     pub fn prop_t_into(&self, a: f32, b: f32, x: &DMat, out: &mut DMat) {
-        match &self.adj_t {
-            None => self.prop_into(a, b, x, out),
-            Some(t) => t.affine_spmm_into(a, b, x, out),
+        match &self.ops {
+            Ops::InMem { adj_t, .. } => match adj_t {
+                None => self.prop_into(a, b, x, out),
+                Some(t) => t.affine_spmm_into(a, b, x, out),
+            },
+            Ops::Sharded {
+                csr,
+                row_scale,
+                col_scale,
+            } => csr.fused_into(a, b, x, None, out, col_scale, row_scale),
         }
     }
 
     /// Adjoint counterpart of [`prop_axpy`](Self::prop_axpy).
     pub fn prop_t_axpy(&self, a: f32, b: f32, c: f32, x: &DMat, z: &DMat) -> DMat {
-        match &self.adj_t {
-            None => self.prop_axpy(a, b, c, x, z),
-            Some(t) => t.affine_spmm_axpy(a, b, c, x, z),
+        match &self.ops {
+            Ops::InMem { adj_t, .. } => match adj_t {
+                None => self.prop_axpy(a, b, c, x, z),
+                Some(t) => t.affine_spmm_axpy(a, b, c, x, z),
+            },
+            Ops::Sharded {
+                csr,
+                row_scale,
+                col_scale,
+            } => {
+                let mut out = DMat::zeros(self.n(), x.cols());
+                csr.fused_into(a, b, x, Some((c, z)), &mut out, col_scale, row_scale);
+                out
+            }
         }
     }
 
-    /// Per-propagation transient bytes of the backend (0 for CSR; the
+    /// Per-propagation transient bytes of the backend (0 for CSR and the
+    /// sharded ring, which is pinned and counted in [`Self::nbytes`]; the
     /// `m × F` message tensor for the edge-list backend).
     pub fn transient_bytes(&self, f: usize) -> usize {
-        self.edges.as_ref().map_or(0, |e| e.message_bytes(f))
+        match &self.ops {
+            Ops::InMem { edges, .. } => edges.as_ref().map_or(0, |e| e.message_bytes(f)),
+            Ops::Sharded { .. } => 0,
+        }
     }
 }
 
@@ -230,7 +422,7 @@ mod tests {
         let want = 1.0 / (2.0f32 * 3.0).sqrt();
         assert!((p.adj().get(0, 1) - want).abs() < 1e-6);
         assert!((p.adj().get(0, 0) - 0.5).abs() < 1e-6);
-        assert!(p.adj_t.is_none(), "rho=1/2 must not store a transpose");
+        assert!(!p.stores_transpose(), "rho=1/2 must not store a transpose");
     }
 
     #[test]
@@ -303,5 +495,74 @@ mod tests {
         let e = sym_eigen(&dense);
         assert!(e.values[0] > -1e-5, "λ_min = {}", e.values[0]);
         assert!(*e.values.last().unwrap() < 2.0 + 1e-5);
+    }
+
+    /// End-to-end bit-identity of the full out-of-core path: write shards,
+    /// reopen, and compare every propagation flavor against the in-memory
+    /// operator — exact equality, not tolerance.
+    #[test]
+    fn sharded_propagation_is_bit_identical_to_in_memory() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let n = 257;
+        let mut rng = SmallRng::seed_from_u64(42);
+        let edges: Vec<(u32, u32)> = (0..900)
+            .map(|_| (rng.random_range(0..n as u32), rng.random_range(0..n as u32)))
+            .collect();
+        let g = Graph::from_edges(n, &edges);
+        let mut path = std::env::temp_dir();
+        path.push(format!("sgnn-normalize-shard-{}", std::process::id()));
+        crate::shard::write_shards_from_csr(g.adjacency(), &path, 200, true).unwrap();
+        let x = DMat::from_fn(n, 5, |r, c| ((r * 5 + c) as f32 * 0.173).sin());
+        let z = DMat::from_fn(n, 5, |r, c| ((r + 11 * c) as f32 * 0.071).cos());
+        for rho in [0.5f32, 0.8, 0.0] {
+            let mem = PropMatrix::new(&g, rho);
+            let ooc =
+                PropMatrix::from_sharded(Arc::new(ShardedCsr::open(&path, true).unwrap()), rho);
+            assert_eq!(mem.nnz(), ooc.nnz(), "rho {rho}");
+            assert_eq!(
+                mem.prop(1.0, 0.0, &x).data(),
+                ooc.prop(1.0, 0.0, &x).data(),
+                "prop at rho {rho}"
+            );
+            assert_eq!(
+                mem.prop_axpy(-2.0, 0.5, -1.0, &x, &z).data(),
+                ooc.prop_axpy(-2.0, 0.5, -1.0, &x, &z).data(),
+                "prop_axpy at rho {rho}"
+            );
+            assert_eq!(
+                mem.prop_t(-1.0, 1.0, &x).data(),
+                ooc.prop_t(-1.0, 1.0, &x).data(),
+                "prop_t at rho {rho}"
+            );
+            assert_eq!(
+                mem.prop_t_axpy(0.7, 0.0, 2.0, &x, &z).data(),
+                ooc.prop_t_axpy(0.7, 0.0, 2.0, &x, &z).data(),
+                "prop_t_axpy at rho {rho}"
+            );
+            let mut a = DMat::zeros(n, 5);
+            let mut b = DMat::zeros(n, 5);
+            mem.prop_into(-1.0, 1.0, &x, &mut a);
+            ooc.prop_into(-1.0, 1.0, &x, &mut b);
+            assert_eq!(a.data(), b.data(), "prop_into at rho {rho}");
+            assert!(ooc.is_sharded() && !mem.is_sharded());
+            assert!(
+                ooc.nbytes() < mem.nbytes(),
+                "resident footprint must undercut the materialized operator"
+            );
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "no in-memory adjacency")]
+    fn sharded_adj_access_panics_clearly() {
+        let g = path4();
+        let mut path = std::env::temp_dir();
+        path.push(format!("sgnn-normalize-adjpanic-{}", std::process::id()));
+        crate::shard::write_shards_from_csr(g.adjacency(), &path, 0, true).unwrap();
+        let pm = PropMatrix::from_sharded(Arc::new(ShardedCsr::open(&path, true).unwrap()), 0.5);
+        std::fs::remove_file(&path).unwrap();
+        let _ = pm.adj();
     }
 }

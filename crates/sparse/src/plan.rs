@@ -77,16 +77,32 @@ pub struct SpmmPlan {
 impl SpmmPlan {
     /// Builds a plan from a CSR row-pointer array for the given pool width.
     ///
+    /// Produces ~[`CHUNKS_PER_LANE`] chunks per lane; see [`Self::with_chunks`]
+    /// for the split itself.
+    pub fn build(indptr: &[usize], threads: usize) -> Self {
+        let rows = indptr.len().saturating_sub(1);
+        let chunks = (threads.max(1) * CHUNKS_PER_LANE).min(rows.max(1));
+        let mut plan = Self::with_chunks(indptr, chunks);
+        plan.threads = threads;
+        plan
+    }
+
+    /// Splits rows into exactly `chunks` (clamped to the row count)
+    /// equal-weight pieces.
+    ///
     /// Each row is weighted `nnz(row) + 1` (edge work plus the output-row
     /// write), so the weight prefix sum is simply `indptr[r] + r` — no
     /// auxiliary array is materialized. Boundary `i` is found by binary
     /// search for the first row whose prefix reaches `i/chunks` of the total.
-    pub fn build(indptr: &[usize], threads: usize) -> Self {
+    /// Besides SpMM dispatch, this is the boundary machinery behind the
+    /// out-of-core shard writer (`sgnn_sparse::shard`), which cuts shards to
+    /// an nnz budget with the same prefix-sum search.
+    pub fn with_chunks(indptr: &[usize], chunks: usize) -> Self {
         assert!(!indptr.is_empty(), "indptr must have at least one entry");
         let rows = indptr.len() - 1;
         let nnz = *indptr.last().unwrap();
         let total_weight = nnz + rows;
-        let chunks = (threads.max(1) * CHUNKS_PER_LANE).min(rows.max(1));
+        let chunks = chunks.clamp(1, rows.max(1));
         let prefix = |r: usize| indptr[r] + r;
         let mut boundaries = Vec::with_capacity(chunks + 1);
         boundaries.push(0usize);
@@ -112,7 +128,9 @@ impl SpmmPlan {
             .unwrap_or(0);
         Self {
             boundaries,
-            threads,
+            // Not width-keyed unless built through `build`, which overwrites
+            // this; a direct `with_chunks` plan never matches a `PlanCell`.
+            threads: 0,
             max_chunk_weight,
             total_weight,
         }
@@ -234,6 +252,29 @@ mod tests {
         assert_eq!(*plan.boundaries().last().unwrap(), 2);
         let plan = SpmmPlan::build(&[0, 3], 8);
         assert_eq!(plan.chunks(), 1);
+    }
+
+    #[test]
+    fn with_chunks_honors_requested_count_and_clamps() {
+        let indptr = indptr_of(&[3, 0, 7, 1, 1, 20, 0, 2, 2, 4]);
+        let plan = SpmmPlan::with_chunks(&indptr, 5);
+        assert_eq!(plan.chunks(), 5);
+        assert_eq!(plan.threads(), 0, "direct plans are not width-keyed");
+        // More chunks than rows clamps to one chunk per row.
+        let plan = SpmmPlan::with_chunks(&indptr, 1000);
+        assert_eq!(plan.chunks(), 10);
+        // Zero clamps to a single chunk.
+        let plan = SpmmPlan::with_chunks(&indptr, 0);
+        assert_eq!(plan.boundaries(), &[0, 10]);
+    }
+
+    #[test]
+    fn build_delegates_to_with_chunks() {
+        let indptr = indptr_of(&[5; 64]);
+        let built = SpmmPlan::build(&indptr, 2);
+        let direct = SpmmPlan::with_chunks(&indptr, 8);
+        assert_eq!(built.boundaries(), direct.boundaries());
+        assert_eq!(built.threads(), 2);
     }
 
     #[test]

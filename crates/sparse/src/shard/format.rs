@@ -1,0 +1,487 @@
+//! The `SGNNSHRD` on-disk sharded-CSR format.
+//!
+//! One file holds the *structure* of a symmetric {0,1} adjacency matrix —
+//! values are implied 1.0, exactly what [`crate::graph::Graph`] stores — cut
+//! into row shards sized for the decode ring:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic            b"SGNNSHRD"
+//! 8       4     version          u32 LE (currently 1)
+//! 12      4     flags            u32 LE (bit 0: structure is symmetric)
+//! 16      8     n                u64 LE, rows == cols
+//! 24      8     nnz              u64 LE, stored entries (no diagonal)
+//! 32      8     shard_count      u64 LE
+//! 40      8     max_shard_rows   u64 LE (largest shard, rows)
+//! 48      8     max_shard_nnz    u64 LE (largest shard, stored entries)
+//! 56      8     max_blob_len     u64 LE (largest encoded shard, bytes)
+//! 64      8     meta_off         u64 LE (start of the meta block)
+//! 72      8     meta_len         u64 LE
+//! 80      4     meta_crc         u32 LE (CRC32 of the meta block)
+//! 84      ...   shard blobs, concatenated in row order
+//! meta_off ...  meta block
+//! ```
+//!
+//! Each **blob** is the rows of one shard, encoded back to back with the
+//! gap-delta varint codec of [`super::varint`] (row lengths live in the
+//! degree table, so blobs carry columns only). Each blob has its own CRC32
+//! in the shard index — decode verifies per shard, so a flipped bit names
+//! the shard it hit and opening a file never reads the whole edge set.
+//!
+//! The **meta block** is the degree table (`n` varints of structural degree)
+//! followed by the shard index (`shard_count` entries of varint `rows`,
+//! `nnz`, `blob_len` and a raw-LE `u32` blob CRC; row ranges and byte
+//! offsets are cumulative). It is `O(n)` — the only part of the graph that
+//! must be resident.
+//!
+//! Writing follows the atomic discipline of the checkpoint and terms
+//! codecs: stream blobs to `path.tmp` behind a placeholder header, append
+//! the meta block, patch the real header, fsync, rename over `path`.
+
+use std::fs::File;
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use super::varint::{self, VarintError};
+
+pub(crate) const MAGIC: &[u8; 8] = b"SGNNSHRD";
+pub(crate) const VERSION: u32 = 1;
+pub(crate) const HEADER_LEN: u64 = 84;
+pub(crate) const FLAG_SYMMETRIC: u32 = 1;
+
+/// Sanity bound on the meta block (degree table + index): 16 GiB of varints
+/// would be a ~10¹⁰-node graph — reject before allocating.
+const MAX_META_LEN: u64 = 1 << 34;
+
+/// CRC32 (IEEE, reflected) — the same polynomial and conventions as the
+/// checkpoint and terms codecs, computed incrementally. Slicing-by-8:
+/// every shard blob is CRC'd on each decode, so this sits on the
+/// streaming critical path (bit-at-a-time costs ~30× per byte).
+const CRC_TABLES: [[u32; 256]; 8] = {
+    let mut tables = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        tables[0][i] = c;
+        i += 1;
+    }
+    let mut t = 1;
+    while t < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[t - 1][i];
+            tables[t][i] = tables[0][(prev & 0xFF) as usize] ^ (prev >> 8);
+            i += 1;
+        }
+        t += 1;
+    }
+    tables
+};
+
+pub(crate) fn crc32_update(mut crc: u32, mut bytes: &[u8]) -> u32 {
+    let t = &CRC_TABLES;
+    while let [b0, b1, b2, b3, b4, b5, b6, b7, rest @ ..] = bytes {
+        let lo = crc ^ u32::from_le_bytes([*b0, *b1, *b2, *b3]);
+        let hi = u32::from_le_bytes([*b4, *b5, *b6, *b7]);
+        crc = t[7][(lo & 0xFF) as usize]
+            ^ t[6][((lo >> 8) & 0xFF) as usize]
+            ^ t[5][((lo >> 16) & 0xFF) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xFF) as usize]
+            ^ t[2][((hi >> 8) & 0xFF) as usize]
+            ^ t[1][((hi >> 16) & 0xFF) as usize]
+            ^ t[0][(hi >> 24) as usize];
+        bytes = rest;
+    }
+    for &byte in bytes {
+        crc = (crc >> 8) ^ t[0][((crc ^ byte as u32) & 0xFF) as usize];
+    }
+    crc
+}
+
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    crc32_update(0xFFFF_FFFF, bytes) ^ 0xFFFF_FFFF
+}
+
+/// Why a shard file was rejected or could not be produced.
+#[derive(Debug)]
+pub enum ShardError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The magic bytes are not `SGNNSHRD`.
+    BadMagic,
+    /// A newer (or corrupt) format version.
+    UnsupportedVersion(u32),
+    /// The file ends before the declared sections do.
+    Truncated,
+    /// The meta block's CRC does not match.
+    MetaCrcMismatch,
+    /// Shard `k`'s blob CRC does not match.
+    BlobCrcMismatch(usize),
+    /// Structurally invalid contents.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::Io(e) => write!(f, "shard file i/o: {e}"),
+            ShardError::BadMagic => write!(f, "not a SGNNSHRD file"),
+            ShardError::UnsupportedVersion(v) => write!(f, "unsupported shard version {v}"),
+            ShardError::Truncated => write!(f, "shard file truncated"),
+            ShardError::MetaCrcMismatch => write!(f, "shard meta block failed CRC"),
+            ShardError::BlobCrcMismatch(k) => write!(f, "shard {k} blob failed CRC"),
+            ShardError::Malformed(what) => write!(f, "malformed shard file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<std::io::Error> for ShardError {
+    fn from(e: std::io::Error) -> Self {
+        ShardError::Io(e)
+    }
+}
+
+impl From<VarintError> for ShardError {
+    fn from(e: VarintError) -> Self {
+        match e {
+            VarintError::Truncated => ShardError::Truncated,
+            VarintError::Overflow => ShardError::Malformed("varint out of range"),
+            VarintError::DiagonalCollision => ShardError::Malformed("diagonal entry in structure"),
+        }
+    }
+}
+
+/// One shard's entry in the in-memory index (byte range resolved).
+#[derive(Clone, Copy, Debug)]
+pub struct ShardMeta {
+    /// First row this shard covers.
+    pub first_row: usize,
+    /// Rows covered (contiguous).
+    pub rows: usize,
+    /// Stored entries (no diagonal).
+    pub nnz: usize,
+    /// Byte offset of the blob within the file.
+    pub offset: u64,
+    /// Encoded blob length in bytes.
+    pub blob_len: usize,
+    /// CRC32 of the blob.
+    pub crc: u32,
+}
+
+/// Parsed header + meta of a shard file — everything resident about the
+/// graph structure except the blobs themselves.
+#[derive(Debug)]
+pub struct ShardIndex {
+    pub n: usize,
+    pub nnz: u64,
+    pub symmetric: bool,
+    pub max_shard_rows: usize,
+    pub max_shard_nnz: usize,
+    pub max_blob_len: usize,
+    /// Structural degree per row (no diagonal).
+    pub degs: Vec<u32>,
+    pub shards: Vec<ShardMeta>,
+}
+
+/// What [`ShardWriter::finish`] reports about the file it produced.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardSummary {
+    pub n: usize,
+    pub nnz: u64,
+    pub shards: usize,
+    /// Total file size in bytes.
+    pub file_bytes: u64,
+}
+
+fn u64_at(buf: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(buf[off..off + 8].try_into().unwrap())
+}
+
+fn u32_at(buf: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(buf[off..off + 4].try_into().unwrap())
+}
+
+/// Streaming writer: rows are pushed in order, [`cut`](Self::cut) ends the
+/// current shard, [`finish`](Self::finish) seals the file atomically. The
+/// writer buffers one shard (bounded by the caller's shard budget) plus the
+/// `O(n)` degree table — never the whole edge set.
+pub struct ShardWriter {
+    final_path: PathBuf,
+    tmp_path: PathBuf,
+    out: BufWriter<File>,
+    n: usize,
+    next_row: usize,
+    degs: Vec<u32>,
+    shards: Vec<(usize, usize, usize, u32)>, // rows, nnz, blob_len, crc
+    nnz: u64,
+    cur_rows: usize,
+    cur_nnz: usize,
+    cur_blob: Vec<u8>,
+}
+
+impl ShardWriter {
+    /// Opens `path.tmp` for writing a graph on `n` nodes.
+    pub fn create(path: &Path, n: usize) -> Result<Self, ShardError> {
+        let tmp_path = path.with_extension("shrd.tmp");
+        let file = File::create(&tmp_path)?;
+        let mut out = BufWriter::new(file);
+        out.write_all(&[0u8; HEADER_LEN as usize])?;
+        Ok(Self {
+            final_path: path.to_path_buf(),
+            tmp_path,
+            out,
+            n,
+            next_row: 0,
+            degs: Vec::with_capacity(n),
+            shards: Vec::new(),
+            nnz: 0,
+            cur_rows: 0,
+            cur_nnz: 0,
+            cur_blob: Vec::new(),
+        })
+    }
+
+    /// Appends the next row's columns (strictly increasing, in `0..n`, no
+    /// diagonal entry — self-loops are injected at decode time). Rows must
+    /// be pushed for every index `0..n` in order; empty rows are fine.
+    pub fn push_row(&mut self, cols: &[u32]) -> Result<(), ShardError> {
+        if self.next_row >= self.n {
+            return Err(ShardError::Malformed("more rows pushed than n"));
+        }
+        let r = self.next_row as u32;
+        if cols.iter().any(|&c| c as usize >= self.n) {
+            return Err(ShardError::Malformed("column out of range"));
+        }
+        if cols.contains(&r) {
+            return Err(ShardError::Malformed("diagonal entry in structure"));
+        }
+        varint::encode_row(&mut self.cur_blob, cols);
+        self.degs.push(cols.len() as u32);
+        self.nnz += cols.len() as u64;
+        self.cur_nnz += cols.len();
+        self.cur_rows += 1;
+        self.next_row += 1;
+        Ok(())
+    }
+
+    /// Ends the current shard, flushing its blob to disk. A cut with no rows
+    /// pushed since the last one is a no-op, so callers can cut on plan
+    /// boundaries without special-casing empty chunks.
+    pub fn cut(&mut self) -> Result<(), ShardError> {
+        if self.cur_rows == 0 {
+            return Ok(());
+        }
+        let crc = crc32(&self.cur_blob);
+        self.out.write_all(&self.cur_blob)?;
+        self.shards
+            .push((self.cur_rows, self.cur_nnz, self.cur_blob.len(), crc));
+        self.cur_rows = 0;
+        self.cur_nnz = 0;
+        self.cur_blob.clear();
+        Ok(())
+    }
+
+    /// Seals the file: final cut, meta block, header patch, fsync, rename.
+    /// `symmetric` records whether the structure is its own transpose
+    /// (adjoint propagation requires it).
+    pub fn finish(mut self, symmetric: bool) -> Result<ShardSummary, ShardError> {
+        if self.next_row != self.n {
+            return Err(ShardError::Malformed("fewer rows pushed than n"));
+        }
+        self.cut()?;
+        // Meta block: degree table then the shard index.
+        let mut meta = Vec::with_capacity(self.degs.len() + self.shards.len() * 8);
+        for &d in &self.degs {
+            varint::write_u64(&mut meta, d as u64);
+        }
+        for &(rows, nnz, blob_len, crc) in &self.shards {
+            varint::write_u64(&mut meta, rows as u64);
+            varint::write_u64(&mut meta, nnz as u64);
+            varint::write_u64(&mut meta, blob_len as u64);
+            meta.extend_from_slice(&crc.to_le_bytes());
+        }
+        let meta_off = HEADER_LEN + self.shards.iter().map(|s| s.2 as u64).sum::<u64>();
+        self.out.write_all(&meta)?;
+        self.out.flush()?;
+        let mut header = Vec::with_capacity(HEADER_LEN as usize);
+        header.extend_from_slice(MAGIC);
+        header.extend_from_slice(&VERSION.to_le_bytes());
+        let flags = if symmetric { FLAG_SYMMETRIC } else { 0 };
+        header.extend_from_slice(&flags.to_le_bytes());
+        header.extend_from_slice(&(self.n as u64).to_le_bytes());
+        header.extend_from_slice(&self.nnz.to_le_bytes());
+        header.extend_from_slice(&(self.shards.len() as u64).to_le_bytes());
+        let max_rows = self.shards.iter().map(|s| s.0).max().unwrap_or(0);
+        let max_nnz = self.shards.iter().map(|s| s.1).max().unwrap_or(0);
+        let max_blob = self.shards.iter().map(|s| s.2).max().unwrap_or(0);
+        header.extend_from_slice(&(max_rows as u64).to_le_bytes());
+        header.extend_from_slice(&(max_nnz as u64).to_le_bytes());
+        header.extend_from_slice(&(max_blob as u64).to_le_bytes());
+        header.extend_from_slice(&meta_off.to_le_bytes());
+        header.extend_from_slice(&(meta.len() as u64).to_le_bytes());
+        header.extend_from_slice(&crc32(&meta).to_le_bytes());
+        debug_assert_eq!(header.len() as u64, HEADER_LEN);
+        let file_bytes = meta_off + meta.len() as u64;
+        let mut file = self.out.into_inner().map_err(|e| e.into_error())?;
+        file.seek(SeekFrom::Start(0))?;
+        file.write_all(&header)?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&self.tmp_path, &self.final_path)?;
+        Ok(ShardSummary {
+            n: self.n,
+            nnz: self.nnz,
+            shards: self.shards.len(),
+            file_bytes,
+        })
+    }
+}
+
+/// Reads and validates the header + meta block of a shard file. Blobs are
+/// *not* read — each is CRC-checked when the decode ring first loads it.
+pub fn read_index(file: &mut File) -> Result<ShardIndex, ShardError> {
+    let file_len = file.metadata()?.len();
+    if file_len < HEADER_LEN {
+        return Err(ShardError::Truncated);
+    }
+    let mut header = [0u8; HEADER_LEN as usize];
+    file.seek(SeekFrom::Start(0))?;
+    file.read_exact(&mut header)?;
+    if &header[0..8] != MAGIC {
+        return Err(ShardError::BadMagic);
+    }
+    let version = u32_at(&header, 8);
+    if version != VERSION {
+        return Err(ShardError::UnsupportedVersion(version));
+    }
+    let flags = u32_at(&header, 12);
+    let n = u64_at(&header, 16);
+    let nnz = u64_at(&header, 24);
+    let shard_count = u64_at(&header, 32);
+    let max_shard_rows = u64_at(&header, 40);
+    let max_shard_nnz = u64_at(&header, 48);
+    let max_blob_len = u64_at(&header, 56);
+    let meta_off = u64_at(&header, 64);
+    let meta_len = u64_at(&header, 72);
+    let meta_crc = u32_at(&header, 80);
+    if n > u32::MAX as u64 || shard_count > n.max(1) {
+        return Err(ShardError::Malformed("implausible n or shard count"));
+    }
+    if meta_len > MAX_META_LEN {
+        return Err(ShardError::Malformed("meta block implausibly large"));
+    }
+    if meta_off < HEADER_LEN || meta_off.checked_add(meta_len) != Some(file_len) {
+        return Err(ShardError::Truncated);
+    }
+    let mut meta = vec![0u8; meta_len as usize];
+    file.seek(SeekFrom::Start(meta_off))?;
+    file.read_exact(&mut meta)?;
+    if crc32(&meta) != meta_crc {
+        return Err(ShardError::MetaCrcMismatch);
+    }
+    let mut pos = 0usize;
+    let mut degs = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let d = varint::read_u64(&meta, &mut pos)?;
+        if d >= n {
+            return Err(ShardError::Malformed("degree exceeds n"));
+        }
+        degs.push(d as u32);
+    }
+    let mut shards = Vec::with_capacity(shard_count as usize);
+    let mut first_row = 0usize;
+    let mut offset = HEADER_LEN;
+    let mut nnz_sum = 0u64;
+    for _ in 0..shard_count {
+        let rows = varint::read_u64(&meta, &mut pos)? as usize;
+        let snnz = varint::read_u64(&meta, &mut pos)? as usize;
+        let blob_len = varint::read_u64(&meta, &mut pos)? as usize;
+        if pos + 4 > meta.len() {
+            return Err(ShardError::Truncated);
+        }
+        let crc = u32_at(&meta, pos);
+        pos += 4;
+        shards.push(ShardMeta {
+            first_row,
+            rows,
+            nnz: snnz,
+            offset,
+            blob_len,
+            crc,
+        });
+        first_row = first_row
+            .checked_add(rows)
+            .ok_or(ShardError::Malformed("row range overflow"))?;
+        offset = offset
+            .checked_add(blob_len as u64)
+            .ok_or(ShardError::Malformed("blob range overflow"))?;
+        nnz_sum += snnz as u64;
+    }
+    if pos != meta.len() {
+        return Err(ShardError::Malformed("trailing bytes in meta block"));
+    }
+    if first_row != n as usize || nnz_sum != nnz || offset != meta_off {
+        return Err(ShardError::Malformed(
+            "shard index inconsistent with header",
+        ));
+    }
+    let deg_sum: u64 = degs.iter().map(|&d| d as u64).sum();
+    if deg_sum != nnz {
+        return Err(ShardError::Malformed("degree table inconsistent with nnz"));
+    }
+    if shards
+        .iter()
+        .any(|s| s.rows > max_shard_rows as usize || s.nnz > max_shard_nnz as usize)
+        || shards.iter().any(|s| s.blob_len > max_blob_len as usize)
+    {
+        return Err(ShardError::Malformed("shard exceeds declared maxima"));
+    }
+    Ok(ShardIndex {
+        n: n as usize,
+        nnz,
+        symmetric: flags & FLAG_SYMMETRIC != 0,
+        max_shard_rows: max_shard_rows as usize,
+        max_shard_nnz: max_shard_nnz as usize,
+        max_blob_len: max_blob_len as usize,
+        degs,
+        shards,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pins the polynomial and reflection conventions: the slicing-by-8
+    /// path must stay byte-for-byte compatible with the bytewise CRC used
+    /// by every shard file written before it.
+    #[test]
+    fn crc32_matches_ieee_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    /// Incremental updates over arbitrary split points equal one shot —
+    /// the writer CRCs blobs in streaming chunks.
+    #[test]
+    fn crc32_is_split_invariant() {
+        let data: Vec<u8> = (0..300u32).map(|i| (i * 37 % 251) as u8).collect();
+        let whole = crc32(&data);
+        for cut in [0, 1, 7, 8, 9, 150, 299, 300] {
+            let partial = crc32_update(0xFFFF_FFFF, &data[..cut]);
+            assert_eq!(crc32_update(partial, &data[cut..]) ^ 0xFFFF_FFFF, whole);
+        }
+    }
+}

@@ -36,5 +36,6 @@ pub use config::{TrainConfig, TrainReport};
 pub use error::{Killed, TrainError};
 pub use full_batch::{train_full_batch, try_train_full_batch};
 pub use mini_batch::{
-    infer_mb, train_mini_batch, try_train_mini_batch, try_train_mini_batch_trained, MbTrained,
+    infer_mb, train_mini_batch, try_train_mini_batch, try_train_mini_batch_trained,
+    try_train_mini_batch_with, MbTrained,
 };

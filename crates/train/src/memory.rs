@@ -27,6 +27,7 @@ use sgnn_obs as obs;
 
 static CURRENT: AtomicUsize = AtomicUsize::new(0);
 static PEAK: AtomicUsize = AtomicUsize::new(0);
+static LIFETIME_PEAK: AtomicUsize = AtomicUsize::new(0);
 
 /// A counting wrapper around the system allocator.
 pub struct TrackingAlloc;
@@ -75,9 +76,19 @@ pub fn ram_peak() -> usize {
     PEAK.load(Ordering::Relaxed)
 }
 
-/// Resets the peak to the current level (start of a measured stage).
+/// Resets the peak to the current level (start of a measured stage). The
+/// expiring window's peak is folded into [`ram_lifetime_peak`] first, so
+/// per-stage resets never lose the process-wide high-water mark.
 pub fn ram_reset_peak() {
+    LIFETIME_PEAK.fetch_max(PEAK.load(Ordering::Relaxed), Ordering::Relaxed);
     PEAK.store(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+/// Process-lifetime peak heap bytes, unaffected by [`ram_reset_peak`].
+pub fn ram_lifetime_peak() -> usize {
+    LIFETIME_PEAK
+        .load(Ordering::Relaxed)
+        .max(PEAK.load(Ordering::Relaxed))
 }
 
 /// Registers the RAM counters as `sgnn-obs`'s memory sampler so every span

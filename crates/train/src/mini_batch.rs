@@ -78,13 +78,30 @@ pub fn try_train_mini_batch_trained(
     data: &Dataset,
     cfg: &TrainConfig,
 ) -> Result<MbTrained, TrainError> {
+    let pm = PropMatrix::new(&data.graph, cfg.rho);
+    try_train_mini_batch_with(filter, &pm, data, cfg)
+}
+
+/// Mini-batch training against a caller-supplied propagation operator.
+///
+/// This is the out-of-core entry point: `pm` may be a
+/// [`PropMatrix::from_sharded`] streaming operator, in which case
+/// `data.graph` is never touched (it is typically an edgeless placeholder
+/// from [`sgnn_data::stream::generate_sharded`]) and precomputation runs in
+/// the operator's bounded resident footprint. With an in-memory `pm` this
+/// is exactly [`try_train_mini_batch_trained`].
+pub fn try_train_mini_batch_with(
+    filter: Arc<dyn SpectralFilter>,
+    pm: &PropMatrix,
+    data: &Dataset,
+    cfg: &TrainConfig,
+) -> Result<MbTrained, TrainError> {
     assert!(
         filter.mb_compatible(),
         "{} is an iterative-only design; the paper evaluates it full-batch only",
         filter.name()
     );
     let filter_name = filter.name().to_string();
-    let pm = PropMatrix::new(&data.graph, cfg.rho);
     let mut rng = drng::seeded(cfg.seed);
     let mut store = ParamStore::new();
     let model = DecoupledModel::new(
@@ -113,7 +130,7 @@ pub fn try_train_mini_batch_trained(
 
     // Stage 1: CPU precomputation.
     let mut pre_timer = StageTimer::named("precompute");
-    let terms = pre_timer.time(|| model.precompute_mb(&pm, &data.features));
+    let terms = pre_timer.time(|| model.precompute_mb(pm, &data.features));
     let ram_bytes = sgnn_core::FilterModule::precompute_bytes(&terms) + data.features.nbytes();
     let pre_hops = model.filter.filter().hops();
 
